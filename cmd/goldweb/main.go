@@ -1,0 +1,443 @@
+// Command goldweb is the batch face of the CASE tool: it validates,
+// publishes, serves and exports conceptual multidimensional models, and
+// doubles as a generic XSLT processor and XML Schema checker.
+//
+// Usage:
+//
+//	goldweb sample [sales|hospital]          print a sample model document
+//	goldweb validate <model.xml>             schema + metamodel validation
+//	goldweb pretty <model.xml>               pretty-print (browser raw view)
+//	goldweb publish -o <dir> <model.xml>     generate the HTML presentation
+//	goldweb serve -addr :8080 <model.xml>    server-side XSLT over HTTP
+//	goldweb export -style star <model.xml>   relational DDL export
+//	goldweb schema                           print the canonical XML Schema
+//	goldweb schema-tree [-attrs]             the schema as a tree (Fig. 2)
+//	goldweb check-schema <schema.xsd>        XML Schema quality checker
+//	goldweb transform <doc.xml> <sheet.xsl>  generic XSLT 1.0/1.1 processor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"goldweb/internal/core"
+	"goldweb/internal/cwm"
+	"goldweb/internal/dtd"
+	"goldweb/internal/htmlgen"
+	"goldweb/internal/server"
+	"goldweb/internal/star"
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xpath"
+	"goldweb/internal/xsd"
+	"goldweb/internal/xslt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "sample":
+		err = cmdSample(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "pretty":
+		err = cmdPretty(args)
+	case "publish":
+		err = cmdPublish(args)
+	case "serve":
+		err = cmdServe(args)
+	case "export":
+		err = cmdExport(args)
+	case "schema":
+		fmt.Print(core.SchemaXSD)
+	case "schema-tree":
+		err = cmdSchemaTree(args)
+	case "check-schema":
+		err = cmdCheckSchema(args)
+	case "cwm":
+		err = cmdCWM(args)
+	case "report":
+		err = cmdReport(args)
+	case "transform":
+		err = cmdTransform(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "goldweb: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldweb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `goldweb - manage multidimensional models through XML Schemas and XSLT
+
+  goldweb sample [sales|hospital]          print a sample model document
+  goldweb validate [-dtd] <model.xml>      schema (or legacy DTD) validation
+  goldweb pretty <model.xml>               pretty-print (browser raw view)
+  goldweb publish -o <dir> <model.xml>     generate the HTML presentation
+  goldweb serve [-addr :8080] <model.xml>  server-side XSLT over HTTP
+  goldweb export [-style ...] <model.xml>  relational DDL export
+  goldweb schema                           print the canonical XML Schema
+  goldweb schema-tree [-attrs]             the schema as a tree (Fig. 2)
+  goldweb check-schema <schema.xsd>        XML Schema quality checker
+  goldweb transform <doc.xml> <sheet.xsl>  generic XSLT processor
+  goldweb report                           regenerate the evaluation series
+  goldweb cwm <model.xml>                  CWM OLAP interchange export`)
+}
+
+func loadModelFile(path string) (*core.Model, *xmldom.Node, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	doc, err := xmldom.Parse(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := core.ModelFromXML(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, doc, nil
+}
+
+func sampleByName(name string) (*core.Model, error) {
+	switch name {
+	case "", "sales":
+		return core.SampleSales(), nil
+	case "hospital":
+		return core.SampleHospital(), nil
+	}
+	return nil, fmt.Errorf("unknown sample %q (want sales or hospital)", name)
+}
+
+func cmdSample(args []string) error {
+	name := ""
+	if len(args) > 0 {
+		name = args[0]
+	}
+	m, err := sampleByName(name)
+	if err != nil {
+		return err
+	}
+	fmt.Print(m.PrettyXML())
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	useDTD := fs.Bool("dtd", false, "validate against the paper's previous DTD proposal instead of the XML Schema")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: goldweb validate [-dtd] <model.xml>")
+	}
+	if *useDTD {
+		// DTD validation works on the raw document: a DTD cannot see the
+		// data-type problems that would stop the model loader.
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		doc, err := xmldom.Parse(data)
+		if err != nil {
+			return err
+		}
+		d, err := dtd.Parse(core.SchemaDTD)
+		if err != nil {
+			return err
+		}
+		errs := d.Validate(doc)
+		for _, e := range errs {
+			fmt.Printf("dtd: %s\n", e)
+		}
+		if len(errs) > 0 {
+			return fmt.Errorf("%d problems", len(errs))
+		}
+		fmt.Printf("VALID (DTD only — no data types, unselective references): %s\n",
+			doc.DocumentElement().AttrValue("name"))
+		return nil
+	}
+	m, doc, err := loadModelFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	schemaErrs := core.ValidateDocument(doc)
+	semErrs := m.Validate()
+	for _, e := range schemaErrs {
+		fmt.Printf("schema: %s\n", e)
+	}
+	for _, e := range semErrs {
+		fmt.Printf("model: %s\n", e)
+	}
+	if len(schemaErrs)+len(semErrs) > 0 {
+		return fmt.Errorf("%d problems", len(schemaErrs)+len(semErrs))
+	}
+	fmt.Printf("VALID: %s (%d fact classes, %d dimension classes, %d cube classes)\n",
+		m.Name, len(m.Facts), len(m.Dims), len(m.Cubes))
+	return nil
+}
+
+func cmdPretty(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: goldweb pretty <model.xml>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	doc, err := xmldom.Parse(data)
+	if err != nil {
+		return err
+	}
+	fmt.Print(xmldom.Pretty(doc))
+	return nil
+}
+
+func cmdPublish(args []string) error {
+	fs := flag.NewFlagSet("publish", flag.ContinueOnError)
+	out := fs.String("o", "site", "output directory")
+	mode := fs.String("mode", "multi", "presentation mode: single or multi")
+	focus := fs.String("focus", "", "restrict to one fact class id (Fig. 5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: goldweb publish [-o dir] [-mode single|multi] [-focus id] <model.xml>")
+	}
+	_, doc, err := loadModelFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	opts := htmlgen.Options{Focus: *focus}
+	switch *mode {
+	case "single":
+		opts.Mode = htmlgen.SinglePage
+	case "multi":
+		opts.Mode = htmlgen.MultiPage
+	default:
+		return fmt.Errorf("bad -mode %q", *mode)
+	}
+	site, err := htmlgen.PublishDocument(doc, opts)
+	if err != nil {
+		return err
+	}
+	if errs := htmlgen.CheckLinks(site); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "link:", e)
+		}
+		return fmt.Errorf("%d broken links", len(errs))
+	}
+	if err := site.WriteTo(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d pages to %s (%s)\n", len(site.Pages), *out, opts.Mode)
+	for _, name := range site.Order {
+		fmt.Println("  " + filepath.Join(*out, name))
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var m *core.Model
+	var err error
+	if fs.NArg() == 0 {
+		m = core.SampleSales()
+	} else {
+		m, _, err = loadModelFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("serving %q on %s (site at /site/index.html)\n", m.Name, *addr)
+	return server.New(m).ListenAndServe(*addr)
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	style := fs.String("style", "star", "relational layout: star or snowflake")
+	prefix := fs.String("prefix", "", "table name prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: goldweb export [-style star|snowflake] <model.xml>")
+	}
+	m, _, err := loadModelFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	opts := star.Options{Prefix: *prefix}
+	switch *style {
+	case "star":
+		opts.Style = star.Star
+	case "snowflake":
+		opts.Style = star.Snowflake
+	default:
+		return fmt.Errorf("bad -style %q", *style)
+	}
+	e, err := star.Generate(m, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(e.DDL())
+	return nil
+}
+
+func cmdSchemaTree(args []string) error {
+	fs := flag.NewFlagSet("schema-tree", flag.ContinueOnError)
+	attrs := fs.Bool("attrs", false, "show attributes")
+	file := fs.String("f", "", "render this schema file instead of the canonical one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := core.MustSchema()
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		s, err = xsd.ParseSchemaString(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Print(xsd.Tree(s, xsd.TreeOptions{ShowAttributes: *attrs}))
+	return nil
+}
+
+func cmdCheckSchema(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: goldweb check-schema <schema.xsd>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	issues := xsd.CheckSchemaString(string(data))
+	if len(issues) == 0 {
+		fmt.Println("schema is clean")
+		return nil
+	}
+	errors := 0
+	for _, i := range issues {
+		fmt.Println(i)
+		if i.Severity == "error" {
+			errors++
+		}
+	}
+	if errors > 0 {
+		return fmt.Errorf("%d errors", errors)
+	}
+	return nil
+}
+
+func cmdTransform(args []string) error {
+	fs := flag.NewFlagSet("transform", flag.ContinueOnError)
+	out := fs.String("o", "", "output directory for xsl:document results (default: discard extra documents)")
+	var params paramList
+	fs.Var(&params, "param", "stylesheet parameter name=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: goldweb transform [-param k=v] [-o dir] <doc.xml> <sheet.xsl>")
+	}
+	docData, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	doc, err := xmldom.Parse(docData)
+	if err != nil {
+		return err
+	}
+	sheetData, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	baseDir := filepath.Dir(fs.Arg(1))
+	loader := func(href string) (*xmldom.Node, error) {
+		data, err := os.ReadFile(filepath.Join(baseDir, href))
+		if err != nil {
+			return nil, err
+		}
+		return xmldom.Parse(data)
+	}
+	sheet, err := xslt.CompileString(string(sheetData), xslt.CompileOptions{Loader: loader})
+	if err != nil {
+		return err
+	}
+	p := map[string]xpath.Value{}
+	for _, kv := range params {
+		i := strings.IndexByte(kv, '=')
+		if i < 0 {
+			return fmt.Errorf("bad -param %q (want name=value)", kv)
+		}
+		p[kv[:i]] = xpath.String(kv[i+1:])
+	}
+	res, err := sheet.Transform(doc, p)
+	if err != nil {
+		return err
+	}
+	for _, msg := range res.Messages {
+		fmt.Fprintln(os.Stderr, "xsl:message:", msg)
+	}
+	os.Stdout.Write(res.MainBytes())
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		for _, href := range res.DocumentOrder {
+			path := filepath.Join(*out, filepath.Clean(href))
+			if err := os.WriteFile(path, res.DocBytes(href), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "wrote", path)
+		}
+	} else if len(res.DocumentOrder) > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d xsl:document outputs discarded (use -o dir)\n", len(res.DocumentOrder))
+	}
+	return nil
+}
+
+// paramList implements flag.Value for repeated -param flags.
+type paramList []string
+
+func (p *paramList) String() string { return strings.Join(*p, ",") }
+func (p *paramList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+func cmdCWM(args []string) error {
+	var m *core.Model
+	var err error
+	if len(args) == 0 {
+		m = core.SampleSales()
+	} else {
+		m, _, err = loadModelFile(args[0])
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Print(cwm.ExportString(m))
+	return nil
+}

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goldweb/internal/core"
+)
+
+// withFile writes content into a temp file and returns its path.
+func withFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture redirects stdout while fn runs and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 0, 1<<16)
+	tmp := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	return string(buf), ferr
+}
+
+func TestCmdValidateAcceptsSample(t *testing.T) {
+	path := withFile(t, "m.xml", core.SampleSales().XMLString())
+	out, err := capture(t, func() error { return cmdValidate([]string{path}) })
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !strings.Contains(out, "VALID: Sales DW") {
+		t.Errorf("out: %s", out)
+	}
+}
+
+func TestCmdValidateRejectsBroken(t *testing.T) {
+	bad := strings.Replace(core.SampleSales().XMLString(), `dimclass="d1"`, `dimclass="zz"`, 1)
+	path := withFile(t, "bad.xml", bad)
+	out, err := capture(t, func() error { return cmdValidate([]string{path}) })
+	if err == nil {
+		t.Fatal("broken model accepted")
+	}
+	if !strings.Contains(out, "zz") {
+		t.Errorf("culprit missing: %s", out)
+	}
+}
+
+func TestCmdValidateUsageAndMissingFile(t *testing.T) {
+	if err := cmdValidate(nil); err == nil {
+		t.Error("no-arg should fail")
+	}
+	if err := cmdValidate([]string{"/nonexistent/x.xml"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestCmdPublishWritesSite(t *testing.T) {
+	model := withFile(t, "m.xml", core.SampleSales().XMLString())
+	out := filepath.Join(t.TempDir(), "site")
+	if _, err := capture(t, func() error {
+		return cmdPublish([]string{"-o", out, model})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Sales DW") {
+		t.Error("index incomplete")
+	}
+	// Single mode produces just the index (plus css).
+	out2 := filepath.Join(t.TempDir(), "single")
+	if _, err := capture(t, func() error {
+		return cmdPublish([]string{"-o", out2, "-mode", "single", model})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(out2)
+	htmlCount := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".html") {
+			htmlCount++
+		}
+	}
+	if htmlCount != 1 {
+		t.Errorf("single mode wrote %d html files", htmlCount)
+	}
+	// Bad mode errors.
+	if _, err := capture(t, func() error {
+		return cmdPublish([]string{"-mode", "triple", model})
+	}); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestCmdPublishFocus(t *testing.T) {
+	m := core.SampleHospital()
+	model := withFile(t, "h.xml", m.XMLString())
+	out := filepath.Join(t.TempDir(), "site")
+	if _, err := capture(t, func() error {
+		return cmdPublish([]string{"-o", out, "-focus", m.Facts[1].ID, model})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, m.Facts[0].ID+".html")); err == nil {
+		t.Error("focused publish included the other fact class")
+	}
+}
+
+func TestCmdExportStyles(t *testing.T) {
+	model := withFile(t, "m.xml", core.SampleSales().XMLString())
+	out, err := capture(t, func() error { return cmdExport([]string{model}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CREATE TABLE fact_sales (") {
+		t.Errorf("star ddl: %.120s", out)
+	}
+	out, err = capture(t, func() error { return cmdExport([]string{"-style", "snowflake", model}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dim_time_month") {
+		t.Errorf("snowflake ddl: %.120s", out)
+	}
+	if _, err := capture(t, func() error { return cmdExport([]string{"-style", "hexagon", model}) }); err == nil {
+		t.Error("bad style accepted")
+	}
+}
+
+func TestCmdSchemaTree(t *testing.T) {
+	out, err := capture(t, func() error { return cmdSchemaTree(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "goldmodel\n") {
+		t.Errorf("tree: %.80s", out)
+	}
+	out, err = capture(t, func() error { return cmdSchemaTree([]string{"-attrs"}) })
+	if err != nil || !strings.Contains(out, "@id : xsd:ID (required)") {
+		t.Errorf("attrs tree: %v %.80s", err, out)
+	}
+}
+
+func TestCmdCheckSchema(t *testing.T) {
+	good := withFile(t, "s.xsd", `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+		<xsd:element name="e" type="xsd:string"/></xsd:schema>`)
+	out, err := capture(t, func() error { return cmdCheckSchema([]string{good}) })
+	if err != nil || !strings.Contains(out, "clean") {
+		t.Errorf("good schema: %v %s", err, out)
+	}
+	bad := withFile(t, "b.xsd", `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+		<xsd:element name="e" type="Nope"/></xsd:schema>`)
+	out, err = capture(t, func() error { return cmdCheckSchema([]string{bad}) })
+	if err == nil {
+		t.Error("bad schema passed")
+	}
+	if !strings.Contains(out, "Nope") {
+		t.Errorf("culprit missing: %s", out)
+	}
+}
+
+func TestCmdTransform(t *testing.T) {
+	doc := withFile(t, "d.xml", `<r><v>7</v></r>`)
+	sheet := withFile(t, "s.xsl", `<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+		<xsl:output method="text"/>
+		<xsl:param name="prefix" select="'value: '"/>
+		<xsl:template match="/"><xsl:value-of select="$prefix"/><xsl:value-of select="//v"/></xsl:template>
+	</xsl:stylesheet>`)
+	out, err := capture(t, func() error { return cmdTransform([]string{doc, sheet}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "value: 7" {
+		t.Errorf("transform out = %q", out)
+	}
+	out, err = capture(t, func() error {
+		return cmdTransform([]string{"-param", "prefix=p:", doc, sheet})
+	})
+	if err != nil || out != "p:7" {
+		t.Errorf("param transform = %q (%v)", out, err)
+	}
+	if _, err := capture(t, func() error {
+		return cmdTransform([]string{"-param", "nonsense", doc, sheet})
+	}); err == nil {
+		t.Error("malformed -param accepted")
+	}
+}
+
+func TestCmdTransformMultiOutput(t *testing.T) {
+	doc := withFile(t, "d.xml", `<r><i n="a"/><i n="b"/></r>`)
+	sheet := withFile(t, "s.xsl", `<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.1">
+		<xsl:template match="/"><main><xsl:for-each select="//i">
+			<xsl:document href="{@n}.xml"><item><xsl:value-of select="@n"/></item></xsl:document>
+		</xsl:for-each></main></xsl:template>
+	</xsl:stylesheet>`)
+	outDir := filepath.Join(t.TempDir(), "docs")
+	if _, err := capture(t, func() error {
+		return cmdTransform([]string{"-o", outDir, doc, sheet})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a.xml", "b.xml"} {
+		data, err := os.ReadFile(filepath.Join(outDir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(string(data), "<item>") {
+			t.Errorf("%s content: %s", name, data)
+		}
+	}
+}
+
+func TestCmdSampleAndPretty(t *testing.T) {
+	out, err := capture(t, func() error { return cmdSample([]string{"hospital"}) })
+	if err != nil || !strings.Contains(out, `name="Hospital DW"`) {
+		t.Errorf("sample: %v", err)
+	}
+	if _, err := capture(t, func() error { return cmdSample([]string{"zoo"}) }); err == nil {
+		t.Error("unknown sample accepted")
+	}
+	path := withFile(t, "m.xml", core.SampleSales().XMLString())
+	out, err = capture(t, func() error { return cmdPretty([]string{path}) })
+	if err != nil || !strings.Contains(out, "\n  <factclasses>") {
+		t.Errorf("pretty: %v", err)
+	}
+}
+
+func TestCmdReport(t *testing.T) {
+	out, err := capture(t, func() error { return cmdReport(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Fig. 6", "link integrity", "Fig. 5", "focus=Treatments",
+		"validation cost", "single-page", "multi-page",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestCmdCWM(t *testing.T) {
+	out, err := capture(t, func() error { return cmdCWM(nil) })
+	if err != nil || !strings.Contains(out, "<CWMOLAP:Schema") {
+		t.Errorf("cwm default: %v", err)
+	}
+	path := withFile(t, "h.xml", core.SampleHospital().XMLString())
+	out, err = capture(t, func() error { return cmdCWM([]string{path}) })
+	if err != nil || !strings.Contains(out, `name="Hospital DW"`) {
+		t.Errorf("cwm file: %v", err)
+	}
+}
+
+func TestCmdValidateDTDMode(t *testing.T) {
+	// The DTD (the paper's previous proposal) accepts a bad date the
+	// schema rejects.
+	bad := strings.Replace(core.SampleSales().XMLString(),
+		`creationdate="2002-03-24"`, `creationdate="someday"`, 1)
+	path := withFile(t, "bad.xml", bad)
+	out, err := capture(t, func() error { return cmdValidate([]string{"-dtd", path}) })
+	if err != nil {
+		t.Fatalf("DTD mode should accept: %v (%s)", err, out)
+	}
+	if !strings.Contains(out, "VALID (DTD only") {
+		t.Errorf("out: %s", out)
+	}
+	if err := cmdValidate([]string{path}); err == nil {
+		t.Error("schema mode should reject the bad date")
+	}
+	// Structural breakage still fails under the DTD.
+	broken := strings.Replace(core.SampleSales().XMLString(), `<factclasses>`, `<factclasses><rogue/>`, 1)
+	path2 := withFile(t, "broken.xml", broken)
+	if _, err := capture(t, func() error { return cmdValidate([]string{"-dtd", path2}) }); err == nil {
+		t.Error("DTD mode should reject undeclared elements")
+	}
+}

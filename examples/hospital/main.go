@@ -1,0 +1,137 @@
+// hospital demonstrates the advanced multidimensional properties and the
+// paper's Fig. 5: one model, one stylesheet, several presentations.
+//
+// The model has two fact classes (Admissions, Treatments) sharing the
+// Patient/Time/Ward dimensions, a many-to-many relationship between
+// admissions and diagnoses, and a non-strict complete risk-group
+// hierarchy. The example publishes one presentation per fact class —
+// each hides the dimensions that fact does not aggregate — plus an
+// OLAP query showing the many-to-many contribution.
+//
+//	go run ./examples/hospital [-o dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"goldweb"
+	"goldweb/internal/olap"
+)
+
+func main() {
+	out := flag.String("o", "hospital-site", "output directory")
+	flag.Parse()
+
+	model := goldweb.SampleHospital()
+	fmt.Printf("== %s ==\n", model)
+	if problems := goldweb.Validate(model); len(problems) > 0 {
+		log.Fatalf("invalid: %v", problems)
+	}
+
+	// Fig. 5: generate a presentation per fact class from the same XML
+	// document and the same stylesheet (only the focus parameter varies).
+	for _, fact := range model.Facts {
+		site, err := goldweb.Publish(model, goldweb.PublishOptions{
+			Mode:  goldweb.MultiPage,
+			Focus: fact.ID,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if errs := goldweb.CheckLinks(site); len(errs) > 0 {
+			log.Fatalf("broken links in %s presentation: %v", fact.Name, errs)
+		}
+		dir := filepath.Join(*out, "presentation-"+fact.Name)
+		if err := site.WriteTo(dir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("presentation for fact class %-11s → %2d pages in %s\n",
+			fact.Name, len(site.HTMLPages()), dir)
+	}
+	// And the complete, unfocused presentation for comparison.
+	site, err := goldweb.Publish(model, goldweb.PublishOptions{Mode: goldweb.MultiPage})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := filepath.Join(*out, "presentation-full")
+	if err := site.WriteTo(full); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full presentation                  → %2d pages in %s\n",
+		len(site.HTMLPages()), full)
+
+	// Load a small dataset and show many-to-many + non-strict behaviour.
+	ds := goldweb.NewDataset(model)
+	time := ds.Dim("Time")
+	time.AddMember("Month", "m1", "January")
+	for _, d := range []string{"d1", "d2", "d3"} {
+		time.AddMember("", d, d)
+		time.MustLink("", d, "Month", "m1")
+	}
+	patient := ds.Dim("Patient")
+	patient.AddMember("RiskGroup", "low", "Low risk")
+	patient.AddMember("RiskGroup", "high", "High risk")
+	patient.AddMember("", "alice", "Alice")
+	patient.AddMember("", "bob", "Bob")
+	patient.MustLink("", "alice", "RiskGroup", "high")
+	patient.MustLink("", "alice", "RiskGroup", "low") // non-strict
+	patient.MustLink("", "bob", "RiskGroup", "low")
+	diag := ds.Dim("Diagnosis")
+	diag.AddMember("DiagnosisGroup", "resp", "Respiratory")
+	diag.AddMember("", "flu", "Influenza")
+	diag.AddMember("", "asthma", "Asthma")
+	diag.MustLink("", "flu", "DiagnosisGroup", "resp")
+	diag.MustLink("", "asthma", "DiagnosisGroup", "resp")
+	ward := ds.Dim("Ward")
+	ward.AddMember("", "north", "North wing")
+
+	adm := ds.Fact("Admissions")
+	adm.MustAdd(olap.Row{
+		Coords: map[string][]string{
+			"Time": {"d1"}, "Patient": {"alice"}, "Ward": {"north"},
+			"Diagnosis": {"flu", "asthma"}, // one admission, two diagnoses
+		},
+		Measures:   map[string]float64{"stay_days": 7, "cost": 3200},
+		Degenerate: map[string]string{"admission_id": "A-1"},
+	})
+	adm.MustAdd(olap.Row{
+		Coords: map[string][]string{
+			"Time": {"d2"}, "Patient": {"bob"}, "Ward": {"north"},
+			"Diagnosis": {"flu"},
+		},
+		Measures:   map[string]float64{"stay_days": 3, "cost": 900},
+		Degenerate: map[string]string{"admission_id": "A-2"},
+	})
+
+	fmt.Println("\n-- stay days per diagnosis (the m2m admission counts for both) --")
+	res, err := ds.Execute(olap.Query{
+		Fact:    "Admissions",
+		Aggs:    []olap.Agg{{Measure: "stay_days", Op: "SUM"}, {Measure: "stay_days", Op: "COUNT"}},
+		GroupBy: []olap.GroupBy{{Dim: "Diagnosis"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	fmt.Println("\n-- cost per risk group (Alice, non-strict, lands in both) --")
+	res, err = ds.Execute(olap.Query{
+		Fact:    "Admissions",
+		Aggs:    []olap.Agg{{Measure: "cost", Op: "SUM"}},
+		GroupBy: []olap.GroupBy{{Dim: "Patient", Level: "RiskGroup"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	fmt.Println("\n-- the model's cube class --")
+	res, err = ds.ExecuteCube("StayByRiskGroup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+}

@@ -1,0 +1,90 @@
+// Quickstart: build a small conceptual multidimensional model with the
+// fluent API, validate it against the canonical XML Schema, and publish
+// it as a single navigable HTML page.
+//
+//	go run ./examples/quickstart [-o dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"goldweb"
+)
+
+func main() {
+	out := flag.String("o", "quickstart-site", "output directory")
+	flag.Parse()
+
+	// A minimal coffee-shop model: one fact class, two dimensions.
+	b := goldweb.NewModel("Coffee Sales").
+		Describe("Espresso bar sales, built in the quickstart example.")
+
+	timeDim := b.TimeDimension("Time").
+		Key("day_id", "OID").
+		Descriptor("day_date", "Date")
+	timeDim.Level("Month").
+		Key("month_id", "OID").
+		Descriptor("month_name", "String")
+	timeDim.Rollup("Month")
+
+	b.Dimension("Drink").
+		Key("drink_id", "OID").
+		Descriptor("drink_name", "String").
+		Attr("size", "String")
+
+	sales := b.Fact("Sales").
+		Aggregates("Time").
+		Aggregates("Drink")
+	sales.Measure("cups", "Integer").Describe("Cups sold.")
+	sales.Measure("amount", "Currency").Describe("Revenue.")
+
+	model, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Validate: XML Schema + metamodel constraints.
+	if problems := goldweb.Validate(model); len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println("problem:", p)
+		}
+		log.Fatal("model is invalid")
+	}
+	fmt.Printf("model %q is valid\n", model.Name)
+
+	// The XML document the CASE tool would store.
+	fmt.Println("\n--- model XML (first lines) ---")
+	xml := goldweb.PrettyXML(model)
+	for i, line := range splitLines(xml, 12) {
+		fmt.Printf("%2d  %s\n", i+1, line)
+	}
+
+	// Publish a single-page presentation.
+	site, err := goldweb.Publish(model, goldweb.PublishOptions{Mode: goldweb.SinglePage})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if errs := goldweb.CheckLinks(site); len(errs) > 0 {
+		log.Fatalf("broken links: %v", errs)
+	}
+	if err := site.WriteTo(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %d files; open %s in a browser\n",
+		len(site.Pages), filepath.Join(*out, "index.html"))
+}
+
+func splitLines(s string, max int) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s) && len(out) < max; i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

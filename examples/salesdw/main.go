@@ -1,0 +1,220 @@
+// salesdw reproduces the paper's running example end to end:
+//
+//  1. build the sales-ticket conceptual model (degenerate dimensions,
+//     additivity rules, alternative classification paths — §2),
+//
+//  2. store it as a schema-valid XML document (Fig. 3) and show the raw
+//     browser view (Fig. 4),
+//
+//  3. publish the linked multi-page web presentation (Fig. 6),
+//
+//  4. load instance data and run cube-class queries with roll-up /
+//     drill-down and additivity enforcement,
+//
+//  5. export the snowflake DDL + DML for a relational OLAP target.
+//
+//     go run ./examples/salesdw [-o dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"goldweb"
+	"goldweb/internal/core"
+	"goldweb/internal/olap"
+	"goldweb/internal/star"
+)
+
+func main() {
+	out := flag.String("o", "salesdw-site", "output directory")
+	flag.Parse()
+
+	model := goldweb.SampleSales()
+	fmt.Printf("== %s ==\n", model)
+
+	// (1) validation: the CASE tool's round trip of §3.2.
+	if problems := goldweb.Validate(model); len(problems) > 0 {
+		log.Fatalf("invalid model: %v", problems)
+	}
+	fmt.Println("schema + metamodel validation: OK")
+
+	// (2) the XML document (Fig. 3) and the raw pretty view (Fig. 4).
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	xmlPath := filepath.Join(*out, "sales.xml")
+	if err := os.WriteFile(xmlPath, []byte(goldweb.ModelXML(model)), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", xmlPath)
+	pretty := goldweb.PrettyXML(model)
+	fmt.Printf("pretty XML: %d lines (first: %s)\n",
+		strings.Count(pretty, "\n"), firstLine(pretty))
+
+	// (3) the multi-page presentation (Fig. 6): index → fact page →
+	// additivity popup → dimension pages, all links checked.
+	site, err := goldweb.Publish(model, goldweb.PublishOptions{Mode: goldweb.MultiPage})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if errs := goldweb.CheckLinks(site); len(errs) > 0 {
+		log.Fatalf("broken links: %v", errs)
+	}
+	if err := site.WriteTo(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published %d linked pages to %s\n", len(site.HTMLPages()), *out)
+
+	// (4) instance data + OLAP.
+	ds := loadData(model)
+	fmt.Println("\n-- cube class: QtyByProductAndMonth (measures/slice/dice) --")
+	res, err := ds.ExecuteCube("QtyByProductAndMonth")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	fmt.Println("\n-- roll-up Month → Year --")
+	cube, err := ds.NewCube("Sales", "qty", "total")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cube.Dice("Time", "Month")
+	if err := cube.RollUp("Time"); err != nil {
+		log.Fatal(err)
+	}
+	res, err = cube.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	fmt.Println("\n-- additivity rules at work --")
+	_, err = ds.Execute(olap.Query{
+		Fact:    "Sales",
+		Aggs:    []olap.Agg{{Measure: "inventory", Op: "SUM"}},
+		GroupBy: []olap.GroupBy{{Dim: "Product", Level: "Family"}},
+	})
+	fmt.Println("SUM(inventory) by Family:", err)
+	res, err = ds.Execute(olap.Query{
+		Fact:    "Sales",
+		Aggs:    []olap.Agg{{Measure: "inventory", Op: "AVG"}},
+		GroupBy: []olap.GroupBy{{Dim: "Product", Level: "Family"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("AVG(inventory) by Family is allowed:")
+	fmt.Print(res)
+
+	// (5) relational export.
+	export, err := star.Generate(model, star.Options{Style: star.Snowflake})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dml, err := star.GenerateDML(ds, export)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sqlPath := filepath.Join(*out, "sales-snowflake.sql")
+	script := export.DDL() + "\n-- data --\n" + strings.Join(dml, "\n") + "\n"
+	if err := os.WriteFile(sqlPath, []byte(script), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s (%d CREATE TABLE, %d INSERT)\n",
+		sqlPath, len(export.Statements), len(dml))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// loadData fills a small but realistic dataset.
+func loadData(model *core.Model) *olap.Dataset {
+	ds := olap.NewDataset(model)
+
+	time := ds.Dim("Time")
+	time.AddMember("Year", "2001", "2001")
+	time.AddMember("Year", "2002", "2002")
+	months := map[string]string{
+		"2001-12": "2001", "2002-01": "2002", "2002-02": "2002", "2002-03": "2002",
+	}
+	for m, y := range months {
+		time.AddMember("Month", m, m)
+		time.MustLink("Month", m, "Year", y)
+	}
+	time.AddMember("Week", "2002-W05", "week 5")
+	time.MustLink("Week", "2002-W05", "Year", "2002")
+	days := map[string]string{
+		"2001-12-24": "2001-12", "2002-01-05": "2002-01", "2002-01-28": "2002-01",
+		"2002-02-14": "2002-02", "2002-03-01": "2002-03",
+	}
+	for d, m := range days {
+		time.AddMember("", d, d)
+		time.MustLink("", d, "Month", m)
+	}
+	time.MustLink("", "2002-01-28", "Week", "2002-W05")
+
+	product := ds.Dim("Product")
+	product.AddMember("Group", "g_food", "Food")
+	product.AddMember("Group", "g_tech", "Electronics")
+	product.AddMember("Family", "f_dairy", "Dairy")
+	product.AddMember("Family", "f_bread", "Bakery")
+	product.AddMember("Family", "f_audio", "Audio")
+	product.MustLink("Family", "f_dairy", "Group", "g_food")
+	product.MustLink("Family", "f_bread", "Group", "g_food")
+	product.MustLink("Family", "f_audio", "Group", "g_tech")
+	prods := []struct{ id, name, family string }{
+		{"p_milk", "Milk 1L", "f_dairy"},
+		{"p_yogurt", "Yogurt", "f_dairy"},
+		{"p_bread", "Baguette", "f_bread"},
+		{"p_phones", "Headphones", "f_audio"},
+	}
+	for _, p := range prods {
+		product.AddMember("", p.id, p.name)
+		product.MustLink("", p.id, "Family", p.family)
+	}
+
+	store := ds.Dim("Store")
+	store.AddMember("Province", "alicante", "Alicante")
+	store.AddMember("City", "alc", "Alicante")
+	store.AddMember("City", "elx", "Elche")
+	store.MustLink("City", "alc", "Province", "alicante")
+	store.MustLink("City", "elx", "Province", "alicante")
+	store.AddMember("", "s_down", "Downtown").Set("address", "Explanada 1")
+	store.AddMember("", "s_mall", "Mall").Set("address", "Gran Via 12")
+	store.MustLink("", "s_down", "City", "alc")
+	store.MustLink("", "s_mall", "City", "elx")
+
+	sales := ds.Fact("Sales")
+	rows := []struct {
+		day, prod, store string
+		qty, price, inv  float64
+		ticket, line     string
+	}{
+		{"2001-12-24", "p_milk", "s_down", 6, 0.95, 120, "T-100", "1"},
+		{"2001-12-24", "p_bread", "s_down", 3, 0.60, 80, "T-100", "2"},
+		{"2002-01-05", "p_milk", "s_down", 4, 1.00, 110, "T-101", "1"},
+		{"2002-01-05", "p_phones", "s_down", 1, 24.90, 15, "T-101", "2"},
+		{"2002-01-28", "p_yogurt", "s_mall", 8, 0.40, 60, "T-102", "1"},
+		{"2002-02-14", "p_phones", "s_mall", 2, 22.50, 13, "T-103", "1"},
+		{"2002-02-14", "p_milk", "s_mall", 5, 1.05, 95, "T-103", "2"},
+		{"2002-03-01", "p_bread", "s_down", 10, 0.65, 70, "T-104", "1"},
+	}
+	for _, r := range rows {
+		sales.MustAdd(olap.Row{
+			Coords:     olap.Coord("Time", r.day, "Product", r.prod, "Store", r.store),
+			Measures:   map[string]float64{"qty": r.qty, "price": r.price, "inventory": r.inv},
+			Degenerate: map[string]string{"num_ticket": r.ticket, "num_line": r.line},
+		})
+	}
+	return ds
+}

@@ -1,0 +1,50 @@
+// webportal runs the client-server architecture of the paper's §6: the
+// XSLT stylesheet is applied to the model's XML document in the server
+// and the HTML is returned to the browser.
+//
+//	go run ./examples/webportal [-addr :8080] [-model sales|hospital]
+//
+// Endpoints:
+//
+//	/site/index.html   linked multi-page presentation (?focus=<factid>)
+//	/single            the one-page presentation
+//	/model.xml         the stored XML document
+//	/pretty            the raw browser view (no stylesheet)
+//	/schema.xsd        the canonical XML Schema
+//	/validate          on-demand validation report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"goldweb"
+	"goldweb/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	which := flag.String("model", "sales", "model to serve: sales or hospital")
+	flag.Parse()
+
+	var m *core.Model
+	switch *which {
+	case "sales":
+		m = goldweb.SampleSales()
+	case "hospital":
+		m = goldweb.SampleHospital()
+	default:
+		log.Fatalf("unknown -model %q", *which)
+	}
+
+	srv := goldweb.NewServer(m)
+	fmt.Printf("serving %q on http://localhost%s/\n", m.Name, *addr)
+	fmt.Println("  /site/index.html  — navigable presentation (Fig. 6)")
+	fmt.Println("  /single           — single-page presentation")
+	fmt.Println("  /model.xml        — the XML document (Fig. 3)")
+	fmt.Println("  /pretty           — raw view without XSLT (Fig. 4)")
+	fmt.Println("  /schema.xsd       — the XML Schema")
+	fmt.Println("  /validate         — validation report")
+	log.Fatal(srv.ListenAndServe(*addr))
+}

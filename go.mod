@@ -1,0 +1,3 @@
+module goldweb
+
+go 1.22

@@ -1,0 +1,167 @@
+// Package goldweb reproduces the system of Luján-Mora, Medina & Trujillo,
+// "A Web-Oriented Approach to Manage Multidimensional Models through XML
+// Schemas and XSLT" (EDBT 2002 Workshops): an object-oriented conceptual
+// multidimensional metamodel, its XML representation validated by an XML
+// Schema, and XSLT-driven web presentations — implemented end to end in
+// Go on the standard library, including the XML DOM, XPath 1.0,
+// XSLT 1.0/1.1 and XML Schema engines the original system borrowed from
+// MSXML, Saxon and Xerces.
+//
+// The facade re-exports the most used surface; the full API lives in the
+// internal packages:
+//
+//	internal/core    — the metamodel, builder, schema and stylesheets
+//	internal/xmldom  — XML document object model (parser + serializers)
+//	internal/xpath   — XPath 1.0 engine (expressions and match patterns)
+//	internal/xslt    — XSLT 1.0 processor with xsl:document (1.1)
+//	internal/xsd     — XML Schema validator and quality checker
+//	internal/htmlgen — publication pipeline (single/multi page, Fig. 5/6)
+//	internal/olap    — multidimensional engine executing cube classes
+//	internal/star    — relational star/snowflake export (DDL + DML)
+//	internal/server  — the client-server web architecture of §6
+package goldweb
+
+import (
+	"goldweb/internal/core"
+	"goldweb/internal/cwm"
+	"goldweb/internal/htmlgen"
+	"goldweb/internal/olap"
+	"goldweb/internal/server"
+	"goldweb/internal/star"
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xsd"
+)
+
+// Conceptual metamodel types.
+type (
+	// Model is a conceptual multidimensional model.
+	Model = core.Model
+	// FactClass, DimClass, Level, CubeClass are the model's classes.
+	FactClass = core.FactClass
+	DimClass  = core.DimClass
+	Level     = core.Level
+	CubeClass = core.CubeClass
+	// ModelBuilder is the fluent construction API.
+	ModelBuilder = core.ModelBuilder
+	// Operator is a slice comparison operator (EQ, LT, LIKE, ...).
+	Operator = core.Operator
+	// Multiplicity is a UML role multiplicity (0, 1, M, 1..M).
+	Multiplicity = core.Multiplicity
+)
+
+// Publication types.
+type (
+	// Site is a generated web presentation.
+	Site = htmlgen.Site
+	// PublishOptions configure presentation generation.
+	PublishOptions = htmlgen.Options
+	// PublishMode selects single- or multi-page output.
+	PublishMode = htmlgen.Mode
+)
+
+// Analysis types.
+type (
+	// Dataset holds instance data for a model.
+	Dataset = olap.Dataset
+	// Query is an executable cube query; Result its table.
+	Query  = olap.Query
+	Result = olap.Result
+)
+
+// The two presentation modes of the paper's §4.
+const (
+	SinglePage = htmlgen.SinglePage
+	MultiPage  = htmlgen.MultiPage
+)
+
+// NewModel starts building a model (the CASE tool's programmatic face).
+func NewModel(name string) *ModelBuilder { return core.NewModel(name) }
+
+// SampleSales returns the paper's running example (sales tickets).
+func SampleSales() *Model { return core.SampleSales() }
+
+// SampleHospital returns the advanced example with two fact classes,
+// a many-to-many dimension and a non-strict complete hierarchy.
+func SampleHospital() *Model { return core.SampleHospital() }
+
+// ParseModel reads a goldmodel XML document into a Model.
+func ParseModel(src string) (*Model, error) { return core.ModelFromXMLString(src) }
+
+// ModelXML renders a model as its canonical XML document.
+func ModelXML(m *Model) string { return m.XMLString() }
+
+// Validate checks a model against both the canonical XML Schema (via its
+// XML form) and the metamodel's semantic constraints, returning
+// human-readable problems (nil = valid).
+func Validate(m *Model) []string {
+	var out []string
+	for _, e := range core.ValidateModel(m) {
+		out = append(out, "schema: "+e.Error())
+	}
+	for _, e := range m.Validate() {
+		out = append(out, "model: "+e.Error())
+	}
+	return out
+}
+
+// ValidateXML validates raw XML text against the canonical schema.
+func ValidateXML(src string) []string {
+	errs := core.MustSchema().ValidateString(src, xsd.ValidateOptions{ApplyDefaults: true})
+	out := make([]string, len(errs))
+	for i, e := range errs {
+		out[i] = e.Error()
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Publish renders a model as a web presentation.
+func Publish(m *Model, opts PublishOptions) (*Site, error) { return htmlgen.Publish(m, opts) }
+
+// CheckLinks verifies every internal link of a generated site.
+func CheckLinks(s *Site) []error {
+	var out []error
+	for _, e := range htmlgen.CheckLinks(s) {
+		out = append(out, e)
+	}
+	return out
+}
+
+// NewServer creates the HTTP server performing server-side XSLT (§6).
+func NewServer(m *Model) *server.Server { return server.New(m) }
+
+// NewDataset prepares an empty OLAP dataset for a model.
+func NewDataset(m *Model) *Dataset { return olap.NewDataset(m) }
+
+// ExportSQL generates the relational schema (star or snowflake DDL) for a
+// model — the paper's export into a target OLAP tool.
+func ExportSQL(m *Model, snowflake bool) (string, error) {
+	style := star.Star
+	if snowflake {
+		style = star.Snowflake
+	}
+	e, err := star.Generate(m, star.Options{Style: style})
+	if err != nil {
+		return "", err
+	}
+	return e.DDL(), nil
+}
+
+// ExportCWM renders the model as a CWM OLAP XMI interchange document
+// (the paper's §6 future work), with the MD properties CWM cannot express
+// carried as TaggedValue extensions.
+func ExportCWM(m *Model) string { return cwm.ExportString(m) }
+
+// SchemaTree renders the canonical XML Schema as the ASCII tree of Fig. 2.
+func SchemaTree(showAttributes bool) string {
+	return xsd.Tree(core.MustSchema(), xsd.TreeOptions{ShowAttributes: showAttributes})
+}
+
+// PrettyXML pretty-prints a model document (the browser raw view, Fig. 4).
+func PrettyXML(m *Model) string { return m.PrettyXML() }
+
+// ParseXML parses any XML text into the project's DOM; exposed so
+// downstream users can run their own XPath queries or transforms.
+func ParseXML(src string) (*xmldom.Node, error) { return xmldom.ParseString(src) }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	_ "embed"
+	"sync"
+
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xsd"
+	"goldweb/internal/xslt"
+)
+
+// Canonical embedded assets: the XML Schema of §3.1, the two XSLT
+// presentations of §4 and the CSS they link.
+var (
+	//go:embed assets/goldmodel.xsd
+	SchemaXSD string
+
+	//go:embed assets/single.xsl
+	SingleXSL string
+
+	//go:embed assets/multi.xsl
+	MultiXSL string
+
+	//go:embed assets/style.css
+	StyleCSS string
+
+	// SchemaDTD is the DTD of the paper's previous proposal ([16]),
+	// retained so the §3.1 DTD-vs-Schema comparison is executable.
+	//go:embed assets/goldmodel.dtd
+	SchemaDTD string
+)
+
+var (
+	schemaOnce sync.Once
+	schema     *xsd.Schema
+	schemaErr  error
+)
+
+// Schema returns the compiled canonical goldmodel schema.
+func Schema() (*xsd.Schema, error) {
+	schemaOnce.Do(func() {
+		schema, schemaErr = xsd.ParseSchemaString(SchemaXSD)
+	})
+	return schema, schemaErr
+}
+
+// MustSchema is Schema for contexts where the embedded schema is known
+// good (it is covered by tests).
+func MustSchema() *xsd.Schema {
+	s, err := Schema()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ValidateDocument validates a goldmodel document against the canonical
+// schema, applying attribute defaults to the instance (what a validating
+// parser contributes), and returns all violations.
+func ValidateDocument(doc *xmldom.Node) []xsd.ValidationError {
+	return MustSchema().Validate(doc, xsd.ValidateOptions{ApplyDefaults: true})
+}
+
+// ValidateModel marshals the model and validates the result against the
+// canonical schema, i.e. the full CASE-tool round trip of §3.2.
+func ValidateModel(m *Model) []xsd.ValidationError {
+	return ValidateDocument(m.ToXML())
+}
+
+// SinglePageStylesheet compiles the embedded XSLT 1.0 single-page
+// presentation. Stylesheets are not safe for concurrent use; callers
+// compile one per goroutine.
+func SinglePageStylesheet() (*xslt.Stylesheet, error) {
+	return xslt.CompileString(SingleXSL, xslt.CompileOptions{})
+}
+
+// MultiPageStylesheet compiles the embedded XSLT 1.1 multi-page
+// presentation (one page per class, via xsl:document).
+func MultiPageStylesheet() (*xslt.Stylesheet, error) {
+	return xslt.CompileString(MultiXSL, xslt.CompileOptions{})
+}

@@ -1,0 +1,496 @@
+<?xml version="1.0" encoding="UTF-8"?>
+<!--
+  multi.xsl : XSLT 1.1 presentation of a goldmodel document as a
+  collection of linked HTML pages, one per fact class, dimension class,
+  hierarchy level and cube class (the paper's §4 second approach, using
+  xsl:document; navigation as in Fig. 6).
+
+  Parameters:
+    focus - a fact class id; when set, the presentation contains only that
+            fact class and the dimensions it aggregates (Fig. 5).
+    css   - href of the stylesheet linked from every page.
+-->
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.1">
+  <xsl:output method="html" indent="yes"/>
+  <xsl:param name="focus" select="''"/>
+  <xsl:param name="css" select="'style.css'"/>
+
+  <!-- =================== main page (Fig. 6.1) =================== -->
+  <xsl:template match="/goldmodel">
+    <html>
+      <head>
+        <title>MD model: <xsl:value-of select="@name"/></title>
+        <link rel="stylesheet" type="text/css" href="{$css}"/>
+      </head>
+      <body>
+        <h1>Multidimensional model: <xsl:value-of select="@name"/></h1>
+        <xsl:if test="$focus != ''">
+          <p><span class="flag">Presentation:</span> fact class
+          <xsl:text> </xsl:text><xsl:value-of select="id($focus)/@name"/> only</p>
+        </xsl:if>
+        <table class="meta">
+          <tr><th>Name</th><td><xsl:value-of select="@name"/></td></tr>
+          <xsl:if test="@creationdate">
+            <tr><th>Creation date</th><td><xsl:value-of select="@creationdate"/></td></tr>
+          </xsl:if>
+          <xsl:if test="@lastmodified">
+            <tr><th>Last modified</th><td><xsl:value-of select="@lastmodified"/></td></tr>
+          </xsl:if>
+          <xsl:if test="@responsible">
+            <tr><th>Responsible</th><td><xsl:value-of select="@responsible"/></td></tr>
+          </xsl:if>
+          <xsl:if test="@description">
+            <tr><th>Description</th><td><xsl:value-of select="@description"/></td></tr>
+          </xsl:if>
+        </table>
+
+        <h2>Fact classes</h2>
+        <table class="list">
+          <tr><th>Fact class</th><th>Measures</th><th>Dimensions</th><th>Description</th></tr>
+          <xsl:for-each select="factclasses/factclass">
+            <xsl:sort select="@name"/>
+            <xsl:if test="$focus = '' or @id = $focus">
+              <tr>
+                <td><a href="{@id}.html"><xsl:value-of select="@name"/></a></td>
+                <td><xsl:value-of select="count(factatts/factatt)"/></td>
+                <td><xsl:value-of select="count(sharedaggs/sharedagg)"/></td>
+                <td><xsl:value-of select="@description"/></td>
+              </tr>
+              <xsl:call-template name="fact-page"/>
+            </xsl:if>
+          </xsl:for-each>
+        </table>
+
+        <h2>Dimension classes</h2>
+        <table class="list">
+          <tr><th>Dimension class</th><th>Levels</th><th>Time</th><th>Description</th></tr>
+          <xsl:for-each select="dimclasses/dimclass">
+            <xsl:sort select="@name"/>
+            <xsl:if test="$focus = '' or /goldmodel/factclasses/factclass[@id = $focus]/sharedaggs/sharedagg[@dimclass = current()/@id]">
+              <tr>
+                <td><a href="{@id}.html"><xsl:value-of select="@name"/></a></td>
+                <td><xsl:value-of select="count(asoclevels/asoclevel)"/></td>
+                <td>
+                  <xsl:if test="@istime = 'true'"><span class="flag">time</span></xsl:if>
+                </td>
+                <td><xsl:value-of select="@description"/></td>
+              </tr>
+              <xsl:call-template name="dim-page"/>
+            </xsl:if>
+          </xsl:for-each>
+        </table>
+
+        <xsl:if test="cubeclasses/cubeclass[$focus = '' or @factclass = $focus]">
+          <h2>Cube classes</h2>
+          <table class="list">
+            <tr><th>Cube class</th><th>Fact class</th><th>Description</th></tr>
+            <xsl:for-each select="cubeclasses/cubeclass">
+              <xsl:sort select="@name"/>
+              <xsl:if test="$focus = '' or @factclass = $focus">
+                <tr>
+                  <td><a href="{@id}.html"><xsl:value-of select="@name"/></a></td>
+                  <td><a href="{@factclass}.html"><xsl:value-of select="id(@factclass)/@name"/></a></td>
+                  <td><xsl:value-of select="@description"/></td>
+                </tr>
+                <xsl:call-template name="cube-page"/>
+              </xsl:if>
+            </xsl:for-each>
+          </table>
+        </xsl:if>
+
+        <xsl:call-template name="footer"/>
+      </body>
+    </html>
+  </xsl:template>
+
+  <!-- =================== fact class page (Fig. 6.2) =================== -->
+  <xsl:template name="fact-page">
+    <xsl:document href="{@id}.html">
+      <html>
+        <head>
+          <title>Fact class: <xsl:value-of select="@name"/></title>
+          <link rel="stylesheet" type="text/css" href="{$css}"/>
+        </head>
+        <body>
+          <p class="nav"><a href="index.html">&#171; Model</a></p>
+          <h1>Fact class: <xsl:value-of select="@name"/></h1>
+          <xsl:if test="@description"><p><xsl:value-of select="@description"/></p></xsl:if>
+
+          <h2>Measures</h2>
+          <xsl:choose>
+            <xsl:when test="factatts/factatt">
+              <table>
+                <tr><th>Name</th><th>Type</th><th>OID</th><th>Derived</th><th>Derivation rule</th><th>Additivity</th><th>Description</th></tr>
+                <xsl:apply-templates select="factatts/factatt"/>
+              </table>
+              <xsl:for-each select="factatts/factatt[additivity]">
+                <xsl:call-template name="additivity-page"/>
+              </xsl:for-each>
+            </xsl:when>
+            <xsl:otherwise><p>No measures: a fact-less fact class.</p></xsl:otherwise>
+          </xsl:choose>
+
+          <xsl:call-template name="methods-table"/>
+
+          <h2>Shared aggregations (dimensions)</h2>
+          <table>
+            <tr><th>Dimension</th><th>Fact role</th><th>Dimension role</th><th>Kind</th></tr>
+            <xsl:for-each select="sharedaggs/sharedagg">
+              <xsl:sort select="id(@dimclass)/@name"/>
+              <tr>
+                <td><a href="{@dimclass}.html"><xsl:value-of select="id(@dimclass)/@name"/></a></td>
+                <td><xsl:call-template name="mult"><xsl:with-param name="v" select="@rolea"/><xsl:with-param name="def" select="'M'"/></xsl:call-template></td>
+                <td><xsl:call-template name="mult"><xsl:with-param name="v" select="@roleb"/><xsl:with-param name="def" select="'1'"/></xsl:call-template></td>
+                <td>
+                  <xsl:if test="(@rolea = 'M' or @rolea = '1..M' or not(@rolea)) and (@roleb = 'M' or @roleb = '1..M')">
+                    <span class="flag">many-to-many</span>
+                  </xsl:if>
+                </td>
+              </tr>
+            </xsl:for-each>
+          </table>
+
+          <xsl:if test="factatts/factatt[@isoid = 'true']">
+            <h2>Degenerate dimensions</h2>
+            <p>Identifying measures providing fact features beyond the measures for analysis:</p>
+            <ul>
+              <xsl:for-each select="factatts/factatt[@isoid = 'true']">
+                <li><xsl:value-of select="@name"/> {OID}</li>
+              </xsl:for-each>
+            </ul>
+          </xsl:if>
+
+          <xsl:call-template name="footer"/>
+        </body>
+      </html>
+    </xsl:document>
+  </xsl:template>
+
+  <!-- measure row, after the paper's factatt template -->
+  <xsl:template match="factatt">
+    <tr class="measure">
+      <td><xsl:value-of select="@name"/><xsl:if test="@isoid = 'true'"> {OID}</xsl:if></td>
+      <td><xsl:value-of select="@type"/></td>
+      <td><xsl:if test="@isoid = 'true'">yes</xsl:if></td>
+      <td><xsl:if test="@derived = 'true'">/</xsl:if></td>
+      <td><xsl:value-of select="@derivationrule"/></td>
+      <td>
+        <xsl:choose>
+          <xsl:when test="additivity">
+            <a href="{../../@id}-{@id}-add.html">rules</a>
+          </xsl:when>
+          <xsl:otherwise>additive</xsl:otherwise>
+        </xsl:choose>
+      </td>
+      <td><xsl:value-of select="@description"/></td>
+    </tr>
+  </xsl:template>
+
+  <!-- additivity rules floating page (Fig. 6.3); context: factatt -->
+  <xsl:template name="additivity-page">
+    <xsl:document href="{../../@id}-{@id}-add.html">
+      <html>
+        <head>
+          <title>Additivity: <xsl:value-of select="@name"/></title>
+          <link rel="stylesheet" type="text/css" href="{$css}"/>
+        </head>
+        <body>
+          <p class="nav">
+            <a href="index.html">&#171; Model</a>
+            <a href="{../../@id}.html">&#171; Fact class <xsl:value-of select="../../@name"/></a>
+          </p>
+          <h1>Additivity rules: <xsl:value-of select="@name"/></h1>
+          <div class="additivity">
+            <table>
+              <tr><th>Along dimension</th><th>Allowed aggregations</th></tr>
+              <xsl:for-each select="additivity">
+                <tr>
+                  <td><a href="{@dimclass}.html"><xsl:value-of select="id(@dimclass)/@name"/></a></td>
+                  <td>
+                    <xsl:choose>
+                      <xsl:when test="@isnot = 'true'"><span class="warn">not additive</span></xsl:when>
+                      <xsl:otherwise>
+                        <xsl:if test="@issum = 'true'">SUM </xsl:if>
+                        <xsl:if test="@ismax = 'true'">MAX </xsl:if>
+                        <xsl:if test="@ismin = 'true'">MIN </xsl:if>
+                        <xsl:if test="@isavg = 'true'">AVG </xsl:if>
+                        <xsl:if test="@iscount = 'true'">COUNT </xsl:if>
+                      </xsl:otherwise>
+                    </xsl:choose>
+                  </td>
+                </tr>
+              </xsl:for-each>
+            </table>
+          </div>
+          <xsl:call-template name="footer"/>
+        </body>
+      </html>
+    </xsl:document>
+  </xsl:template>
+
+  <!-- =================== dimension class page (Fig. 6.4) =================== -->
+  <xsl:template name="dim-page">
+    <xsl:document href="{@id}.html">
+      <html>
+        <head>
+          <title>Dimension class: <xsl:value-of select="@name"/></title>
+          <link rel="stylesheet" type="text/css" href="{$css}"/>
+        </head>
+        <body>
+          <p class="nav"><a href="index.html">&#171; Model</a></p>
+          <h1>Dimension class: <xsl:value-of select="@name"/>
+            <xsl:if test="@istime = 'true'"><xsl:text> </xsl:text><span class="flag">{time}</span></xsl:if>
+          </h1>
+          <xsl:if test="@description"><p><xsl:value-of select="@description"/></p></xsl:if>
+
+          <xsl:call-template name="dimatts-table"/>
+          <xsl:call-template name="methods-table"/>
+
+          <h2>Association levels</h2>
+          <xsl:choose>
+            <xsl:when test="asoclevels/asoclevel">
+              <table>
+                <tr><th>Level</th><th>Attributes</th><th>Description</th></tr>
+                <xsl:for-each select="asoclevels/asoclevel">
+                  <tr>
+                    <td><a href="{@id}.html"><xsl:value-of select="@name"/></a></td>
+                    <td><xsl:value-of select="count(dimatts/dimatt)"/></td>
+                    <td><xsl:value-of select="@description"/></td>
+                  </tr>
+                  <xsl:call-template name="level-page"/>
+                </xsl:for-each>
+              </table>
+              <h2>Classification hierarchy {dag}</h2>
+              <ul>
+                <xsl:for-each select="relationasocs/relationasoc">
+                  <li>
+                    <xsl:value-of select="../../@name"/>
+                    <xsl:text> &#8594; </xsl:text>
+                    <a href="{@child}.html"><xsl:value-of select="id(@child)/@name"/></a>
+                    <xsl:call-template name="assoc-flags"/>
+                  </li>
+                </xsl:for-each>
+              </ul>
+            </xsl:when>
+            <xsl:otherwise><p>No classification hierarchy.</p></xsl:otherwise>
+          </xsl:choose>
+
+          <xsl:if test="catlevels/catlevel">
+            <h2>Categorization levels</h2>
+            <table>
+              <tr><th>Level</th><th>Attributes</th><th>Description</th></tr>
+              <xsl:for-each select="catlevels/catlevel">
+                <tr>
+                  <td><xsl:value-of select="@name"/></td>
+                  <td>
+                    <xsl:for-each select="dimatts/dimatt">
+                      <xsl:value-of select="@name"/><xsl:text> </xsl:text>
+                    </xsl:for-each>
+                  </td>
+                  <td><xsl:value-of select="@description"/></td>
+                </tr>
+              </xsl:for-each>
+            </table>
+          </xsl:if>
+
+          <h2>Aggregated by fact classes</h2>
+          <ul>
+            <xsl:for-each select="/goldmodel/factclasses/factclass[sharedaggs/sharedagg/@dimclass = current()/@id]">
+              <xsl:if test="$focus = '' or @id = $focus">
+                <li><a href="{@id}.html"><xsl:value-of select="@name"/></a></li>
+              </xsl:if>
+            </xsl:for-each>
+          </ul>
+
+          <xsl:call-template name="footer"/>
+        </body>
+      </html>
+    </xsl:document>
+  </xsl:template>
+
+  <!-- =================== hierarchy level page =================== -->
+  <xsl:template name="level-page">
+    <xsl:document href="{@id}.html">
+      <html>
+        <head>
+          <title>Level: <xsl:value-of select="@name"/></title>
+          <link rel="stylesheet" type="text/css" href="{$css}"/>
+        </head>
+        <body>
+          <p class="nav">
+            <a href="index.html">&#171; Model</a>
+            <a href="{ancestor::dimclass/@id}.html">&#171; Dimension <xsl:value-of select="ancestor::dimclass/@name"/></a>
+          </p>
+          <h1>Classification level: <xsl:value-of select="@name"/></h1>
+          <xsl:if test="@description"><p><xsl:value-of select="@description"/></p></xsl:if>
+
+          <xsl:call-template name="dimatts-table"/>
+          <xsl:call-template name="methods-table"/>
+
+          <h2>Rolls up to</h2>
+          <xsl:choose>
+            <xsl:when test="relationasocs/relationasoc">
+              <ul>
+                <xsl:for-each select="relationasocs/relationasoc">
+                  <li>
+                    <a href="{@child}.html"><xsl:value-of select="id(@child)/@name"/></a>
+                    <xsl:call-template name="assoc-flags"/>
+                  </li>
+                </xsl:for-each>
+              </ul>
+            </xsl:when>
+            <xsl:otherwise><p>Top of the hierarchy.</p></xsl:otherwise>
+          </xsl:choose>
+
+          <h2>Reached from</h2>
+          <ul>
+            <xsl:if test="ancestor::dimclass/relationasocs/relationasoc[@child = current()/@id]">
+              <li><a href="{ancestor::dimclass/@id}.html"><xsl:value-of select="ancestor::dimclass/@name"/></a> (dimension class)</li>
+            </xsl:if>
+            <xsl:for-each select="ancestor::dimclass/asoclevels/asoclevel[relationasocs/relationasoc/@child = current()/@id]">
+              <li><a href="{@id}.html"><xsl:value-of select="@name"/></a></li>
+            </xsl:for-each>
+          </ul>
+
+          <xsl:call-template name="footer"/>
+        </body>
+      </html>
+    </xsl:document>
+  </xsl:template>
+
+  <!-- =================== cube class page =================== -->
+  <xsl:template name="cube-page">
+    <xsl:document href="{@id}.html">
+      <html>
+        <head>
+          <title>Cube class: <xsl:value-of select="@name"/></title>
+          <link rel="stylesheet" type="text/css" href="{$css}"/>
+        </head>
+        <body>
+          <p class="nav">
+            <a href="index.html">&#171; Model</a>
+            <a href="{@factclass}.html">&#171; Fact class <xsl:value-of select="id(@factclass)/@name"/></a>
+          </p>
+          <h1>Cube class: <xsl:value-of select="@name"/></h1>
+          <xsl:if test="@description"><p><xsl:value-of select="@description"/></p></xsl:if>
+
+          <h2>Measures</h2>
+          <ul>
+            <xsl:for-each select="measures/measure">
+              <li><xsl:value-of select="id(@factatt)/@name"/></li>
+            </xsl:for-each>
+          </ul>
+
+          <xsl:if test="slices/slice">
+            <h2>Slice</h2>
+            <table>
+              <tr><th>Attribute</th><th>Operator</th><th>Value</th></tr>
+              <xsl:for-each select="slices/slice">
+                <tr>
+                  <td><xsl:value-of select="id(@att)/@name"/></td>
+                  <td><xsl:call-template name="op"/></td>
+                  <td><xsl:value-of select="@value"/></td>
+                </tr>
+              </xsl:for-each>
+            </table>
+          </xsl:if>
+
+          <xsl:if test="dices/dice">
+            <h2>Dice</h2>
+            <ul>
+              <xsl:for-each select="dices/dice">
+                <li>
+                  <a href="{@dimclass}.html"><xsl:value-of select="id(@dimclass)/@name"/></a>
+                  <xsl:if test="@level">
+                    <xsl:text> / </xsl:text>
+                    <a href="{@level}.html"><xsl:value-of select="id(@level)/@name"/></a>
+                  </xsl:if>
+                </li>
+              </xsl:for-each>
+            </ul>
+          </xsl:if>
+
+          <xsl:call-template name="footer"/>
+        </body>
+      </html>
+    </xsl:document>
+  </xsl:template>
+
+  <!-- =================== shared fragments =================== -->
+
+  <!-- attribute table for dimclass / asoclevel contexts -->
+  <xsl:template name="dimatts-table">
+    <h2>Attributes</h2>
+    <xsl:choose>
+      <xsl:when test="dimatts/dimatt">
+        <table>
+          <tr><th>Name</th><th>Type</th><th>OID</th><th>D</th><th>Description</th></tr>
+          <xsl:for-each select="dimatts/dimatt">
+            <tr>
+              <td><xsl:value-of select="@name"/></td>
+              <td><xsl:value-of select="@type"/></td>
+              <td><xsl:if test="@isoid = 'true'">{OID}</xsl:if></td>
+              <td><xsl:if test="@isd = 'true'">{D}</xsl:if></td>
+              <td><xsl:value-of select="@description"/></td>
+            </tr>
+          </xsl:for-each>
+        </table>
+      </xsl:when>
+      <xsl:otherwise><p>No attributes.</p></xsl:otherwise>
+    </xsl:choose>
+  </xsl:template>
+
+  <xsl:template name="methods-table">
+    <xsl:if test="methods/method">
+      <h2>Methods</h2>
+      <table>
+        <tr><th>Name</th><th>Signature</th><th>Description</th></tr>
+        <xsl:for-each select="methods/method">
+          <tr>
+            <td><xsl:value-of select="@name"/></td>
+            <td><xsl:value-of select="@signature"/></td>
+            <td><xsl:value-of select="@description"/></td>
+          </tr>
+        </xsl:for-each>
+      </table>
+    </xsl:if>
+  </xsl:template>
+
+  <!-- strictness / completeness flags of an association; context: relationasoc -->
+  <xsl:template name="assoc-flags">
+    <xsl:if test="@rolea = 'M' or @rolea = '1..M'">
+      <xsl:text> </xsl:text><span class="flag">non-strict</span>
+    </xsl:if>
+    <xsl:if test="@completeness = 'true'">
+      <xsl:text> </xsl:text><span class="flag">{completeness}</span>
+    </xsl:if>
+  </xsl:template>
+
+  <!-- multiplicity with default; absent attributes fall back to the
+       schema's default values -->
+  <xsl:template name="mult">
+    <xsl:param name="v"/>
+    <xsl:param name="def"/>
+    <xsl:choose>
+      <xsl:when test="string($v) != ''"><xsl:value-of select="$v"/></xsl:when>
+      <xsl:otherwise><xsl:value-of select="$def"/></xsl:otherwise>
+    </xsl:choose>
+  </xsl:template>
+
+  <xsl:template name="op">
+    <xsl:choose>
+      <xsl:when test="@operator = 'EQ'">=</xsl:when>
+      <xsl:when test="@operator = 'LT'">&lt;</xsl:when>
+      <xsl:when test="@operator = 'GT'">&gt;</xsl:when>
+      <xsl:when test="@operator = 'LET'">&lt;=</xsl:when>
+      <xsl:when test="@operator = 'GET'">&gt;=</xsl:when>
+      <xsl:when test="@operator = 'NOTEQ'">!=</xsl:when>
+      <xsl:otherwise><xsl:value-of select="@operator"/></xsl:otherwise>
+    </xsl:choose>
+  </xsl:template>
+
+  <xsl:template name="footer">
+    <p class="footer">Generated from the conceptual multidimensional model
+      <xsl:text> </xsl:text><xsl:value-of select="/goldmodel/@name"/> by goldweb.</p>
+  </xsl:template>
+</xsl:stylesheet>

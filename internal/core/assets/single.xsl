@@ -1,0 +1,268 @@
+<?xml version="1.0" encoding="UTF-8"?>
+<!--
+  single.xsl : XSLT 1.0 presentation of a goldmodel document as a single
+  HTML page with internal links (the paper's §4 first approach, for
+  processors without xsl:document).
+
+  Parameters:
+    focus - a fact class id; when set, only that fact class and the
+            dimensions it aggregates are rendered (Fig. 5).
+    css   - href of the stylesheet linked from the page.
+-->
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:output method="html" indent="yes"/>
+  <xsl:param name="focus" select="''"/>
+  <xsl:param name="css" select="'style.css'"/>
+
+  <xsl:template match="/goldmodel">
+    <html>
+      <head>
+        <title>MD model: <xsl:value-of select="@name"/></title>
+        <link rel="stylesheet" type="text/css" href="{$css}"/>
+      </head>
+      <body>
+        <h1 id="top">Multidimensional model: <xsl:value-of select="@name"/></h1>
+        <table class="meta">
+          <tr><th>Name</th><td><xsl:value-of select="@name"/></td></tr>
+          <xsl:if test="@creationdate">
+            <tr><th>Creation date</th><td><xsl:value-of select="@creationdate"/></td></tr>
+          </xsl:if>
+          <xsl:if test="@lastmodified">
+            <tr><th>Last modified</th><td><xsl:value-of select="@lastmodified"/></td></tr>
+          </xsl:if>
+          <xsl:if test="@responsible">
+            <tr><th>Responsible</th><td><xsl:value-of select="@responsible"/></td></tr>
+          </xsl:if>
+          <xsl:if test="@description">
+            <tr><th>Description</th><td><xsl:value-of select="@description"/></td></tr>
+          </xsl:if>
+        </table>
+
+        <h2>Contents</h2>
+        <ul>
+          <xsl:for-each select="factclasses/factclass">
+            <xsl:sort select="@name"/>
+            <xsl:if test="$focus = '' or @id = $focus">
+              <li>Fact class <a href="#{@id}"><xsl:value-of select="@name"/></a></li>
+            </xsl:if>
+          </xsl:for-each>
+          <xsl:for-each select="dimclasses/dimclass">
+            <xsl:sort select="@name"/>
+            <xsl:if test="$focus = '' or /goldmodel/factclasses/factclass[@id = $focus]/sharedaggs/sharedagg[@dimclass = current()/@id]">
+              <li>Dimension class <a href="#{@id}"><xsl:value-of select="@name"/></a></li>
+            </xsl:if>
+          </xsl:for-each>
+          <xsl:for-each select="cubeclasses/cubeclass">
+            <xsl:sort select="@name"/>
+            <xsl:if test="$focus = '' or @factclass = $focus">
+              <li>Cube class <a href="#{@id}"><xsl:value-of select="@name"/></a></li>
+            </xsl:if>
+          </xsl:for-each>
+        </ul>
+
+        <xsl:for-each select="factclasses/factclass">
+          <xsl:sort select="@name"/>
+          <xsl:if test="$focus = '' or @id = $focus">
+            <xsl:apply-templates select="." mode="section"/>
+          </xsl:if>
+        </xsl:for-each>
+
+        <xsl:for-each select="dimclasses/dimclass">
+          <xsl:sort select="@name"/>
+          <xsl:if test="$focus = '' or /goldmodel/factclasses/factclass[@id = $focus]/sharedaggs/sharedagg[@dimclass = current()/@id]">
+            <xsl:apply-templates select="." mode="section"/>
+          </xsl:if>
+        </xsl:for-each>
+
+        <xsl:for-each select="cubeclasses/cubeclass">
+          <xsl:sort select="@name"/>
+          <xsl:if test="$focus = '' or @factclass = $focus">
+            <xsl:apply-templates select="." mode="section"/>
+          </xsl:if>
+        </xsl:for-each>
+
+        <p class="footer">Generated from the conceptual multidimensional
+        model <xsl:value-of select="@name"/> by goldweb (single-page
+        presentation).</p>
+      </body>
+    </html>
+  </xsl:template>
+
+  <!-- ============ fact class section ============ -->
+  <xsl:template match="factclass" mode="section">
+    <h2 id="{@id}">Fact class: <xsl:value-of select="@name"/></h2>
+    <p class="nav"><a href="#top">&#8593; top</a></p>
+    <xsl:if test="@description"><p><xsl:value-of select="@description"/></p></xsl:if>
+
+    <h3>Measures</h3>
+    <xsl:choose>
+      <xsl:when test="factatts/factatt">
+        <table>
+          <tr><th>Name</th><th>Type</th><th>OID</th><th>Derived</th><th>Derivation rule</th><th>Additivity</th><th>Description</th></tr>
+          <xsl:apply-templates select="factatts/factatt" mode="row"/>
+        </table>
+        <xsl:for-each select="factatts/factatt[additivity]">
+          <div class="additivity" id="{../../@id}-{@id}-add">
+            <strong>Additivity of <xsl:value-of select="@name"/>:</strong>
+            <ul>
+              <xsl:for-each select="additivity">
+                <li>
+                  <a href="#{@dimclass}"><xsl:value-of select="id(@dimclass)/@name"/></a>
+                  <xsl:text>: </xsl:text>
+                  <xsl:choose>
+                    <xsl:when test="@isnot = 'true'"><span class="warn">not additive</span></xsl:when>
+                    <xsl:otherwise>
+                      <xsl:if test="@issum = 'true'">SUM </xsl:if>
+                      <xsl:if test="@ismax = 'true'">MAX </xsl:if>
+                      <xsl:if test="@ismin = 'true'">MIN </xsl:if>
+                      <xsl:if test="@isavg = 'true'">AVG </xsl:if>
+                      <xsl:if test="@iscount = 'true'">COUNT </xsl:if>
+                    </xsl:otherwise>
+                  </xsl:choose>
+                </li>
+              </xsl:for-each>
+            </ul>
+          </div>
+        </xsl:for-each>
+      </xsl:when>
+      <xsl:otherwise><p>No measures: a fact-less fact class.</p></xsl:otherwise>
+    </xsl:choose>
+
+    <h3>Shared aggregations</h3>
+    <ul>
+      <xsl:for-each select="sharedaggs/sharedagg">
+        <li>
+          <a href="#{@dimclass}"><xsl:value-of select="id(@dimclass)/@name"/></a>
+          <xsl:if test="(@rolea = 'M' or @rolea = '1..M' or not(@rolea)) and (@roleb = 'M' or @roleb = '1..M')">
+            <xsl:text> </xsl:text><span class="flag">many-to-many</span>
+          </xsl:if>
+        </li>
+      </xsl:for-each>
+    </ul>
+  </xsl:template>
+
+  <xsl:template match="factatt" mode="row">
+    <tr class="measure">
+      <td><xsl:value-of select="@name"/><xsl:if test="@isoid = 'true'"> {OID}</xsl:if></td>
+      <td><xsl:value-of select="@type"/></td>
+      <td><xsl:if test="@isoid = 'true'">yes</xsl:if></td>
+      <td><xsl:if test="@derived = 'true'">/</xsl:if></td>
+      <td><xsl:value-of select="@derivationrule"/></td>
+      <td>
+        <xsl:choose>
+          <xsl:when test="additivity"><a href="#{../../@id}-{@id}-add">rules</a></xsl:when>
+          <xsl:otherwise>additive</xsl:otherwise>
+        </xsl:choose>
+      </td>
+      <td><xsl:value-of select="@description"/></td>
+    </tr>
+  </xsl:template>
+
+  <!-- ============ dimension class section ============ -->
+  <xsl:template match="dimclass" mode="section">
+    <h2 id="{@id}">Dimension class: <xsl:value-of select="@name"/>
+      <xsl:if test="@istime = 'true'"><xsl:text> </xsl:text><span class="flag">{time}</span></xsl:if>
+    </h2>
+    <p class="nav"><a href="#top">&#8593; top</a></p>
+    <xsl:if test="@description"><p><xsl:value-of select="@description"/></p></xsl:if>
+
+    <xsl:call-template name="dimatts-inline"/>
+
+    <xsl:if test="asoclevels/asoclevel">
+      <h3>Classification hierarchy {dag}</h3>
+      <ul>
+        <xsl:for-each select="relationasocs/relationasoc">
+          <li>
+            <xsl:value-of select="../../@name"/>
+            <xsl:text> &#8594; </xsl:text>
+            <a href="#{@child}"><xsl:value-of select="id(@child)/@name"/></a>
+          </li>
+        </xsl:for-each>
+      </ul>
+      <xsl:for-each select="asoclevels/asoclevel">
+        <h4 id="{@id}">Level: <xsl:value-of select="@name"/></h4>
+        <xsl:call-template name="dimatts-inline"/>
+        <xsl:if test="relationasocs/relationasoc">
+          <p>Rolls up to:
+            <xsl:for-each select="relationasocs/relationasoc">
+              <a href="#{@child}"><xsl:value-of select="id(@child)/@name"/></a>
+              <xsl:if test="@rolea = 'M' or @rolea = '1..M'">
+                <xsl:text> </xsl:text><span class="flag">non-strict</span>
+              </xsl:if>
+              <xsl:if test="@completeness = 'true'">
+                <xsl:text> </xsl:text><span class="flag">{completeness}</span>
+              </xsl:if>
+              <xsl:text> </xsl:text>
+            </xsl:for-each>
+          </p>
+        </xsl:if>
+      </xsl:for-each>
+    </xsl:if>
+
+    <xsl:if test="catlevels/catlevel">
+      <h3>Categorization levels</h3>
+      <ul>
+        <xsl:for-each select="catlevels/catlevel">
+          <li><xsl:value-of select="@name"/>
+            <xsl:if test="dimatts/dimatt">
+              <xsl:text> (</xsl:text>
+              <xsl:for-each select="dimatts/dimatt">
+                <xsl:value-of select="@name"/><xsl:text> </xsl:text>
+              </xsl:for-each>
+              <xsl:text>)</xsl:text>
+            </xsl:if>
+          </li>
+        </xsl:for-each>
+      </ul>
+    </xsl:if>
+  </xsl:template>
+
+  <xsl:template name="dimatts-inline">
+    <xsl:if test="dimatts/dimatt">
+      <table>
+        <tr><th>Attribute</th><th>Type</th><th>OID</th><th>D</th></tr>
+        <xsl:for-each select="dimatts/dimatt">
+          <tr>
+            <td><xsl:value-of select="@name"/></td>
+            <td><xsl:value-of select="@type"/></td>
+            <td><xsl:if test="@isoid = 'true'">{OID}</xsl:if></td>
+            <td><xsl:if test="@isd = 'true'">{D}</xsl:if></td>
+          </tr>
+        </xsl:for-each>
+      </table>
+    </xsl:if>
+  </xsl:template>
+
+  <!-- ============ cube class section ============ -->
+  <xsl:template match="cubeclass" mode="section">
+    <h2 id="{@id}">Cube class: <xsl:value-of select="@name"/></h2>
+    <p class="nav"><a href="#top">&#8593; top</a>
+      <a href="#{@factclass}">fact class <xsl:value-of select="id(@factclass)/@name"/></a></p>
+    <p>Measures:
+      <xsl:for-each select="measures/measure">
+        <xsl:value-of select="id(@factatt)/@name"/><xsl:text> </xsl:text>
+      </xsl:for-each>
+    </p>
+    <xsl:if test="slices/slice">
+      <p>Slice:
+        <xsl:for-each select="slices/slice">
+          <xsl:value-of select="id(@att)/@name"/>
+          <xsl:text> </xsl:text><xsl:value-of select="@operator"/><xsl:text> </xsl:text>
+          <xsl:value-of select="@value"/><xsl:text>; </xsl:text>
+        </xsl:for-each>
+      </p>
+    </xsl:if>
+    <xsl:if test="dices/dice">
+      <p>Dice:
+        <xsl:for-each select="dices/dice">
+          <a href="#{@dimclass}"><xsl:value-of select="id(@dimclass)/@name"/></a>
+          <xsl:if test="@level">
+            <xsl:text>/</xsl:text>
+            <a href="#{@level}"><xsl:value-of select="id(@level)/@name"/></a>
+          </xsl:if>
+          <xsl:text>; </xsl:text>
+        </xsl:for-each>
+      </p>
+    </xsl:if>
+  </xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"goldweb/internal/xsd"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestSchemaTreeGolden locks the Fig. 2 artifact: the canonical schema
+// rendered as a tree. Regenerate with `go test ./internal/core -update`
+// after an intentional schema change.
+func TestSchemaTreeGolden(t *testing.T) {
+	got := xsd.Tree(MustSchema(), xsd.TreeOptions{ShowAttributes: true})
+	const path = "testdata/schema_tree.golden"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("schema tree drifted from the golden file; run with -update if intentional\n--- got ---\n%s", got)
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import "time"
+
+// SampleSales builds the paper's running example: a Sales data warehouse
+// with a sales-ticket fact class (including the ticket and line number
+// degenerate dimensions of §2), Time / Product / Store dimensions with
+// multiple and alternative path classification hierarchies, additivity
+// rules on the inventory measure (Fig. 6.3), and a cube class stating an
+// initial user requirement.
+func SampleSales() *Model {
+	b := NewModel("Sales DW").
+		Created(time.Date(2002, 3, 24, 0, 0, 0, 0, time.UTC)).
+		Modified(time.Date(2002, 6, 10, 0, 0, 0, 0, time.UTC)).
+		Describe("Conceptual MD model of the sales-ticket data warehouse used as the running example of the paper.").
+		Responsible("DW team")
+
+	// Time dimension: Day → Month → Year plus the alternative path
+	// Day → Week → Year (a multiple/alternative classification hierarchy).
+	time := b.TimeDimension("Time").
+		Describe("Calendar time at ticket granularity.").
+		Key("day_id", "OID").
+		Descriptor("day_date", "Date").
+		Attr("holiday", "Boolean")
+	time.Level("Month").
+		Key("month_id", "OID").
+		Descriptor("month_name", "String").
+		Rollup("Year").Complete()
+	time.Level("Week").
+		Key("week_id", "OID").
+		Descriptor("week_number", "Integer").
+		Rollup("Year")
+	time.Level("Year").
+		Key("year_id", "OID").
+		Descriptor("year_number", "Integer")
+	time.Rollup("Month").Complete()
+	time.Rollup("Week")
+
+	// Product dimension: Product → Family → Group with a categorization
+	// of products into subtypes.
+	product := b.Dimension("Product").
+		Describe("Products on sale.").
+		Key("product_id", "OID").
+		Descriptor("product_name", "String").
+		Attr("list_price", "Currency").
+		Categorize("Grocery", "shelf_life").
+		Categorize("Electronics", "warranty_months")
+	product.Level("Family").
+		Key("family_id", "OID").
+		Descriptor("family_name", "String").
+		Rollup("Group")
+	product.Level("Group").
+		Key("group_id", "OID").
+		Descriptor("group_name", "String")
+	product.Rollup("Family").Complete()
+
+	// Store dimension: Store → City → Province (strict, non-complete by
+	// default, per the paper).
+	store := b.Dimension("Store").
+		Describe("Stores issuing the sales tickets.").
+		Key("store_id", "OID").
+		Descriptor("store_name", "String").
+		Attr("address", "String").
+		Method("relocate", "relocate(city: String)")
+	store.Level("City").
+		Key("city_id", "OID").
+		Descriptor("city_name", "String").
+		Rollup("Province")
+	store.Level("Province").
+		Key("province_id", "OID").
+		Descriptor("province_name", "String")
+	store.Rollup("City")
+
+	// Sales fact class: the ticket/line degenerate dimensions, qty and
+	// inventory measures, and a derived total.
+	sales := b.Fact("Sales").
+		Describe("Sales tickets, one fact per ticket line.").
+		Aggregates("Time").
+		Aggregates("Product").
+		Aggregates("Store")
+	sales.Measure("num_ticket", "Integer").OID().
+		Describe("Ticket number: a degenerate dimension.")
+	sales.Measure("num_line", "Integer").OID().
+		Describe("Line number within the ticket: a degenerate dimension.")
+	sales.Measure("qty", "Integer").
+		Describe("Quantity sold.")
+	sales.Measure("price", "Currency").
+		Describe("Unit sale price.").
+		NotAdditive("Time").
+		Additive("Product", "MAX", "MIN", "AVG").
+		Additive("Store", "MAX", "MIN", "AVG")
+	sales.Measure("inventory", "Integer").
+		Describe("Stock level snapshot: semi-additive.").
+		Additive("Time", "MAX", "MIN", "AVG").
+		Additive("Product", "SUM", "MAX", "MIN", "AVG", "COUNT").
+		Additive("Store", "SUM", "MAX", "MIN", "AVG", "COUNT")
+	sales.Measure("total", "Currency").
+		Derived("qty * price").
+		Describe("Line total, derived from qty and price.")
+	sales.Method("cancelTicket", "cancelTicket(num_ticket: Integer)")
+
+	// Initial user requirement as a cube class.
+	b.Cube("QtyByProductAndMonth", "Sales").
+		Describe("Quantity sold per product family and month in province Alicante.").
+		Measures("qty", "total").
+		Slice("province_name", OpEQ, "Alicante").
+		Dice("Product", "Family").
+		Dice("Time", "Month")
+
+	return b.MustBuild()
+}
+
+// SampleHospital builds a second, advanced model: two fact classes
+// sharing dimensions (the situation of Fig. 5), a many-to-many
+// fact-dimension relationship (patient diagnoses), and a non-strict,
+// complete hierarchy.
+func SampleHospital() *Model {
+	b := NewModel("Hospital DW").
+		Created(time.Date(2002, 5, 2, 0, 0, 0, 0, time.UTC)).
+		Describe("Admissions and treatments over shared Patient/Time dimensions.").
+		Responsible("clinical BI group")
+
+	time := b.TimeDimension("Time").
+		Key("day_id", "OID").
+		Descriptor("day_date", "Date")
+	time.Level("Month").
+		Key("month_id", "OID").
+		Descriptor("month_name", "String")
+	time.Rollup("Month").Complete()
+
+	patient := b.Dimension("Patient").
+		Describe("Admitted patients.").
+		Key("patient_id", "OID").
+		Descriptor("patient_name", "String").
+		Attr("birth_date", "Date")
+	// A patient belongs to one or more risk groups: non-strict and
+	// complete classification.
+	patient.Level("RiskGroup").
+		Key("risk_id", "OID").
+		Descriptor("risk_name", "String")
+	patient.Rollup("RiskGroup").NonStrict().Complete()
+
+	diagnosis := b.Dimension("Diagnosis").
+		Describe("Diagnoses catalogue (ICD).").
+		Key("diagnosis_id", "OID").
+		Descriptor("diagnosis_name", "String")
+	diagnosis.Level("DiagnosisGroup").
+		Key("dgroup_id", "OID").
+		Descriptor("dgroup_name", "String")
+	diagnosis.Rollup("DiagnosisGroup")
+
+	b.Dimension("Ward").
+		Key("ward_id", "OID").
+		Descriptor("ward_name", "String")
+
+	adm := b.Fact("Admissions").
+		Describe("Hospital admissions; a patient may carry several diagnoses (many-to-many).").
+		Aggregates("Time").
+		Aggregates("Patient").
+		AggregatesMany("Diagnosis").
+		Aggregates("Ward")
+	adm.Measure("admission_id", "Integer").OID().
+		Describe("Admission number: degenerate dimension.")
+	adm.Measure("stay_days", "Integer").
+		Describe("Length of stay.")
+	adm.Measure("cost", "Currency").
+		Describe("Total admission cost.")
+
+	treat := b.Fact("Treatments").
+		Describe("Treatments administered during admissions.").
+		Aggregates("Time").
+		Aggregates("Patient").
+		Aggregates("Ward")
+	treat.Measure("dose_units", "Integer")
+	treat.Measure("duration_min", "Integer").
+		Additive("Time", "SUM", "AVG", "MAX").
+		Additive("Patient", "SUM", "AVG").
+		Additive("Ward", "SUM", "AVG")
+
+	b.Cube("StayByRiskGroup", "Admissions").
+		Describe("Average stay per risk group and month.").
+		Measures("stay_days").
+		Dice("Patient", "RiskGroup").
+		Dice("Time", "Month")
+
+	return b.MustBuild()
+}

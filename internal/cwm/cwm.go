@@ -1,0 +1,271 @@
+// Package cwm implements the first future-work line of the paper's §6:
+// using the OMG Common Warehouse Metamodel "as a common framework to
+// easily interchange warehouse metadata between distributed heterogenous
+// environments". It exports a conceptual model as a CWM OLAP XMI
+// document (the CWM 1.0 OLAP package: Schema, Cube, CubeDimension-
+// Association, Dimension, Hierarchy, Level, Measure) and reads such
+// documents back into a structural inventory.
+//
+// As the paper notes, CWM "lacks the complete set of information an
+// existing tool would need to fully operate": additivity rules, derived
+// measures, {OID}/{D} markings and completeness constraints have no CWM
+// OLAP counterpart. The export therefore carries them in CWM TaggedValue
+// extensions (the mechanism CWM itself prescribes for tool-specific
+// definitions), which is exactly the extension the paper proposes as its
+// "another future research line".
+package cwm
+
+import (
+	"fmt"
+	"strconv"
+
+	"goldweb/internal/core"
+	"goldweb/internal/xmldom"
+)
+
+// Namespaces of the XMI rendering.
+const (
+	NSCWM     = "org.omg.CWM"
+	NSCWMOLAP = "org.omg.CWM.OLAP"
+)
+
+// Export renders the model as a CWM OLAP XMI document.
+func Export(m *core.Model) *xmldom.Node {
+	doc := xmldom.NewDocument()
+	xmi := doc.AddElement("XMI")
+	xmi.SetAttr("xmi.version", "1.1")
+	xmi.SetAttrNS("xmlns", xmldom.XMLNSNamespace, "CWM", NSCWM)
+	xmi.SetAttrNS("xmlns", xmldom.XMLNSNamespace, "CWMOLAP", NSCWMOLAP)
+
+	header := xmi.AddElement("XMI.header")
+	docum := header.AddElement("XMI.documentation")
+	docum.AddElement("XMI.exporter").AddText("goldweb")
+	docum.AddElement("XMI.exporterVersion").AddText("1.0")
+	if !m.LastModified.IsZero() {
+		header.AddElement("XMI.timestamp").AddText(m.LastModified.Format("2006-01-02"))
+	}
+
+	content := xmi.AddElement("XMI.content")
+	schema := mkOLAP(content, "Schema", m.ID, m.Name)
+	if m.Description != "" {
+		tag(schema, "description", m.Description)
+	}
+
+	for _, d := range m.Dims {
+		dim := mkOLAP(schema, "Dimension", d.ID, d.Name)
+		dim.SetAttr("isTime", strconv.FormatBool(d.IsTime))
+		dim.SetAttr("isMeasure", "false")
+		for _, a := range d.Atts {
+			attr := mkCWM(dim, "Attribute", a.ID, a.Name)
+			attr.SetAttr("type", a.Type)
+			markAtt(attr, a)
+		}
+		// One Hierarchy per root association path entry; the level set is
+		// shared (CWM separates Level from LevelBasedHierarchy).
+		for _, l := range d.Levels {
+			lvl := mkOLAP(dim, "Level", l.ID, l.Name)
+			for _, a := range l.Atts {
+				attr := mkCWM(lvl, "Attribute", a.ID, a.Name)
+				attr.SetAttr("type", a.Type)
+				markAtt(attr, a)
+			}
+		}
+		if len(d.Associations) > 0 {
+			hier := mkOLAP(dim, "LevelBasedHierarchy", d.ID+"-h", d.Name+" hierarchy")
+			order := 0
+			emitPath(hier, d, d.Associations, &order, map[string]bool{})
+		}
+		for _, cl := range d.CatLevels {
+			cat := mkOLAP(dim, "Level", cl.ID, cl.Name)
+			tag(cat, "categorization", "true")
+		}
+	}
+
+	for _, f := range m.Facts {
+		cube := mkOLAP(schema, "Cube", f.ID, f.Name)
+		cube.SetAttr("isVirtual", "false")
+		for _, a := range f.Atts {
+			meas := mkOLAP(cube, "Measure", a.ID, a.Name)
+			meas.SetAttr("type", a.Type)
+			if a.IsOID {
+				tag(meas, "degenerateDimension", "true")
+			}
+			if a.IsDerived {
+				tag(meas, "derivationRule", a.DerivationRule)
+			}
+			for _, r := range a.Additivity {
+				ops := ""
+				if r.IsNot {
+					ops = "NONE"
+				} else {
+					for _, op := range []struct {
+						flag bool
+						name string
+					}{{r.IsSUM, "SUM"}, {r.IsMAX, "MAX"}, {r.IsMIN, "MIN"}, {r.IsAVG, "AVG"}, {r.IsCOUNT, "COUNT"}} {
+						if op.flag {
+							if ops != "" {
+								ops += " "
+							}
+							ops += op.name
+						}
+					}
+				}
+				tag(meas, "additivity."+r.DimClass, ops)
+			}
+		}
+		for _, agg := range f.SharedAggs {
+			assoc := mkOLAP(cube, "CubeDimensionAssociation", f.ID+"-"+agg.DimClass, "")
+			assoc.RemoveAttr("name")
+			assoc.SetAttr("cube", f.ID)
+			assoc.SetAttr("dimension", agg.DimClass)
+			if agg.ManyToMany() {
+				tag(assoc, "manyToMany", "true")
+			}
+		}
+	}
+
+	for _, c := range m.Cubes {
+		cc := mkOLAP(schema, "CubeRegion", c.ID, c.Name)
+		cc.SetAttr("isReadOnly", "true")
+		cc.SetAttr("cube", c.Fact)
+		for _, mid := range c.Measures {
+			tag(cc, "measure", mid)
+		}
+		for _, s := range c.Slices {
+			tag(cc, "slice", s.Att+" "+string(s.Operator)+" "+s.Value)
+		}
+		for _, dd := range c.Dices {
+			v := dd.DimClass
+			if dd.Level != "" {
+				v += "/" + dd.Level
+			}
+			tag(cc, "dice", v)
+		}
+	}
+	return doc
+}
+
+// ExportString is Export serialized with an XML declaration.
+func ExportString(m *core.Model) string {
+	return xmldom.SerializeToString(Export(m), xmldom.WriteOptions{})
+}
+
+func mkOLAP(parent *xmldom.Node, kind, id, name string) *xmldom.Node {
+	e := &xmldom.Node{Type: xmldom.ElementNode, Prefix: "CWMOLAP", Name: kind, URI: NSCWMOLAP}
+	parent.AppendChild(e)
+	e.SetAttr("xmi.id", id)
+	e.SetAttr("name", name)
+	return e
+}
+
+func mkCWM(parent *xmldom.Node, kind, id, name string) *xmldom.Node {
+	e := &xmldom.Node{Type: xmldom.ElementNode, Prefix: "CWM", Name: kind, URI: NSCWM}
+	parent.AppendChild(e)
+	e.SetAttr("xmi.id", id)
+	e.SetAttr("name", name)
+	return e
+}
+
+// tag attaches a CWM TaggedValue extension.
+func tag(parent *xmldom.Node, tagName, value string) {
+	e := &xmldom.Node{Type: xmldom.ElementNode, Prefix: "CWM", Name: "TaggedValue", URI: NSCWM}
+	parent.AppendChild(e)
+	e.SetAttr("tag", tagName)
+	e.SetAttr("value", value)
+}
+
+func markAtt(attr *xmldom.Node, a *core.DimAtt) {
+	if a.IsOID {
+		tag(attr, "uniqueKey", "true")
+	}
+	if a.IsD {
+		tag(attr, "descriptor", "true")
+	}
+}
+
+// emitPath writes HierarchyLevelAssociations for every level reachable
+// from the given edges, in BFS order (CWM orders levels within a
+// hierarchy; alternative paths surface as additional associations).
+func emitPath(hier *xmldom.Node, d *core.DimClass, edges []*core.Association, order *int, seen map[string]bool) {
+	var next []*core.Association
+	for _, e := range edges {
+		if seen[e.Child] {
+			continue
+		}
+		seen[e.Child] = true
+		assoc := &xmldom.Node{Type: xmldom.ElementNode, Prefix: "CWMOLAP",
+			Name: "HierarchyLevelAssociation", URI: NSCWMOLAP}
+		hier.AppendChild(assoc)
+		assoc.SetAttr("xmi.id", fmt.Sprintf("%s-hla%d", d.ID, *order))
+		assoc.SetAttr("currentLevel", e.Child)
+		assoc.SetAttr("ordinal", strconv.Itoa(*order))
+		if e.NonStrict() {
+			tag(assoc, "nonStrict", "true")
+		}
+		if e.Completeness {
+			tag(assoc, "complete", "true")
+		}
+		*order++
+		if l := d.Level(e.Child); l != nil {
+			next = append(next, l.Associations...)
+		}
+	}
+	if len(next) > 0 {
+		emitPath(hier, d, next, order, seen)
+	}
+}
+
+// Inventory summarizes a CWM OLAP document structurally.
+type Inventory struct {
+	SchemaName string
+	Cubes      []string
+	Dimensions []string
+	Levels     int
+	Measures   int
+	Hierarchy  int // HierarchyLevelAssociation count
+	Tagged     int // TaggedValue extension count
+}
+
+// Read parses a CWM OLAP XMI document produced by Export (or a compatible
+// tool) into a structural inventory — the interchange consumer side.
+func Read(doc *xmldom.Node) (*Inventory, error) {
+	root := doc.DocumentElement()
+	if root == nil || root.Name != "XMI" {
+		return nil, fmt.Errorf("cwm: not an XMI document")
+	}
+	inv := &Inventory{}
+	for _, e := range root.DescendantElements("") {
+		if e.URI != NSCWMOLAP && e.URI != NSCWM {
+			continue
+		}
+		switch e.Name {
+		case "Schema":
+			inv.SchemaName = e.AttrValue("name")
+		case "Cube":
+			inv.Cubes = append(inv.Cubes, e.AttrValue("name"))
+		case "Dimension":
+			inv.Dimensions = append(inv.Dimensions, e.AttrValue("name"))
+		case "Level":
+			inv.Levels++
+		case "Measure":
+			inv.Measures++
+		case "HierarchyLevelAssociation":
+			inv.Hierarchy++
+		case "TaggedValue":
+			inv.Tagged++
+		}
+	}
+	if inv.SchemaName == "" {
+		return nil, fmt.Errorf("cwm: document contains no CWMOLAP:Schema")
+	}
+	return inv, nil
+}
+
+// ReadString is Read over XML text.
+func ReadString(src string) (*Inventory, error) {
+	doc, err := xmldom.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return Read(doc)
+}

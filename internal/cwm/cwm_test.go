@@ -1,0 +1,152 @@
+package cwm
+
+import (
+	"strings"
+	"testing"
+
+	"goldweb/internal/core"
+	"goldweb/internal/xmldom"
+)
+
+func TestExportStructure(t *testing.T) {
+	m := core.SampleSales()
+	out := ExportString(m)
+	for _, want := range []string{
+		`<XMI xmi.version="1.1"`,
+		`xmlns:CWMOLAP="org.omg.CWM.OLAP"`,
+		`<XMI.exporter>goldweb</XMI.exporter>`,
+		`<CWMOLAP:Schema xmi.id="m1" name="Sales DW">`,
+		`<CWMOLAP:Cube xmi.id="f1" name="Sales"`,
+		`<CWMOLAP:Dimension xmi.id="d1" name="Time" isTime="true"`,
+		`<CWMOLAP:Level`,
+		`<CWMOLAP:Measure`,
+		`<CWMOLAP:LevelBasedHierarchy`,
+		`<CWMOLAP:HierarchyLevelAssociation`,
+		`<CWMOLAP:CubeDimensionAssociation`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+	// The export is well-formed XML.
+	if _, err := xmldom.ParseString(out); err != nil {
+		t.Fatalf("export not well-formed: %v", err)
+	}
+}
+
+func TestExportCarriesExtensionsAsTaggedValues(t *testing.T) {
+	out := ExportString(core.SampleSales())
+	for _, want := range []string{
+		// degenerate dimensions
+		`tag="degenerateDimension" value="true"`,
+		// derived measure rule
+		`tag="derivationRule" value="qty * price"`,
+		// additivity rules keyed by dimension id
+		`tag="additivity.d1" value="MAX MIN AVG"`,
+		`tag="additivity.d1" value="NONE"`,
+		// {OID}/{D} markings
+		`tag="uniqueKey" value="true"`,
+		`tag="descriptor" value="true"`,
+		// completeness on hierarchy associations
+		`tag="complete" value="true"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tagged value missing: %q", want)
+		}
+	}
+}
+
+func TestExportHospitalFlags(t *testing.T) {
+	out := ExportString(core.SampleHospital())
+	if !strings.Contains(out, `tag="manyToMany" value="true"`) {
+		t.Error("many-to-many association not tagged")
+	}
+	if !strings.Contains(out, `tag="nonStrict" value="true"`) {
+		t.Error("non-strict hierarchy not tagged")
+	}
+}
+
+func TestInterchangeRoundTrip(t *testing.T) {
+	for _, m := range []*core.Model{core.SampleSales(), core.SampleHospital()} {
+		inv, err := ReadString(ExportString(m))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if inv.SchemaName != m.Name {
+			t.Errorf("schema name %q", inv.SchemaName)
+		}
+		if len(inv.Cubes) != len(m.Facts) {
+			t.Errorf("%s: cubes %d want %d", m.Name, len(inv.Cubes), len(m.Facts))
+		}
+		if len(inv.Dimensions) != len(m.Dims) {
+			t.Errorf("%s: dims %d want %d", m.Name, len(inv.Dimensions), len(m.Dims))
+		}
+		wantLevels := 0
+		for _, d := range m.Dims {
+			wantLevels += len(d.Levels) + len(d.CatLevels)
+		}
+		if inv.Levels != wantLevels {
+			t.Errorf("%s: levels %d want %d", m.Name, inv.Levels, wantLevels)
+		}
+		wantMeasures := 0
+		for _, f := range m.Facts {
+			wantMeasures += len(f.Atts)
+		}
+		if inv.Measures != wantMeasures {
+			t.Errorf("%s: measures %d want %d", m.Name, inv.Measures, wantMeasures)
+		}
+		if inv.Tagged == 0 {
+			t.Errorf("%s: no tagged values survived", m.Name)
+		}
+	}
+}
+
+func TestHierarchyOrderFollowsDAG(t *testing.T) {
+	m := core.SampleSales()
+	doc := Export(m)
+	// Time hierarchy: roots (Month, Week) get lower ordinals than Year.
+	var assocs []*xmldom.Node
+	for _, e := range doc.DescendantElements("HierarchyLevelAssociation") {
+		if strings.HasPrefix(e.AttrValue("xmi.id"), m.DimByName("Time").ID+"-") {
+			assocs = append(assocs, e)
+		}
+	}
+	if len(assocs) != 3 {
+		t.Fatalf("time hierarchy associations = %d", len(assocs))
+	}
+	timeDim := m.DimByName("Time")
+	year := timeDim.LevelByName("Year")
+	yearOrdinal := -1
+	maxRoot := -1
+	for _, a := range assocs {
+		ord := a.AttrValue("ordinal")
+		if a.AttrValue("currentLevel") == year.ID {
+			yearOrdinal = atoi(ord)
+		} else if atoi(ord) > maxRoot {
+			maxRoot = atoi(ord)
+		}
+	}
+	if yearOrdinal <= maxRoot {
+		t.Errorf("Year ordinal %d not after roots (%d)", yearOrdinal, maxRoot)
+	}
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func TestReadRejectsNonXMI(t *testing.T) {
+	if _, err := ReadString("<notxmi/>"); err == nil {
+		t.Error("non-XMI accepted")
+	}
+	if _, err := ReadString(`<XMI><XMI.content/></XMI>`); err == nil {
+		t.Error("schemaless XMI accepted")
+	}
+	if _, err := ReadString("not xml at all"); err == nil {
+		t.Error("malformed input accepted")
+	}
+}

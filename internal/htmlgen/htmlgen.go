@@ -1,0 +1,216 @@
+// Package htmlgen is the publication pipeline of the system: it validates
+// a goldmodel document against the canonical schema and applies the
+// embedded XSLT stylesheets to produce web presentations — either a
+// single HTML page with internal links (the paper's XSLT 1.0 approach) or
+// a collection of linked pages, one per class (the XSLT 1.1 xsl:document
+// approach of Fig. 6).
+package htmlgen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"goldweb/internal/core"
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xpath"
+	"goldweb/internal/xslt"
+)
+
+// Mode selects the presentation style.
+type Mode int
+
+// The two presentation modes of §4.
+const (
+	// SinglePage produces one HTML page with internal links
+	// (XSLT 1.0, "an only HTML page with internal links").
+	SinglePage Mode = iota
+	// MultiPage produces a collection of linked HTML pages whose number
+	// depends on the number of fact and dimension classes (XSLT 1.1).
+	MultiPage
+)
+
+func (m Mode) String() string {
+	if m == SinglePage {
+		return "single-page"
+	}
+	return "multi-page"
+}
+
+// Options configure a publication run.
+type Options struct {
+	Mode Mode
+	// Focus restricts the presentation to one fact class id and the
+	// dimensions it aggregates (the per-fact presentations of Fig. 5).
+	Focus string
+	// CSSHref is the stylesheet reference placed in every page
+	// (default "style.css").
+	CSSHref string
+	// OmitCSS suppresses writing the embedded style.css into the site.
+	OmitCSS bool
+	// SkipValidation publishes without the schema-validation step.
+	SkipValidation bool
+}
+
+// Site is a generated presentation: page name → serialized content.
+type Site struct {
+	Pages map[string][]byte
+	// Order lists the page names in generation order (index first).
+	Order []string
+	// Messages holds any xsl:message output from the transformation.
+	Messages []string
+}
+
+// IndexName is the name of the entry page.
+const IndexName = "index.html"
+
+// Page returns a page's content, or nil.
+func (s *Site) Page(name string) []byte { return s.Pages[name] }
+
+// HTMLPages returns the names of the HTML pages in order.
+func (s *Site) HTMLPages() []string {
+	var out []string
+	for _, name := range s.Order {
+		if strings.HasSuffix(name, ".html") {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Publish renders a model.
+func Publish(m *core.Model, opts Options) (*Site, error) {
+	return PublishDocument(m.ToXML(), opts)
+}
+
+// PublishDocument renders a goldmodel XML document. The document is
+// validated first (unless disabled) with schema defaults applied, exactly
+// the server-side pipeline of §6.
+func PublishDocument(doc *xmldom.Node, opts Options) (*Site, error) {
+	if !opts.SkipValidation {
+		if errs := core.ValidateDocument(doc); len(errs) > 0 {
+			return nil, fmt.Errorf("htmlgen: document is invalid: %v (%d problems)", errs[0], len(errs))
+		}
+	}
+	var sheet *xslt.Stylesheet
+	var err error
+	if opts.Mode == MultiPage {
+		sheet, err = core.MultiPageStylesheet()
+	} else {
+		sheet, err = core.SinglePageStylesheet()
+	}
+	if err != nil {
+		return nil, err
+	}
+	css := opts.CSSHref
+	if css == "" {
+		css = "style.css"
+	}
+	params := map[string]xpath.Value{
+		"focus": xpath.String(opts.Focus),
+		"css":   xpath.String(css),
+	}
+	res, err := sheet.Transform(doc, params)
+	if err != nil {
+		return nil, err
+	}
+	site := &Site{Pages: map[string][]byte{}, Messages: res.Messages}
+	site.Pages[IndexName] = res.MainBytes()
+	site.Order = append(site.Order, IndexName)
+	for _, href := range res.DocumentOrder {
+		site.Pages[href] = res.DocBytes(href)
+		site.Order = append(site.Order, href)
+	}
+	if !opts.OmitCSS && css == "style.css" {
+		site.Pages["style.css"] = []byte(core.StyleCSS)
+		site.Order = append(site.Order, "style.css")
+	}
+	return site, nil
+}
+
+// WriteTo writes every page of the site below dir, creating it if needed.
+func (s *Site) WriteTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, content := range s.Pages {
+		if err := os.WriteFile(filepath.Join(dir, name), content, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- link integrity ----
+
+// LinkError is one broken link found by CheckLinks.
+type LinkError struct {
+	Page string
+	Href string
+	Msg  string
+}
+
+func (e LinkError) Error() string {
+	return fmt.Sprintf("%s: link %q: %s", e.Page, e.Href, e.Msg)
+}
+
+var (
+	hrefRe = regexp.MustCompile(`href="([^"]*)"`)
+	idRe   = regexp.MustCompile(`(?:id|name)="([^"]*)"`)
+)
+
+// CheckLinks verifies that every internal link of the site resolves: page
+// links point at generated pages and fragment links at anchors within the
+// target page. External links (with a scheme) are ignored.
+func CheckLinks(s *Site) []LinkError {
+	anchors := map[string]map[string]bool{}
+	for name, content := range s.Pages {
+		if !strings.HasSuffix(name, ".html") {
+			continue
+		}
+		set := map[string]bool{}
+		for _, m := range idRe.FindAllStringSubmatch(string(content), -1) {
+			set[m[1]] = true
+		}
+		anchors[name] = set
+	}
+	var errs []LinkError
+	pages := make([]string, 0, len(s.Pages))
+	for name := range s.Pages {
+		pages = append(pages, name)
+	}
+	sort.Strings(pages)
+	for _, page := range pages {
+		if !strings.HasSuffix(page, ".html") {
+			continue
+		}
+		for _, m := range hrefRe.FindAllStringSubmatch(string(s.Pages[page]), -1) {
+			href := m[1]
+			if href == "" || strings.Contains(href, "://") || strings.HasPrefix(href, "mailto:") {
+				continue
+			}
+			target, frag := href, ""
+			if i := strings.IndexByte(href, '#'); i >= 0 {
+				target, frag = href[:i], href[i+1:]
+			}
+			if target == "" {
+				target = page // same-page fragment
+			}
+			content, ok := s.Pages[target]
+			if !ok {
+				errs = append(errs, LinkError{Page: page, Href: href, Msg: "target page not generated"})
+				continue
+			}
+			if frag != "" && strings.HasSuffix(target, ".html") {
+				if !anchors[target][frag] {
+					errs = append(errs, LinkError{Page: page, Href: href, Msg: "missing anchor #" + frag})
+				}
+			}
+			_ = content
+		}
+	}
+	return errs
+}

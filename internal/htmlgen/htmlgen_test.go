@@ -1,0 +1,257 @@
+package htmlgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goldweb/internal/core"
+)
+
+func TestMultiPagePublication(t *testing.T) {
+	m := core.SampleSales()
+	site, err := Publish(m, Options{Mode: MultiPage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One page per fact class, dimension class, hierarchy level, cube
+	// class and additivity popup, plus the index — the paper: "the number
+	// of pages depends on the number of fact classes and dimension
+	// classes defined in the model".
+	wantPages := []string{
+		"index.html", "f1.html", "d1.html", "d2.html", "d3.html",
+		"c1.html", "style.css",
+	}
+	for _, p := range wantPages {
+		if site.Page(p) == nil {
+			t.Errorf("missing page %s (have %v)", p, site.Order)
+		}
+	}
+	// Level pages exist for every asoclevel.
+	levels := 0
+	for _, d := range m.Dims {
+		levels += len(d.Levels)
+	}
+	htmlCount := len(site.HTMLPages())
+	// index + facts + dims + levels + cubes + additivity pages (2 measures
+	// carry rules).
+	want := 1 + len(m.Facts) + len(m.Dims) + levels + len(m.Cubes) + 2
+	if htmlCount != want {
+		t.Errorf("page count = %d, want %d (%v)", htmlCount, want, site.Order)
+	}
+	index := string(site.Page("index.html"))
+	for _, want := range []string{
+		"Multidimensional model: Sales DW",
+		`<a href="f1.html">Sales</a>`,
+		"2002-03-24",
+	} {
+		if !strings.Contains(index, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	fact := string(site.Page("f1.html"))
+	for _, want := range []string{
+		"Fact class: Sales",
+		"num_ticket {OID}",
+		"qty * price",
+		"many-to-many", // none here, actually — checked below for hospital
+	} {
+		if want == "many-to-many" {
+			if strings.Contains(fact, want) {
+				t.Errorf("sales should have no many-to-many aggregation")
+			}
+			continue
+		}
+		if !strings.Contains(fact, want) {
+			t.Errorf("fact page missing %q", want)
+		}
+	}
+	if errs := CheckLinks(site); len(errs) != 0 {
+		t.Errorf("broken links: %v", errs)
+	}
+}
+
+func TestMultiPageAdditivityPopup(t *testing.T) {
+	m := core.SampleSales()
+	site, err := Publish(m, Options{Mode: MultiPage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// inventory (fa5) carries rules → floating page f1-fa5-add.html (Fig 6.3).
+	inv := m.FactByName("Sales").AttByName("inventory")
+	page := site.Page("f1-" + inv.ID + "-add.html")
+	if page == nil {
+		t.Fatalf("additivity page missing (have %v)", site.Order)
+	}
+	content := string(page)
+	if !strings.Contains(content, "Additivity rules: inventory") {
+		t.Errorf("popup header missing: %s", content)
+	}
+	if !strings.Contains(content, "MAX MIN AVG") {
+		t.Errorf("rules not rendered: %s", content)
+	}
+	// price is not additive along Time.
+	price := m.FactByName("Sales").AttByName("price")
+	content = string(site.Page("f1-" + price.ID + "-add.html"))
+	if !strings.Contains(content, "not additive") {
+		t.Errorf("non-additivity not rendered: %s", content)
+	}
+}
+
+func TestSinglePagePublication(t *testing.T) {
+	site, err := Publish(core.SampleSales(), Options{Mode: SinglePage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(site.HTMLPages()); got != 1 {
+		t.Fatalf("single-page mode produced %d pages", got)
+	}
+	page := string(site.Page("index.html"))
+	for _, want := range []string{
+		"Multidimensional model: Sales DW",
+		`<a href="#f1">Sales</a>`,  // internal link
+		`id="f1"`,                  // anchor
+		"Classification hierarchy", // dimension section
+		"non-strict",               // only in hospital? no: none in sales
+	} {
+		if want == "non-strict" {
+			if strings.Contains(page, want) {
+				t.Error("sales has no non-strict hierarchy")
+			}
+			continue
+		}
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+	if errs := CheckLinks(site); len(errs) != 0 {
+		t.Errorf("broken links: %v", errs)
+	}
+}
+
+// TestPerFactPresentations reproduces Fig. 5: the same model and the same
+// stylesheet produce per-fact-class presentations that hide the
+// dimensions not shared with the selected fact class.
+func TestPerFactPresentations(t *testing.T) {
+	m := core.SampleHospital()
+	adm := m.FactByName("Admissions")
+	treat := m.FactByName("Treatments")
+	diag := m.DimByName("Diagnosis")
+
+	siteAdm, err := Publish(m, Options{Mode: MultiPage, Focus: adm.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteTreat, err := Publish(m, Options{Mode: MultiPage, Focus: treat.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admissions aggregates Diagnosis; Treatments does not.
+	if siteAdm.Page(diag.ID+".html") == nil {
+		t.Error("presentation 1 should include the Diagnosis dimension")
+	}
+	if siteTreat.Page(diag.ID+".html") != nil {
+		t.Error("presentation 2 must hide the Diagnosis dimension")
+	}
+	if siteTreat.Page(adm.ID+".html") != nil {
+		t.Error("presentation 2 must not include the other fact class")
+	}
+	idx := string(siteTreat.Page("index.html"))
+	if strings.Contains(idx, `href="`+adm.ID+`.html"`) {
+		t.Error("index of presentation 2 links the other fact class")
+	}
+	if !strings.Contains(idx, `href="`+treat.ID+`.html"`) {
+		t.Error("index of presentation 2 misses its own fact class")
+	}
+	for _, site := range []*Site{siteAdm, siteTreat} {
+		if errs := CheckLinks(site); len(errs) != 0 {
+			t.Errorf("broken links in focused presentation: %v", errs)
+		}
+	}
+	// The same holds for the single-page presentation.
+	single, err := Publish(m, Options{Mode: SinglePage, Focus: treat.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(single.Page("index.html"))
+	if strings.Contains(page, "Diagnosis") {
+		t.Error("single-page focused presentation leaks hidden dimension")
+	}
+}
+
+func TestHospitalFlagsRendered(t *testing.T) {
+	site, err := Publish(core.SampleHospital(), Options{Mode: MultiPage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.SampleHospital()
+	admPage := string(site.Page(m.FactByName("Admissions").ID + ".html"))
+	if !strings.Contains(admPage, "many-to-many") {
+		t.Error("many-to-many flag missing on Admissions page")
+	}
+	patientPage := string(site.Page(m.DimByName("Patient").ID + ".html"))
+	if !strings.Contains(patientPage, "non-strict") || !strings.Contains(patientPage, "{completeness}") {
+		t.Errorf("hierarchy flags missing: %s", patientPage)
+	}
+}
+
+func TestInvalidDocumentRefused(t *testing.T) {
+	m := core.SampleSales()
+	m.Facts[0].SharedAggs[0].DimClass = "nope"
+	if _, err := Publish(m, Options{Mode: MultiPage}); err == nil {
+		t.Fatal("invalid model published")
+	}
+	// SkipValidation pushes it through regardless.
+	if _, err := Publish(m, Options{Mode: SinglePage, SkipValidation: true}); err != nil {
+		t.Fatalf("skip-validation publish failed: %v", err)
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	dir := t.TempDir()
+	site, err := Publish(core.SampleSales(), Options{Mode: MultiPage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := site.WriteTo(filepath.Join(dir, "site")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "site", "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Sales DW") {
+		t.Error("written index incomplete")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "site", "style.css")); err != nil {
+		t.Error("style.css not written")
+	}
+}
+
+func TestCheckLinksDetectsBreakage(t *testing.T) {
+	site := &Site{Pages: map[string][]byte{
+		"index.html": []byte(`<a href="ghost.html">x</a><a href="#missing">y</a><a id="here" href="#here">ok</a>`),
+	}}
+	errs := CheckLinks(site)
+	if len(errs) != 2 {
+		t.Fatalf("errors = %v", errs)
+	}
+}
+
+func TestHTMLOutputShape(t *testing.T) {
+	site, err := Publish(core.SampleSales(), Options{Mode: MultiPage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := string(site.Page("index.html"))
+	if !strings.HasPrefix(strings.TrimSpace(index), "<html") {
+		t.Errorf("unexpected prologue: %.60s", index)
+	}
+	if strings.Contains(index, "<?xml") {
+		t.Error("html output carries an XML declaration")
+	}
+	if !strings.Contains(index, `<link rel="stylesheet" type="text/css" href="style.css">`) {
+		t.Errorf("css link not in html-void form: %s", index[:400])
+	}
+}

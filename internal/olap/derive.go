@@ -1,0 +1,173 @@
+package olap
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// derivationExpr is a compiled derivation rule of a derived measure
+// (e.g. "qty * price"): arithmetic over the fact's stored measures.
+type derivationExpr interface {
+	eval(measures map[string]float64) (float64, error)
+}
+
+type dNum float64
+
+func (n dNum) eval(map[string]float64) (float64, error) { return float64(n), nil }
+
+type dRef string
+
+func (r dRef) eval(ms map[string]float64) (float64, error) {
+	v, ok := ms[string(r)]
+	if !ok {
+		return 0, fmt.Errorf("olap: derivation references measure %q absent from the row", string(r))
+	}
+	return v, nil
+}
+
+type dBin struct {
+	op   byte
+	l, r derivationExpr
+}
+
+func (b dBin) eval(ms map[string]float64) (float64, error) {
+	l, err := b.l.eval(ms)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.eval(ms)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("olap: division by zero in derivation rule")
+		}
+		return l / r, nil
+	}
+	return 0, fmt.Errorf("olap: bad operator %q", string(b.op))
+}
+
+// compileDerivation parses a derivation rule: identifiers (measure
+// names), decimal numbers, + - * / and parentheses.
+func compileDerivation(rule string) (derivationExpr, error) {
+	p := &deriveParser{src: rule}
+	e, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("olap: trailing input in derivation rule %q", rule)
+	}
+	return e, nil
+}
+
+type deriveParser struct {
+	src string
+	pos int
+}
+
+func (p *deriveParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *deriveParser) parseSum() (derivationExpr, error) {
+	l, err := p.parseProduct()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) || (p.src[p.pos] != '+' && p.src[p.pos] != '-') {
+			return l, nil
+		}
+		op := p.src[p.pos]
+		p.pos++
+		r, err := p.parseProduct()
+		if err != nil {
+			return nil, err
+		}
+		l = dBin{op: op, l: l, r: r}
+	}
+}
+
+func (p *deriveParser) parseProduct() (derivationExpr, error) {
+	l, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) || (p.src[p.pos] != '*' && p.src[p.pos] != '/') {
+			return l, nil
+		}
+		op := p.src[p.pos]
+		p.pos++
+		r, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		l = dBin{op: op, l: l, r: r}
+	}
+}
+
+func (p *deriveParser) parseAtom() (derivationExpr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("olap: unexpected end of derivation rule %q", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("olap: missing ')' in derivation rule %q", p.src)
+		}
+		p.pos++
+		return e, nil
+	case c == '-':
+		p.pos++
+		e, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return dBin{op: '-', l: dNum(0), r: e}, nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.') {
+			p.pos++
+		}
+		f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return nil, fmt.Errorf("olap: bad number in derivation rule %q", p.src)
+		}
+		return dNum(f), nil
+	case c == '_' || unicode.IsLetter(rune(c)):
+		start := p.pos
+		for p.pos < len(p.src) {
+			r := rune(p.src[p.pos])
+			if r != '_' && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				break
+			}
+			p.pos++
+		}
+		return dRef(p.src[start:p.pos]), nil
+	}
+	return nil, fmt.Errorf("olap: unexpected %q in derivation rule %q", string(rune(c)), p.src)
+}

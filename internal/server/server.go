@@ -1,0 +1,209 @@
+// Package server implements the web architecture of the paper's §6: the
+// XSLT stylesheet is applied to the XML document *in the server* and the
+// resulting HTML is returned to the client browser — plus endpoints for
+// the raw and pretty-printed XML, the canonical schema, and an on-demand
+// validation report.
+//
+// Presentations are cached per (mode, focus) pair and regenerated when
+// the model changes.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"goldweb/internal/core"
+	"goldweb/internal/cwm"
+	"goldweb/internal/htmlgen"
+	"goldweb/internal/xmldom"
+)
+
+// Server publishes one conceptual model over HTTP.
+type Server struct {
+	mu    sync.Mutex
+	model *core.Model
+	doc   *xmldom.Node
+	cache map[string]*htmlgen.Site
+}
+
+// New creates a server for the model.
+func New(m *core.Model) *Server {
+	s := &Server{}
+	s.SetModel(m)
+	return s
+}
+
+// SetModel swaps the published model and invalidates cached
+// presentations.
+func (s *Server) SetModel(m *core.Model) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.model = m
+	s.doc = m.ToXML()
+	s.cache = map[string]*htmlgen.Site{}
+}
+
+// site returns the cached (or freshly generated) presentation.
+func (s *Server) site(mode htmlgen.Mode, focus string) (*htmlgen.Site, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := fmt.Sprintf("%d|%s", mode, focus)
+	if site, ok := s.cache[key]; ok {
+		return site, nil
+	}
+	site, err := htmlgen.Publish(s.model, htmlgen.Options{Mode: mode, Focus: focus})
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = site
+	return site, nil
+}
+
+// Handler returns the HTTP handler:
+//
+//	GET /                  redirect to /site/index.html
+//	GET /site/<page>       multi-page presentation (?focus=<factid>)
+//	GET /single            single-page presentation (?focus=<factid>)
+//	GET /model.xml         the XML document (Fig. 3)
+//	GET /pretty            pretty-printed XML, a browser's raw view (Fig. 4)
+//	GET /schema.xsd        the canonical XML Schema
+//	GET /validate          plain-text validation report
+//	GET /client/model.xml  XML + xml-stylesheet PI for client-side XSLT (§6 future work)
+//	GET /client/single.xsl the stylesheet the browser applies
+//	GET /cwm.xmi           CWM OLAP interchange document (§6 future work)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/site/index.html", http.StatusFound)
+	})
+	mux.HandleFunc("/site/", func(w http.ResponseWriter, r *http.Request) {
+		page := strings.TrimPrefix(r.URL.Path, "/site/")
+		if page == "" {
+			page = htmlgen.IndexName
+		}
+		if page != path.Clean(page) || strings.Contains(page, "/") {
+			http.NotFound(w, r)
+			return
+		}
+		site, err := s.site(htmlgen.MultiPage, r.URL.Query().Get("focus"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		content := site.Page(page)
+		if content == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", contentType(page))
+		w.Write(content)
+	})
+	mux.HandleFunc("/single", func(w http.ResponseWriter, r *http.Request) {
+		site, err := s.site(htmlgen.SinglePage, r.URL.Query().Get("focus"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(site.Page(htmlgen.IndexName))
+	})
+	mux.HandleFunc("/style.css", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/css; charset=utf-8")
+		fmt.Fprint(w, core.StyleCSS)
+	})
+	mux.HandleFunc("/model.xml", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		out := xmldom.SerializeToString(s.doc, xmldom.WriteOptions{})
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		fmt.Fprint(w, out)
+	})
+	mux.HandleFunc("/pretty", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		out := xmldom.Pretty(s.doc)
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, out)
+	})
+	// The paper's §6 future work: "when the browsers completely support
+	// XML and XSLT, the transformation will be able to be performed in the
+	// browser ... removing some of the processing load from the server."
+	// /client/model.xml carries an xml-stylesheet processing instruction,
+	// and the stylesheet itself is served next to it, so an XSLT-capable
+	// browser renders the model client-side.
+	mux.HandleFunc("/client/model.xml", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		doc := s.doc.Clone()
+		s.mu.Unlock()
+		pi := &xmldom.Node{Type: xmldom.PINode, Name: "xml-stylesheet",
+			Data: `type="text/xsl" href="/client/single.xsl"`}
+		doc.InsertBefore(pi, doc.DocumentElement())
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		fmt.Fprint(w, xmldom.SerializeToString(doc, xmldom.WriteOptions{}))
+	})
+	mux.HandleFunc("/client/single.xsl", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		fmt.Fprint(w, core.SingleXSL)
+	})
+	mux.HandleFunc("/cwm.xmi", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		model := s.model
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		fmt.Fprint(w, cwm.ExportString(model))
+	})
+	mux.HandleFunc("/schema.xsd", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		fmt.Fprint(w, core.SchemaXSD)
+	})
+	mux.HandleFunc("/validate", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		doc := s.doc.Clone()
+		model := s.model
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		schemaErrs := core.ValidateDocument(doc)
+		semErrs := model.Validate()
+		if len(schemaErrs) == 0 && len(semErrs) == 0 {
+			fmt.Fprintf(w, "VALID: %s conforms to the XML Schema and the metamodel constraints\n", model.Name)
+			return
+		}
+		var lines []string
+		for _, e := range schemaErrs {
+			lines = append(lines, "schema: "+e.Error())
+		}
+		for _, e := range semErrs {
+			lines = append(lines, "model: "+e.Error())
+		}
+		sort.Strings(lines)
+		fmt.Fprintf(w, "INVALID: %d problems\n", len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	})
+	return mux
+}
+
+func contentType(page string) string {
+	switch {
+	case strings.HasSuffix(page, ".css"):
+		return "text/css; charset=utf-8"
+	case strings.HasSuffix(page, ".html"):
+		return "text/html; charset=utf-8"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// ListenAndServe runs the server on addr (blocking).
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s.Handler())
+}

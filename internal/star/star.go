@@ -1,0 +1,559 @@
+// Package star implements the paper's export modules: transformation
+// rules that turn a conceptual multidimensional model into the structures
+// of a target tool — here, relational star or snowflake schemas (DDL) and
+// the corresponding data loads (DML) from an olap.Dataset. The paper uses
+// this step ("semi-automatically generate the implementation of a MD
+// model into a target commercial OLAP tool") to check the validity of the
+// conceptual approach.
+package star
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goldweb/internal/core"
+	"goldweb/internal/olap"
+)
+
+// Style selects the relational layout.
+type Style int
+
+// The two classic layouts.
+const (
+	// Star flattens every classification hierarchy into one table per
+	// dimension (Kimball-style).
+	Star Style = iota
+	// Snowflake normalizes hierarchy levels into separate tables with
+	// foreign keys along the DAG edges.
+	Snowflake
+)
+
+func (s Style) String() string {
+	if s == Star {
+		return "star"
+	}
+	return "snowflake"
+}
+
+// Options configure schema generation.
+type Options struct {
+	Style Style
+	// Prefix is prepended to every table name (default none).
+	Prefix string
+}
+
+// Export is a generated relational schema.
+type Export struct {
+	Style      Style
+	Statements []string // CREATE TABLE statements in dependency order
+	// Tables maps logical names ("dim:Time", "fact:Sales",
+	// "bridge:Sales:Diagnosis", "level:Time:Month") to table names.
+	Tables map[string]string
+}
+
+// DDL returns the schema as a single SQL script.
+func (e *Export) DDL() string {
+	return strings.Join(e.Statements, "\n\n") + "\n"
+}
+
+// sqlType maps a conceptual attribute type to SQL.
+func sqlType(t string) string {
+	switch strings.ToLower(t) {
+	case "integer", "int", "oid":
+		return "INTEGER"
+	case "currency", "decimal", "money":
+		return "DECIMAL(12,2)"
+	case "float", "double", "number":
+		return "DOUBLE PRECISION"
+	case "date":
+		return "DATE"
+	case "datetime", "timestamp":
+		return "TIMESTAMP"
+	case "boolean", "bool":
+		return "BOOLEAN"
+	default:
+		return "VARCHAR(255)"
+	}
+}
+
+// ident turns a conceptual name into a SQL identifier.
+func ident(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	s := strings.Trim(b.String(), "_")
+	if s == "" {
+		s = "x"
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		s = "t_" + s
+	}
+	return s
+}
+
+// Generate produces the relational schema for a model.
+func Generate(m *core.Model, opts Options) (*Export, error) {
+	if errs := m.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("star: model is not well-formed: %v", errs[0])
+	}
+	e := &Export{Style: opts.Style, Tables: map[string]string{}}
+	g := &generator{m: m, opts: opts, e: e}
+	for _, d := range m.Dims {
+		if err := g.dimension(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range m.Facts {
+		if err := g.fact(f); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+type generator struct {
+	m    *core.Model
+	opts Options
+	e    *Export
+}
+
+func (g *generator) table(logical, name string) string {
+	full := g.opts.Prefix + name
+	g.e.Tables[logical] = full
+	return full
+}
+
+type column struct {
+	name, typ, constraint string
+}
+
+func (g *generator) emit(table string, cols []column, extra ...string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (\n", table)
+	lines := make([]string, 0, len(cols)+len(extra))
+	for _, c := range cols {
+		line := "  " + c.name + " " + c.typ
+		if c.constraint != "" {
+			line += " " + c.constraint
+		}
+		lines = append(lines, line)
+	}
+	for _, x := range extra {
+		lines = append(lines, "  "+x)
+	}
+	b.WriteString(strings.Join(lines, ",\n"))
+	b.WriteString("\n);")
+	g.e.Statements = append(g.e.Statements, b.String())
+}
+
+// dimAttCols renders the attribute columns of a level/terminal.
+func dimAttCols(atts []*core.DimAtt, prefix string) []column {
+	var cols []column
+	for _, a := range atts {
+		c := column{name: prefix + ident(a.Name), typ: sqlType(a.Type)}
+		if a.IsOID && prefix == "" {
+			c.constraint = "PRIMARY KEY"
+		}
+		cols = append(cols, c)
+	}
+	return cols
+}
+
+func oidCol(atts []*core.DimAtt) string {
+	for _, a := range atts {
+		if a.IsOID {
+			return ident(a.Name)
+		}
+	}
+	return ""
+}
+
+// dimension emits the table(s) of one dimension.
+func (g *generator) dimension(d *core.DimClass) error {
+	if g.opts.Style == Snowflake {
+		return g.snowflakeDimension(d)
+	}
+	// Star: flatten. Non-strict edges cannot be flattened into one row
+	// per leaf member.
+	for _, assocs := range append([][]*core.Association{d.Associations}, levelAssocs(d)...) {
+		for _, a := range assocs {
+			if a.NonStrict() {
+				return fmt.Errorf("star: dimension %s has a non-strict hierarchy; use the snowflake style", d.Name)
+			}
+		}
+	}
+	table := g.table("dim:"+d.Name, "dim_"+ident(d.Name))
+	cols := dimAttCols(d.Atts, "")
+	// Each level contributes its attributes prefixed by the level name;
+	// alternative paths simply contribute all levels once.
+	for _, l := range d.Levels {
+		cols = append(cols, dimAttCols(l.Atts, ident(l.Name)+"_")...)
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("star: dimension %s has no attributes", d.Name)
+	}
+	g.emit(table, cols)
+	return nil
+}
+
+func levelAssocs(d *core.DimClass) [][]*core.Association {
+	var out [][]*core.Association
+	for _, l := range d.Levels {
+		out = append(out, l.Associations)
+	}
+	return out
+}
+
+// snowflakeDimension emits one table per level plus the terminal table,
+// with FK columns for strict edges and bridge tables for non-strict ones.
+func (g *generator) snowflakeDimension(d *core.DimClass) error {
+	// Emit levels topologically: parents (higher levels) first.
+	order, err := topoLevels(d)
+	if err != nil {
+		return err
+	}
+	levelTable := func(levelID string) string {
+		if levelID == "" {
+			return g.e.Tables["dim:"+d.Name]
+		}
+		return g.e.Tables["level:"+d.Name+":"+d.Level(levelID).Name]
+	}
+	for i := 0; i < len(order); i++ { // top-first: FK targets exist before referees
+		lid := order[i]
+		var atts []*core.DimAtt
+		var assocs []*core.Association
+		var table, owner string
+		if lid == "" {
+			atts, assocs = d.Atts, d.Associations
+			table = g.table("dim:"+d.Name, "dim_"+ident(d.Name))
+			owner = d.Name
+		} else {
+			l := d.Level(lid)
+			atts, assocs = l.Atts, l.Associations
+			table = g.table("level:"+d.Name+":"+l.Name, "dim_"+ident(d.Name)+"_"+ident(l.Name))
+			owner = l.Name
+		}
+		cols := dimAttCols(atts, "")
+		var extra []string
+		for _, a := range assocs {
+			child := d.Level(a.Child)
+			childOID := oidCol(child.Atts)
+			parentTable := levelTable(a.Child)
+			if a.NonStrict() {
+				// Bridge table between this level and the parent level.
+				bridge := g.table("bridge:"+d.Name+":"+owner+":"+child.Name,
+					"br_"+ident(d.Name)+"_"+ident(owner)+"_"+ident(child.Name))
+				selfOID := oidCol(atts)
+				g.emit(bridge, []column{
+					{name: ident(owner) + "_" + selfOID, typ: "VARCHAR(64)",
+						constraint: "NOT NULL REFERENCES " + table + "(" + selfOID + ")"},
+					{name: ident(child.Name) + "_" + childOID, typ: "VARCHAR(64)",
+						constraint: "NOT NULL REFERENCES " + parentTable + "(" + childOID + ")"},
+				}, "PRIMARY KEY ("+ident(owner)+"_"+selfOID+", "+ident(child.Name)+"_"+childOID+")")
+				continue
+			}
+			col := ident(child.Name) + "_" + childOID
+			nullable := "REFERENCES " + parentTable + "(" + childOID + ")"
+			if a.Completeness {
+				nullable = "NOT NULL " + nullable
+			}
+			cols = append(cols, column{name: col, typ: "VARCHAR(64)", constraint: nullable})
+		}
+		// Bridge tables reference this table, so emit it before appending
+		// the statements created above... CREATE order: table first.
+		// Reorder: emit main table, then move any bridge statements after.
+		g.emitBefore(table, cols, extra)
+	}
+	return nil
+}
+
+// emitBefore emits the table ensuring it appears before bridge tables that
+// reference it (bridges were appended first inside the loop).
+func (g *generator) emitBefore(table string, cols []column, extra []string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (\n", table)
+	lines := make([]string, 0, len(cols)+len(extra))
+	for _, c := range cols {
+		line := "  " + c.name + " " + c.typ
+		if c.constraint != "" {
+			line += " " + c.constraint
+		}
+		lines = append(lines, line)
+	}
+	for _, x := range extra {
+		lines = append(lines, "  "+x)
+	}
+	b.WriteString(strings.Join(lines, ",\n"))
+	b.WriteString("\n);")
+	// Find trailing bridge statements referencing this table and insert
+	// the table before them.
+	stmt := b.String()
+	insertAt := len(g.e.Statements)
+	for i := len(g.e.Statements) - 1; i >= 0; i-- {
+		if strings.Contains(g.e.Statements[i], "REFERENCES "+table+"(") {
+			insertAt = i
+		} else {
+			break
+		}
+	}
+	g.e.Statements = append(g.e.Statements, "")
+	copy(g.e.Statements[insertAt+1:], g.e.Statements[insertAt:])
+	g.e.Statements[insertAt] = stmt
+}
+
+// topoLevels orders "" (terminal) and all level ids so that every edge
+// goes from earlier to later (leaf to top).
+func topoLevels(d *core.DimClass) ([]string, error) {
+	visited := map[string]int{} // 1 visiting, 2 done
+	var out []string
+	var visit func(id string) error
+	edgesOf := func(id string) []*core.Association {
+		if id == "" {
+			return d.Associations
+		}
+		if l := d.Level(id); l != nil {
+			return l.Associations
+		}
+		return nil
+	}
+	visit = func(id string) error {
+		switch visited[id] {
+		case 1:
+			return fmt.Errorf("star: dimension %s hierarchy has a cycle", d.Name)
+		case 2:
+			return nil
+		}
+		visited[id] = 1
+		for _, e := range edgesOf(id) {
+			if err := visit(e.Child); err != nil {
+				return err
+			}
+		}
+		visited[id] = 2
+		out = append(out, id)
+		return nil
+	}
+	if err := visit(""); err != nil {
+		return nil, err
+	}
+	// Unreached levels (validated models have none) go first so anything
+	// referencing them still finds a table.
+	var orphans []string
+	for _, l := range d.Levels {
+		if visited[l.ID] != 2 {
+			orphans = append(orphans, l.ID)
+		}
+	}
+	// Post-order emits a node after everything it references upward, so
+	// out is top-first: highest levels first, the terminal level ("") last.
+	return append(orphans, out...), nil
+}
+
+// fact emits the fact table (and bridge tables for many-to-many
+// dimensions).
+func (g *generator) fact(f *core.FactClass) error {
+	table := g.table("fact:"+f.Name, "fact_"+ident(f.Name))
+	var cols []column
+	var pk []string
+	var bridges []func()
+	for _, agg := range f.SharedAggs {
+		d := g.m.Dim(agg.DimClass)
+		dimTable := g.e.Tables["dim:"+d.Name]
+		oid := oidCol(d.Atts)
+		if oid == "" {
+			return fmt.Errorf("star: dimension %s has no {OID} attribute", d.Name)
+		}
+		if agg.ManyToMany() {
+			dCopy, oidCopy, dimTableCopy := d, oid, dimTable
+			bridges = append(bridges, func() {
+				bridge := g.table("bridge:"+f.Name+":"+dCopy.Name,
+					"br_"+ident(f.Name)+"_"+ident(dCopy.Name))
+				g.emit(bridge, []column{
+					{name: "fact_id", typ: "BIGINT", constraint: "NOT NULL REFERENCES " + table + "(fact_id)"},
+					{name: ident(dCopy.Name) + "_" + oidCopy, typ: "VARCHAR(64)",
+						constraint: "NOT NULL REFERENCES " + dimTableCopy + "(" + oidCopy + ")"},
+				}, "PRIMARY KEY (fact_id, "+ident(dCopy.Name)+"_"+oidCopy+")")
+			})
+			continue
+		}
+		col := ident(d.Name) + "_" + oid
+		cols = append(cols, column{name: col, typ: "VARCHAR(64)",
+			constraint: "NOT NULL REFERENCES " + dimTable + "(" + oid + ")"})
+		pk = append(pk, col)
+	}
+	// Surrogate key: needed when many-to-many bridges exist; also keeps
+	// degenerate dimensions queryable.
+	cols = append([]column{{name: "fact_id", typ: "BIGINT", constraint: "PRIMARY KEY"}}, cols...)
+	for _, a := range f.Atts {
+		if a.IsDerived {
+			continue // computed, not stored
+		}
+		typ := sqlType(a.Type)
+		if a.IsOID {
+			typ = "VARCHAR(64)" // degenerate dimension column
+		}
+		cols = append(cols, column{name: ident(a.Name), typ: typ})
+	}
+	g.emit(table, cols)
+	for _, emitBridge := range bridges {
+		emitBridge()
+	}
+	_ = pk
+	return nil
+}
+
+// ---- data load (DML) ----
+
+// GenerateDML renders INSERT statements loading an olap.Dataset into a
+// snowflake schema previously produced by Generate. (The star style would
+// require flattening joins; the snowflake load is the faithful one and is
+// what the tests and examples exercise.)
+func GenerateDML(ds *olap.Dataset, e *Export) ([]string, error) {
+	if e.Style != Snowflake {
+		return nil, fmt.Errorf("star: DML generation requires the snowflake style")
+	}
+	m := ds.Model()
+	var out []string
+	for _, d := range m.Dims {
+		stmts, err := dimDML(ds, e, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmts...)
+	}
+	for _, f := range m.Facts {
+		stmts, err := factDML(ds, e, f, m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmts...)
+	}
+	return out, nil
+}
+
+func sqlQuote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+func dimDML(ds *olap.Dataset, e *Export, d *core.DimClass) ([]string, error) {
+	dd := ds.Dim(d.Name)
+	var out []string
+	// Levels top-down so FK targets exist.
+	order, err := topoLevels(d)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(order); i++ { // top-first: parents inserted before children reference them
+		lid := order[i]
+		var atts []*core.DimAtt
+		var assocs []*core.Association
+		var table, levelName string
+		if lid == "" {
+			atts, assocs = d.Atts, d.Associations
+			table = e.Tables["dim:"+d.Name]
+			levelName = ""
+		} else {
+			l := d.Level(lid)
+			atts, assocs = l.Atts, l.Associations
+			table = e.Tables["level:"+d.Name+":"+l.Name]
+			levelName = l.Name
+		}
+		members := dd.Members(levelName)
+		sort.Slice(members, func(a, b int) bool { return members[a].Key < members[b].Key })
+		for _, mem := range members {
+			cols := make([]string, 0, len(atts))
+			vals := make([]string, 0, len(atts))
+			for _, a := range atts {
+				cols = append(cols, ident(a.Name))
+				switch {
+				case a.IsOID:
+					vals = append(vals, sqlQuote(mem.Key))
+				case a.IsD:
+					vals = append(vals, sqlQuote(mem.Name))
+				default:
+					vals = append(vals, sqlQuote(mem.Attrs[a.Name]))
+				}
+			}
+			var bridgeRows []string
+			ownerName := levelName
+			if ownerName == "" {
+				ownerName = d.Name
+			}
+			for _, assoc := range assocs {
+				child := d.Level(assoc.Child)
+				parents := mem.ParentsAt(assoc.Child)
+				if assoc.NonStrict() {
+					bridge := e.Tables["bridge:"+d.Name+":"+ownerName+":"+child.Name]
+					selfOID := oidCol(atts)
+					for _, p := range parents {
+						bridgeRows = append(bridgeRows, fmt.Sprintf(
+							"INSERT INTO %s (%s_%s, %s_%s) VALUES (%s, %s);",
+							bridge, ident(ownerName), selfOID, ident(child.Name), oidCol(child.Atts),
+							sqlQuote(mem.Key), sqlQuote(p.Key)))
+					}
+					continue
+				}
+				cols = append(cols, ident(child.Name)+"_"+oidCol(child.Atts))
+				if len(parents) == 0 {
+					vals = append(vals, "NULL")
+				} else {
+					vals = append(vals, sqlQuote(parents[0].Key))
+				}
+			}
+			out = append(out, fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s);",
+				table, strings.Join(cols, ", "), strings.Join(vals, ", ")))
+			out = append(out, bridgeRows...)
+		}
+	}
+	return out, nil
+}
+
+func factDML(ds *olap.Dataset, e *Export, f *core.FactClass, m *core.Model) ([]string, error) {
+	fd := ds.Fact(f.Name)
+	table := e.Tables["fact:"+f.Name]
+	var out []string
+	for i, row := range fd.Rows() {
+		cols := []string{"fact_id"}
+		vals := []string{fmt.Sprint(i + 1)}
+		var bridgeStmts []string
+		for _, agg := range f.SharedAggs {
+			d := m.Dim(agg.DimClass)
+			oid := oidCol(d.Atts)
+			keys := row.Coords[d.Name]
+			if agg.ManyToMany() {
+				bridge := e.Tables["bridge:"+f.Name+":"+d.Name]
+				for _, k := range keys {
+					bridgeStmts = append(bridgeStmts, fmt.Sprintf(
+						"INSERT INTO %s (fact_id, %s_%s) VALUES (%d, %s);",
+						bridge, ident(d.Name), oid, i+1, sqlQuote(k)))
+				}
+				continue
+			}
+			cols = append(cols, ident(d.Name)+"_"+oid)
+			vals = append(vals, sqlQuote(keys[0]))
+		}
+		for _, a := range f.Atts {
+			if a.IsDerived {
+				continue
+			}
+			if a.IsOID {
+				cols = append(cols, ident(a.Name))
+				vals = append(vals, sqlQuote(row.Degenerate[a.Name]))
+				continue
+			}
+			cols = append(cols, ident(a.Name))
+			vals = append(vals, fmt.Sprint(row.Measures[a.Name]))
+		}
+		out = append(out, fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s);",
+			table, strings.Join(cols, ", "), strings.Join(vals, ", ")))
+		out = append(out, bridgeStmts...)
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package star
+
+import (
+	"strings"
+	"testing"
+
+	"goldweb/internal/core"
+	"goldweb/internal/olap"
+)
+
+func TestStarDDLForSales(t *testing.T) {
+	e, err := Generate(core.SampleSales(), Options{Style: Star})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddl := e.DDL()
+	for _, want := range []string{
+		"CREATE TABLE dim_time (",
+		"CREATE TABLE dim_product (",
+		"CREATE TABLE dim_store (",
+		"CREATE TABLE fact_sales (",
+		"day_id INTEGER PRIMARY KEY",
+		"month_month_name VARCHAR(255)", // flattened level attribute
+		"year_year_number INTEGER",
+		"qty INTEGER",
+		"price DECIMAL(12,2)",
+		"num_ticket VARCHAR(64)", // degenerate dimension column
+		"time_day_id VARCHAR(64) NOT NULL REFERENCES dim_time(day_id)",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("star DDL missing %q\n%s", want, ddl)
+		}
+	}
+	if strings.Contains(ddl, "total") {
+		t.Error("derived measure should not be stored")
+	}
+	// One table per dimension + one per fact.
+	if got := strings.Count(ddl, "CREATE TABLE"); got != 4 {
+		t.Errorf("table count = %d", got)
+	}
+}
+
+func TestSnowflakeDDLForSales(t *testing.T) {
+	e, err := Generate(core.SampleSales(), Options{Style: Snowflake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddl := e.DDL()
+	for _, want := range []string{
+		"CREATE TABLE dim_time (",
+		"CREATE TABLE dim_time_month (",
+		"CREATE TABLE dim_time_week (",
+		"CREATE TABLE dim_time_year (",
+		"month_month_id VARCHAR(64) NOT NULL REFERENCES dim_time_month(month_id)", // complete → NOT NULL
+		"week_week_id VARCHAR(64) REFERENCES dim_time_week(week_id)",              // non-complete → nullable
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("snowflake DDL missing %q\n%s", want, ddl)
+		}
+	}
+	// Referenced tables must be created before referencing ones.
+	for _, pair := range [][2]string{
+		{"CREATE TABLE dim_time_year (", "CREATE TABLE dim_time_month ("},
+		{"CREATE TABLE dim_time_month (", "CREATE TABLE dim_time ("},
+	} {
+		if strings.Index(ddl, pair[0]) > strings.Index(ddl, pair[1]) {
+			t.Errorf("%q should precede %q", pair[0], pair[1])
+		}
+	}
+}
+
+func TestStarRejectsNonStrict(t *testing.T) {
+	if _, err := Generate(core.SampleHospital(), Options{Style: Star}); err == nil ||
+		!strings.Contains(err.Error(), "non-strict") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSnowflakeHandlesNonStrictAndManyToMany(t *testing.T) {
+	e, err := Generate(core.SampleHospital(), Options{Style: Snowflake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddl := e.DDL()
+	// Non-strict Patient → RiskGroup becomes a bridge table.
+	if !strings.Contains(ddl, "CREATE TABLE br_patient_patient_riskgroup (") {
+		t.Errorf("hierarchy bridge missing:\n%s", ddl)
+	}
+	// Many-to-many Admissions ↔ Diagnosis becomes a fact bridge.
+	if !strings.Contains(ddl, "CREATE TABLE br_admissions_diagnosis (") {
+		t.Errorf("fact bridge missing:\n%s", ddl)
+	}
+	// The fact table must not carry a direct diagnosis FK.
+	factStart := strings.Index(ddl, "CREATE TABLE fact_admissions (")
+	factEnd := strings.Index(ddl[factStart:], ");")
+	factSQL := ddl[factStart : factStart+factEnd]
+	if strings.Contains(factSQL, "diagnosis") {
+		t.Errorf("fact table references m2m dimension directly:\n%s", factSQL)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	e, err := Generate(core.SampleSales(), Options{Style: Star, Prefix: "dw_"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.DDL(), "CREATE TABLE dw_fact_sales (") {
+		t.Errorf("prefix not applied:\n%s", e.DDL())
+	}
+}
+
+func TestIdentSanitization(t *testing.T) {
+	cases := map[string]string{
+		"Sales":      "sales",
+		"num ticket": "num_ticket",
+		"Qty/Value":  "qty_value",
+		"1stLevel":   "t_1stlevel",
+		"--":         "x",
+		"Árbol":      "rbol",
+	}
+	for in, want := range cases {
+		if got := ident(in); got != want {
+			t.Errorf("ident(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDMLGeneration(t *testing.T) {
+	m := core.SampleHospital()
+	ds := olap.NewDataset(m)
+	time := ds.Dim("Time")
+	time.AddMember("", "d1", "day 1")
+	time.AddMember("Month", "m1", "Jan")
+	time.MustLink("", "d1", "Month", "m1")
+	patient := ds.Dim("Patient")
+	patient.AddMember("", "p1", "Alice").Set("birth_date", "1980-01-01")
+	patient.AddMember("RiskGroup", "low", "Low")
+	patient.AddMember("RiskGroup", "high", "High")
+	patient.MustLink("", "p1", "RiskGroup", "low")
+	patient.MustLink("", "p1", "RiskGroup", "high")
+	diag := ds.Dim("Diagnosis")
+	diag.AddMember("", "dx1", "Flu")
+	diag.AddMember("", "dx2", "Asthma")
+	diag.AddMember("DiagnosisGroup", "resp", "Respiratory")
+	diag.MustLink("", "dx1", "DiagnosisGroup", "resp")
+	diag.MustLink("", "dx2", "DiagnosisGroup", "resp")
+	ward := ds.Dim("Ward")
+	ward.AddMember("", "w1", "North")
+
+	adm := ds.Fact("Admissions")
+	adm.MustAdd(olap.Row{
+		Coords: map[string][]string{
+			"Time": {"d1"}, "Patient": {"p1"}, "Ward": {"w1"}, "Diagnosis": {"dx1", "dx2"}},
+		Measures:   map[string]float64{"stay_days": 5, "cost": 1200.5},
+		Degenerate: map[string]string{"admission_id": "A1"},
+	})
+	treat := ds.Fact("Treatments")
+	treat.MustAdd(olap.Row{
+		Coords:   map[string][]string{"Time": {"d1"}, "Patient": {"p1"}, "Ward": {"w1"}},
+		Measures: map[string]float64{"dose_units": 2, "duration_min": 30},
+	})
+
+	e, err := Generate(m, Options{Style: Snowflake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts, err := GenerateDML(ds, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := strings.Join(stmts, "\n")
+	for _, want := range []string{
+		"INSERT INTO dim_time_month (month_id, month_name) VALUES ('m1', 'Jan');",
+		"INSERT INTO dim_patient (patient_id, patient_name, birth_date) VALUES ('p1', 'Alice', '1980-01-01');",
+		// Non-strict membership rows.
+		"INSERT INTO br_patient_patient_riskgroup (patient_patient_id, riskgroup_risk_id) VALUES ('p1', 'low');",
+		"INSERT INTO br_patient_patient_riskgroup (patient_patient_id, riskgroup_risk_id) VALUES ('p1', 'high');",
+		// Fact row with degenerate dimension.
+		"admission_id",
+		"'A1'",
+		// Many-to-many bridge rows.
+		"INSERT INTO br_admissions_diagnosis (fact_id, diagnosis_diagnosis_id) VALUES (1, 'dx1');",
+		"INSERT INTO br_admissions_diagnosis (fact_id, diagnosis_diagnosis_id) VALUES (1, 'dx2');",
+	} {
+		if !strings.Contains(script, want) {
+			t.Errorf("DML missing %q\n%s", want, script)
+		}
+	}
+	// Strict edge as FK value.
+	if !strings.Contains(script, "'d1', 'day 1', 'm1'") && !strings.Contains(script, "month_month_id") {
+		t.Errorf("terminal row lacks month FK:\n%s", script)
+	}
+	// DML for a star export is refused.
+	if _, err := GenerateDML(ds, &Export{Style: Star}); err == nil {
+		t.Error("star DML should be refused")
+	}
+}
+
+func TestSQLQuoteEscapes(t *testing.T) {
+	if got := sqlQuote("O'Brien"); got != "'O''Brien'" {
+		t.Errorf("quote = %s", got)
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"goldweb/internal/core"
+	"goldweb/internal/htmlgen"
+)
+
+// TestSweepInvariant is the repository's broadest property: every model
+// the generator can produce (a) passes semantic validation, (b) passes
+// canonical-schema validation of its XML form, (c) round-trips through
+// XML, and (d) publishes a link-closed multi-page site whose page count
+// follows the structural formula.
+func TestSweepInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	f := func(fRaw, dRaw, hRaw uint8, seed int16) bool {
+		spec := ModelSpec{
+			Facts: 1 + int(fRaw%3),
+			Dims:  1 + int(dRaw%4),
+			Depth: int(hRaw % 3),
+			Cubes: seed%2 == 0,
+			Seed:  int64(seed),
+		}
+		m := GenModel(spec)
+		if errs := m.Validate(); len(errs) != 0 {
+			t.Logf("%s: semantic: %v", spec, errs)
+			return false
+		}
+		if errs := core.ValidateModel(m); len(errs) != 0 {
+			t.Logf("%s: schema: %v", spec, errs)
+			return false
+		}
+		back, err := core.ModelFromXMLString(m.XMLString())
+		if err != nil || len(back.Facts) != spec.Facts || len(back.Dims) != spec.Dims {
+			t.Logf("%s: round trip: %v", spec, err)
+			return false
+		}
+		site, err := htmlgen.Publish(m, htmlgen.Options{Mode: htmlgen.MultiPage})
+		if err != nil {
+			t.Logf("%s: publish: %v", spec, err)
+			return false
+		}
+		if errs := htmlgen.CheckLinks(site); len(errs) != 0 {
+			t.Logf("%s: links: %v", spec, errs)
+			return false
+		}
+		// Page count: index + facts + dims + levels + cubes + additivity
+		// pages (one per measure carrying rules).
+		levels, addPages := 0, 0
+		for _, d := range m.Dims {
+			levels += len(d.Levels)
+		}
+		for _, fc := range m.Facts {
+			for _, a := range fc.Atts {
+				if len(a.Additivity) > 0 {
+					addPages++
+				}
+			}
+		}
+		want := 1 + len(m.Facts) + len(m.Dims) + levels + len(m.Cubes) + addPages
+		if got := len(site.HTMLPages()); got != want {
+			t.Logf("%s: pages=%d want %d", spec, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package workload generates synthetic conceptual models and instance
+// data of controlled size for benchmarks: the parameter sweeps of the
+// evaluation reproduce how validation and transformation cost, and the
+// number of generated pages, scale with the number of fact classes,
+// dimension classes and hierarchy depth.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"goldweb/internal/core"
+	"goldweb/internal/olap"
+)
+
+// ModelSpec sizes a synthetic model.
+type ModelSpec struct {
+	Facts int // number of fact classes (≥ 1)
+	Dims  int // number of dimension classes (≥ 1)
+	Depth int // hierarchy levels per dimension (≥ 0)
+	// MeasuresPerFact counts non-degenerate measures (default 3).
+	MeasuresPerFact int
+	// AttsPerLevel counts extra (non-OID, non-D) attributes (default 1).
+	AttsPerLevel int
+	// Cubes adds one cube class per fact when true.
+	Cubes bool
+	Seed  int64
+}
+
+func (s ModelSpec) String() string {
+	return fmt.Sprintf("f%dd%dh%d", s.Facts, s.Dims, s.Depth)
+}
+
+// GenModel builds a deterministic synthetic model: every fact class
+// aggregates every dimension; each dimension carries a linear hierarchy
+// of Depth levels; some measures get additivity rules so the model
+// exercises the full schema.
+func GenModel(spec ModelSpec) *core.Model {
+	if spec.Facts < 1 {
+		spec.Facts = 1
+	}
+	if spec.Dims < 1 {
+		spec.Dims = 1
+	}
+	if spec.MeasuresPerFact == 0 {
+		spec.MeasuresPerFact = 3
+	}
+	if spec.AttsPerLevel == 0 {
+		spec.AttsPerLevel = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	b := core.NewModel(fmt.Sprintf("Synthetic %s", spec)).
+		Describe(fmt.Sprintf("Synthetic model with %d facts, %d dims, depth %d.",
+			spec.Facts, spec.Dims, spec.Depth))
+
+	dimNames := make([]string, spec.Dims)
+	for d := 0; d < spec.Dims; d++ {
+		name := fmt.Sprintf("Dim%02d", d+1)
+		dimNames[d] = name
+		db := b.Dimension(name).
+			Key(fmt.Sprintf("%s_id", lower(name)), "OID").
+			Descriptor(fmt.Sprintf("%s_name", lower(name)), "String")
+		for a := 0; a < spec.AttsPerLevel; a++ {
+			db.Attr(fmt.Sprintf("%s_att%d", lower(name), a+1), "String")
+		}
+		prevLevel := ""
+		for lv := 0; lv < spec.Depth; lv++ {
+			lname := fmt.Sprintf("%sL%d", name, lv+1)
+			lb := db.Level(lname).
+				Key(fmt.Sprintf("%s_id", lower(lname)), "OID").
+				Descriptor(fmt.Sprintf("%s_name", lower(lname)), "String")
+			for a := 0; a < spec.AttsPerLevel; a++ {
+				lb.Attr(fmt.Sprintf("%s_att%d", lower(lname), a+1), "String")
+			}
+			if prevLevel == "" {
+				db.Rollup(lname)
+			} else {
+				db.LevelRef(prevLevel).Rollup(lname)
+			}
+			prevLevel = lname
+		}
+	}
+
+	for f := 0; f < spec.Facts; f++ {
+		fname := fmt.Sprintf("Fact%02d", f+1)
+		fb := b.Fact(fname).Describe("Synthetic fact class " + fname)
+		for _, dn := range dimNames {
+			fb.Aggregates(dn)
+		}
+		var measureNames []string
+		for mi := 0; mi < spec.MeasuresPerFact; mi++ {
+			mname := fmt.Sprintf("%s_m%d", lower(fname), mi+1)
+			measureNames = append(measureNames, mname)
+			mb := fb.Measure(mname, "Integer")
+			// Roughly a third of the measures carry additivity rules.
+			if rng.Intn(3) == 0 && len(dimNames) > 0 {
+				dn := dimNames[rng.Intn(len(dimNames))]
+				if rng.Intn(2) == 0 {
+					mb.NotAdditive(dn)
+				} else {
+					mb.Additive(dn, "MAX", "MIN", "AVG")
+				}
+			}
+		}
+		fb.Measure(fmt.Sprintf("%s_ticket", lower(fname)), "Integer").OID()
+		if len(measureNames) >= 2 {
+			fb.Measure(fmt.Sprintf("%s_derived", lower(fname)), "Integer").
+				Derived(measureNames[0] + " + " + measureNames[1])
+		}
+		if spec.Cubes {
+			cb := b.Cube(fmt.Sprintf("Cube%02d", f+1), fname).Measures(measureNames[0])
+			if spec.Depth > 0 {
+				cb.Dice(dimNames[0], fmt.Sprintf("%sL%d", dimNames[0], 1))
+			} else {
+				cb.Dice(dimNames[0], "")
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func lower(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+// DataSpec sizes the instance data for a synthetic model.
+type DataSpec struct {
+	// LeavesPerDim counts terminal members per dimension (default 20).
+	LeavesPerDim int
+	// RowsPerFact counts fact rows per fact class (default 100).
+	RowsPerFact int
+	Seed        int64
+}
+
+// GenData loads a deterministic dataset for a model produced by GenModel.
+// Level member counts shrink geometrically with height.
+func GenData(m *core.Model, spec DataSpec) *olap.Dataset {
+	if spec.LeavesPerDim == 0 {
+		spec.LeavesPerDim = 20
+	}
+	if spec.RowsPerFact == 0 {
+		spec.RowsPerFact = 100
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	ds := olap.NewDataset(m)
+	for _, d := range m.Dims {
+		dd := ds.Dim(d.Name)
+		// Build the linear level chain leaf → L1 → ... → Ldepth.
+		var chain []string // level names bottom-up
+		cur := d.Roots()
+		for len(cur) > 0 {
+			l := d.Level(cur[0])
+			chain = append(chain, l.Name)
+			cur = nil
+			for _, e := range l.Associations {
+				cur = append(cur, e.Child)
+			}
+		}
+		counts := make([]int, len(chain))
+		n := spec.LeavesPerDim
+		for i := range chain {
+			n = max(1, n/3)
+			counts[i] = n
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			for k := 0; k < counts[i]; k++ {
+				key := fmt.Sprintf("%s_%s_%d", lower(d.Name), lower(chain[i]), k)
+				dd.AddMember(chain[i], key, fmt.Sprintf("%s %d", chain[i], k))
+				if i < len(chain)-1 {
+					parent := fmt.Sprintf("%s_%s_%d", lower(d.Name), lower(chain[i+1]), k%counts[i+1])
+					dd.MustLink(chain[i], key, chain[i+1], parent)
+				}
+			}
+		}
+		for k := 0; k < spec.LeavesPerDim; k++ {
+			key := fmt.Sprintf("%s_%d", lower(d.Name), k)
+			mem := dd.AddMember("", key, fmt.Sprintf("%s member %d", d.Name, k))
+			for _, a := range d.Atts {
+				if !a.IsOID && !a.IsD {
+					mem.Set(a.Name, fmt.Sprintf("v%d", k%7))
+				}
+			}
+			if len(chain) > 0 {
+				parent := fmt.Sprintf("%s_%s_%d", lower(d.Name), lower(chain[0]), k%counts[0])
+				dd.MustLink("", key, chain[0], parent)
+			}
+		}
+	}
+	for _, f := range m.Facts {
+		fd := ds.Fact(f.Name)
+		for r := 0; r < spec.RowsPerFact; r++ {
+			row := olap.Row{
+				Coords:     map[string][]string{},
+				Measures:   map[string]float64{},
+				Degenerate: map[string]string{},
+			}
+			for _, agg := range f.SharedAggs {
+				d := m.Dim(agg.DimClass)
+				key := fmt.Sprintf("%s_%d", lower(d.Name), rng.Intn(spec.LeavesPerDim))
+				row.Coords[d.Name] = []string{key}
+			}
+			for _, a := range f.Atts {
+				switch {
+				case a.IsDerived:
+				case a.IsOID:
+					row.Degenerate[a.Name] = fmt.Sprintf("T%d", r)
+				default:
+					row.Measures[a.Name] = float64(rng.Intn(100))
+				}
+			}
+			fd.MustAdd(row)
+		}
+	}
+	return ds
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

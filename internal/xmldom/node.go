@@ -1,0 +1,503 @@
+// Package xmldom implements a lightweight XML document object model with a
+// namespace-aware parser and XML/HTML/text serializers.
+//
+// It is the tree substrate that the xpath, xslt and xsd packages operate
+// over, playing the role that a browser DOM or Xerces' DOM played in the
+// original system. Only the Go standard library is used.
+package xmldom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeType identifies the kind of a Node.
+type NodeType uint8
+
+// The node kinds of the XPath data model that this DOM represents.
+const (
+	DocumentNode NodeType = iota + 1
+	ElementNode
+	TextNode
+	CommentNode
+	PINode
+	AttrNode
+)
+
+func (t NodeType) String() string {
+	switch t {
+	case DocumentNode:
+		return "document"
+	case ElementNode:
+		return "element"
+	case TextNode:
+		return "text"
+	case CommentNode:
+		return "comment"
+	case PINode:
+		return "processing-instruction"
+	case AttrNode:
+		return "attribute"
+	}
+	return fmt.Sprintf("NodeType(%d)", uint8(t))
+}
+
+// Node is a node in an XML document tree. The same struct represents every
+// node kind; which fields are meaningful depends on Type:
+//
+//   - ElementNode: Name (local), Prefix, URI, Attr, Children
+//   - AttrNode: Name (local), Prefix, URI, Data (value)
+//   - TextNode, CommentNode: Data
+//   - PINode: Name (target), Data
+//   - DocumentNode: Children
+type Node struct {
+	Type   NodeType
+	Name   string // local name (element/attribute) or PI target
+	Prefix string // namespace prefix as written in the source
+	URI    string // resolved namespace URI ("" = no namespace)
+	Data   string // character data or attribute value
+
+	Parent   *Node
+	Children []*Node
+	Attr     []*Node // attribute nodes; Parent points at the element
+
+	// Line and Col locate the node in its source document (1-based);
+	// zero for programmatically constructed nodes.
+	Line, Col int
+
+	// Raw marks a text node whose data must be emitted without escaping
+	// (produced by xsl:value-of disable-output-escaping, script/style).
+	Raw bool
+}
+
+// NewDocument returns an empty document node.
+func NewDocument() *Node { return &Node{Type: DocumentNode} }
+
+// NewElement returns a detached element with the given local name and no
+// namespace.
+func NewElement(name string) *Node { return &Node{Type: ElementNode, Name: name} }
+
+// NewText returns a detached text node.
+func NewText(data string) *Node { return &Node{Type: TextNode, Data: data} }
+
+// FullName returns the qualified name as written in the source
+// (prefix:local, or just the local name when there is no prefix).
+func (n *Node) FullName() string {
+	if n.Prefix != "" {
+		return n.Prefix + ":" + n.Name
+	}
+	return n.Name
+}
+
+// AppendChild adds c as the last child of n and reparents it.
+func (n *Node) AppendChild(c *Node) *Node {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// InsertBefore inserts c immediately before the existing child ref.
+// If ref is nil or not a child of n, c is appended.
+func (n *Node) InsertBefore(c, ref *Node) {
+	idx := -1
+	for i, ch := range n.Children {
+		if ch == ref {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		n.AppendChild(c)
+		return
+	}
+	c.Parent = n
+	n.Children = append(n.Children, nil)
+	copy(n.Children[idx+1:], n.Children[idx:])
+	n.Children[idx] = c
+}
+
+// RemoveChild detaches c from n. It is a no-op if c is not a child of n.
+func (n *Node) RemoveChild(c *Node) {
+	for i, ch := range n.Children {
+		if ch == c {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			c.Parent = nil
+			return
+		}
+	}
+}
+
+// AddElement creates an element child with the given local name, appends it
+// and returns it.
+func (n *Node) AddElement(name string) *Node {
+	return n.AppendChild(NewElement(name))
+}
+
+// AddText creates and appends a text child.
+func (n *Node) AddText(data string) *Node {
+	return n.AppendChild(NewText(data))
+}
+
+// SetAttr sets the value of the attribute with the given local name and no
+// namespace, creating it if necessary, and returns the attribute node.
+func (n *Node) SetAttr(name, value string) *Node {
+	return n.SetAttrNS("", "", name, value)
+}
+
+// SetAttrNS sets a namespaced attribute on n.
+func (n *Node) SetAttrNS(prefix, uri, name, value string) *Node {
+	for _, a := range n.Attr {
+		if a.Name == name && a.URI == uri {
+			a.Data = value
+			a.Prefix = prefix
+			return a
+		}
+	}
+	a := &Node{Type: AttrNode, Name: name, Prefix: prefix, URI: uri, Data: value, Parent: n}
+	n.Attr = append(n.Attr, a)
+	return a
+}
+
+// GetAttr returns the attribute node with the given local name and empty
+// namespace URI, or nil.
+func (n *Node) GetAttr(name string) *Node { return n.GetAttrNS("", name) }
+
+// GetAttrNS returns the attribute node with the given namespace URI and
+// local name, or nil.
+func (n *Node) GetAttrNS(uri, name string) *Node {
+	for _, a := range n.Attr {
+		if a.Name == name && a.URI == uri {
+			return a
+		}
+	}
+	return nil
+}
+
+// AttrValue returns the value of the named no-namespace attribute, or ""
+// when absent.
+func (n *Node) AttrValue(name string) string {
+	if a := n.GetAttr(name); a != nil {
+		return a.Data
+	}
+	return ""
+}
+
+// HasAttr reports whether the named no-namespace attribute is present.
+func (n *Node) HasAttr(name string) bool { return n.GetAttr(name) != nil }
+
+// RemoveAttr deletes the named no-namespace attribute if present.
+func (n *Node) RemoveAttr(name string) {
+	for i, a := range n.Attr {
+		if a.Name == name && a.URI == "" {
+			n.Attr = append(n.Attr[:i], n.Attr[i+1:]...)
+			a.Parent = nil
+			return
+		}
+	}
+}
+
+// Root returns the topmost ancestor of n (the document node for attached
+// nodes). For attribute nodes the owning element's root is returned.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// DocumentElement returns the first element child of a document node, the
+// node itself when called on an element, and nil otherwise.
+func (n *Node) DocumentElement() *Node {
+	if n.Type == ElementNode {
+		return n
+	}
+	if n.Type != DocumentNode {
+		return nil
+	}
+	for _, c := range n.Children {
+		if c.Type == ElementNode {
+			return c
+		}
+	}
+	return nil
+}
+
+// Elements returns the element children of n.
+func (n *Node) Elements() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Type == ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ElementsByName returns the element children with the given local name.
+func (n *Node) ElementsByName(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Type == ElementNode && c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FirstElement returns the first element child with the given local name,
+// or nil.
+func (n *Node) FirstElement(name string) *Node {
+	for _, c := range n.Children {
+		if c.Type == ElementNode && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Descendants appends to out every descendant of n in document order
+// (excluding n itself and attribute nodes) and returns the slice.
+func (n *Node) Descendants() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(m *Node) {
+		for _, c := range m.Children {
+			out = append(out, c)
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// DescendantElements returns all descendant elements with the given local
+// name, in document order. An empty name matches every element.
+func (n *Node) DescendantElements(name string) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(m *Node) {
+		for _, c := range m.Children {
+			if c.Type == ElementNode && (name == "" || c.Name == name) {
+				out = append(out, c)
+			}
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// StringValue returns the XPath string-value of the node: the concatenation
+// of all descendant text for documents and elements, and the node's own data
+// otherwise.
+func (n *Node) StringValue() string {
+	switch n.Type {
+	case DocumentNode, ElementNode:
+		var b strings.Builder
+		var walk func(*Node)
+		walk = func(m *Node) {
+			for _, c := range m.Children {
+				if c.Type == TextNode {
+					b.WriteString(c.Data)
+				} else if c.Type == ElementNode {
+					walk(c)
+				}
+			}
+		}
+		walk(n)
+		return b.String()
+	default:
+		return n.Data
+	}
+}
+
+// Clone returns a deep copy of n. The copy is detached (Parent is nil).
+func (n *Node) Clone() *Node {
+	c := &Node{Type: n.Type, Name: n.Name, Prefix: n.Prefix, URI: n.URI,
+		Data: n.Data, Line: n.Line, Col: n.Col, Raw: n.Raw}
+	for _, a := range n.Attr {
+		ac := a.Clone()
+		ac.Parent = c
+		c.Attr = append(c.Attr, ac)
+	}
+	for _, ch := range n.Children {
+		cc := ch.Clone()
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// Path returns a human-readable slash path from the root to n, such as
+// /goldmodel/factclasses/factclass[2]/@id, useful in error messages.
+func (n *Node) Path() string {
+	if n == nil {
+		return ""
+	}
+	var parts []string
+	for cur := n; cur != nil && cur.Type != DocumentNode; cur = cur.Parent {
+		switch cur.Type {
+		case AttrNode:
+			parts = append(parts, "@"+cur.FullName())
+		case ElementNode:
+			step := cur.FullName()
+			if p := cur.Parent; p != nil {
+				idx, total := 0, 0
+				for _, sib := range p.Children {
+					if sib.Type == ElementNode && sib.Name == cur.Name && sib.URI == cur.URI {
+						total++
+						if sib == cur {
+							idx = total
+						}
+					}
+				}
+				if total > 1 {
+					step = fmt.Sprintf("%s[%d]", step, idx)
+				}
+			}
+			parts = append(parts, step)
+		case TextNode:
+			parts = append(parts, "text()")
+		case CommentNode:
+			parts = append(parts, "comment()")
+		case PINode:
+			parts = append(parts, "processing-instruction()")
+		}
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	if b.Len() == 0 {
+		return "/"
+	}
+	return b.String()
+}
+
+// pathStep is one step of a document-order key: either an attribute slot or
+// a child slot at the given index.
+type pathStep struct {
+	attr bool
+	idx  int
+}
+
+// orderKey computes the document-order path from the root to n.
+func orderKey(n *Node) []pathStep {
+	var rev []pathStep
+	cur := n
+	for cur.Parent != nil {
+		p := cur.Parent
+		if cur.Type == AttrNode {
+			for i, a := range p.Attr {
+				if a == cur {
+					rev = append(rev, pathStep{attr: true, idx: i})
+					break
+				}
+			}
+		} else {
+			for i, c := range p.Children {
+				if c == cur {
+					rev = append(rev, pathStep{attr: false, idx: i})
+					break
+				}
+			}
+		}
+		cur = p
+	}
+	// reverse
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// CompareOrder reports the relative document order of a and b:
+// -1 if a precedes b, +1 if a follows b, 0 if they are the same node.
+// Both nodes must belong to the same tree; nodes from different trees
+// compare by an arbitrary but consistent rule (tree identity).
+func CompareOrder(a, b *Node) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := a.Root(), b.Root()
+	if ra != rb {
+		// Arbitrary but stable: compare root pointers via fmt; callers
+		// only need consistency, not meaning, across trees.
+		pa, pb := fmt.Sprintf("%p", ra), fmt.Sprintf("%p", rb)
+		if pa < pb {
+			return -1
+		}
+		return 1
+	}
+	ka, kb := orderKey(a), orderKey(b)
+	for i := 0; i < len(ka) && i < len(kb); i++ {
+		sa, sb := ka[i], kb[i]
+		if sa == sb {
+			continue
+		}
+		// At the same parent: the element's attributes precede its children.
+		if sa.attr != sb.attr {
+			if sa.attr {
+				return -1
+			}
+			return 1
+		}
+		if sa.idx < sb.idx {
+			return -1
+		}
+		return 1
+	}
+	// One is an ancestor of the other; the ancestor comes first.
+	if len(ka) < len(kb) {
+		return -1
+	}
+	return 1
+}
+
+// SortDocOrder sorts nodes in place into document order and removes
+// duplicates, returning the (possibly shortened) slice.
+func SortDocOrder(nodes []*Node) []*Node {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	type keyed struct {
+		n *Node
+		k []pathStep
+	}
+	ks := make([]keyed, len(nodes))
+	for i, n := range nodes {
+		ks[i] = keyed{n, orderKey(n)}
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		a, b := ks[i], ks[j]
+		if a.n == b.n {
+			return false
+		}
+		ra, rb := a.n.Root(), b.n.Root()
+		if ra != rb {
+			return fmt.Sprintf("%p", ra) < fmt.Sprintf("%p", rb)
+		}
+		for x := 0; x < len(a.k) && x < len(b.k); x++ {
+			sa, sb := a.k[x], b.k[x]
+			if sa == sb {
+				continue
+			}
+			if sa.attr != sb.attr {
+				return sa.attr
+			}
+			return sa.idx < sb.idx
+		}
+		return len(a.k) < len(b.k)
+	})
+	out := nodes[:0]
+	var prev *Node
+	for _, kv := range ks {
+		if kv.n != prev {
+			out = append(out, kv.n)
+			prev = kv.n
+		}
+	}
+	return out
+}

@@ -1,0 +1,598 @@
+package xmldom
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// XMLNamespace is the reserved namespace bound to the xml: prefix.
+const XMLNamespace = "http://www.w3.org/XML/1998/namespace"
+
+// XMLNSNamespace is the reserved namespace of xmlns declarations.
+const XMLNSNamespace = "http://www.w3.org/2000/xmlns/"
+
+// ParseError describes a well-formedness error with its source position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xml: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	src       []byte
+	pos       int
+	line, col int
+	ns        []map[string]string // namespace binding frames
+}
+
+// Parse parses a complete XML document and returns its document node.
+// The parser is namespace-aware: prefixes are resolved against in-scope
+// xmlns declarations and retained on the nodes for faithful serialization.
+// Whitespace-only text nodes are preserved (XSLT decides about stripping).
+func Parse(src []byte) (*Node, error) {
+	p := &parser{src: src, line: 1, col: 1}
+	p.ns = append(p.ns, map[string]string{"xml": XMLNamespace})
+	doc := NewDocument()
+	if err := p.parseProlog(doc); err != nil {
+		return nil, err
+	}
+	elem, err := p.parseElement()
+	if err != nil {
+		return nil, err
+	}
+	doc.AppendChild(elem)
+	if err := p.parseMisc(doc); err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.src) {
+		return nil, p.errf("content after document element")
+	}
+	return doc, nil
+}
+
+// ParseString is Parse for string input.
+func ParseString(src string) (*Node, error) { return Parse([]byte(src)) }
+
+// MustParseString parses src and panics on error; intended for tests and
+// embedded, known-good documents.
+func MustParseString(src string) *Node {
+	doc, err := ParseString(src)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) peekAt(off int) byte {
+	if p.pos+off < len(p.src) {
+		return p.src[p.pos+off]
+	}
+	return 0
+}
+
+func (p *parser) advance(n int) {
+	for i := 0; i < n && p.pos < len(p.src); i++ {
+		if p.src[p.pos] == '\n' {
+			p.line++
+			p.col = 1
+		} else {
+			p.col++
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) hasPrefix(s string) bool {
+	return p.pos+len(s) <= len(p.src) && string(p.src[p.pos:p.pos+len(s)]) == s
+}
+
+func (p *parser) expect(s string) error {
+	if !p.hasPrefix(s) {
+		return p.errf("expected %q", s)
+	}
+	p.advance(len(s))
+	return nil
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\r' || b == '\n' }
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && isSpace(p.src[p.pos]) {
+		p.advance(1)
+	}
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' || (r >= 'A' && r <= 'Z') || (r >= 'a' && r <= 'z') || r >= 0x80
+}
+
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || (r >= '0' && r <= '9')
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	r, size := utf8.DecodeRune(p.src[p.pos:])
+	if size == 0 || !isNameStart(r) {
+		return "", p.errf("expected name")
+	}
+	p.advance(size)
+	for p.pos < len(p.src) {
+		r, size = utf8.DecodeRune(p.src[p.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		p.advance(size)
+	}
+	return string(p.src[start:p.pos]), nil
+}
+
+// splitQName splits a possibly-prefixed name into (prefix, local).
+func splitQName(q string) (string, string) {
+	if i := strings.IndexByte(q, ':'); i >= 0 {
+		return q[:i], q[i+1:]
+	}
+	return "", q
+}
+
+func (p *parser) lookupNS(prefix string) (string, bool) {
+	for i := len(p.ns) - 1; i >= 0; i-- {
+		if uri, ok := p.ns[i][prefix]; ok {
+			return uri, ok
+		}
+	}
+	return "", false
+}
+
+func (p *parser) parseProlog(doc *Node) error {
+	if p.hasPrefix("\xef\xbb\xbf") { // UTF-8 BOM
+		p.advance(3)
+	}
+	if p.hasPrefix("<?xml") && isSpace(p.peekAt(5)) {
+		if err := p.skipPast("?>"); err != nil {
+			return err
+		}
+	}
+	return p.parseMiscAndDoctype(doc)
+}
+
+func (p *parser) skipPast(end string) error {
+	for p.pos < len(p.src) {
+		if p.hasPrefix(end) {
+			p.advance(len(end))
+			return nil
+		}
+		p.advance(1)
+	}
+	return p.errf("unterminated construct, expected %q", end)
+}
+
+// parseMiscAndDoctype consumes comments, PIs, whitespace and at most one
+// DOCTYPE declaration before the root element.
+func (p *parser) parseMiscAndDoctype(doc *Node) error {
+	for {
+		p.skipSpace()
+		switch {
+		case p.hasPrefix("<!--"):
+			c, err := p.parseComment()
+			if err != nil {
+				return err
+			}
+			doc.AppendChild(c)
+		case p.hasPrefix("<?"):
+			pi, err := p.parsePI()
+			if err != nil {
+				return err
+			}
+			doc.AppendChild(pi)
+		case p.hasPrefix("<!DOCTYPE"):
+			if err := p.skipDoctype(); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// parseMisc consumes trailing comments, PIs and whitespace after the root.
+func (p *parser) parseMisc(doc *Node) error {
+	for {
+		p.skipSpace()
+		switch {
+		case p.hasPrefix("<!--"):
+			c, err := p.parseComment()
+			if err != nil {
+				return err
+			}
+			doc.AppendChild(c)
+		case p.hasPrefix("<?"):
+			pi, err := p.parsePI()
+			if err != nil {
+				return err
+			}
+			doc.AppendChild(pi)
+		default:
+			return nil
+		}
+	}
+}
+
+// skipDoctype skips a DOCTYPE declaration, including a bracketed internal
+// subset. Entity declarations inside it are ignored; only the five
+// predefined entities and character references are recognized in content.
+func (p *parser) skipDoctype() error {
+	p.advance(len("<!DOCTYPE"))
+	depth := 0
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				p.advance(1)
+				return nil
+			}
+		case '"', '\'':
+			q := p.src[p.pos]
+			p.advance(1)
+			for p.pos < len(p.src) && p.src[p.pos] != q {
+				p.advance(1)
+			}
+		}
+		p.advance(1)
+	}
+	return p.errf("unterminated DOCTYPE")
+}
+
+func (p *parser) parseComment() (*Node, error) {
+	line, col := p.line, p.col
+	p.advance(4) // <!--
+	start := p.pos
+	for p.pos < len(p.src) {
+		if p.hasPrefix("--") {
+			data := string(p.src[start:p.pos])
+			if err := p.expect("-->"); err != nil {
+				return nil, p.errf("'--' not allowed inside comment")
+			}
+			return &Node{Type: CommentNode, Data: data, Line: line, Col: col}, nil
+		}
+		p.advance(1)
+	}
+	return nil, p.errf("unterminated comment")
+}
+
+func (p *parser) parsePI() (*Node, error) {
+	line, col := p.line, p.col
+	p.advance(2) // <?
+	target, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(target, "xml") {
+		return nil, p.errf("reserved PI target %q", target)
+	}
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		if p.hasPrefix("?>") {
+			data := string(p.src[start:p.pos])
+			p.advance(2)
+			return &Node{Type: PINode, Name: target, Data: data, Line: line, Col: col}, nil
+		}
+		p.advance(1)
+	}
+	return nil, p.errf("unterminated processing instruction")
+}
+
+type rawAttr struct {
+	name      string
+	value     string
+	line, col int
+}
+
+func (p *parser) parseElement() (*Node, error) {
+	line, col := p.line, p.col
+	if err := p.expect("<"); err != nil {
+		return nil, err
+	}
+	qname, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	var attrs []rawAttr
+	for {
+		hadSpace := p.pos < len(p.src) && isSpace(p.src[p.pos])
+		p.skipSpace()
+		if p.peek() == '>' || p.hasPrefix("/>") {
+			break
+		}
+		if !hadSpace {
+			return nil, p.errf("expected whitespace before attribute in <%s>", qname)
+		}
+		aline, acol := p.line, p.col
+		aname, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		aval, err := p.parseAttValue()
+		if err != nil {
+			return nil, err
+		}
+		for _, prev := range attrs {
+			if prev.name == aname {
+				return nil, p.errf("duplicate attribute %q in <%s>", aname, qname)
+			}
+		}
+		attrs = append(attrs, rawAttr{aname, aval, aline, acol})
+	}
+
+	// Push a namespace frame populated from xmlns attributes.
+	frame := map[string]string{}
+	for _, a := range attrs {
+		if a.name == "xmlns" {
+			frame[""] = a.value
+		} else if strings.HasPrefix(a.name, "xmlns:") {
+			px := a.name[len("xmlns:"):]
+			if px == "xmlns" {
+				return nil, p.errf("cannot declare prefix xmlns")
+			}
+			if a.value == "" {
+				return nil, p.errf("namespace prefix %q cannot be undeclared to empty", px)
+			}
+			frame[px] = a.value
+		}
+	}
+	p.ns = append(p.ns, frame)
+	defer func() { p.ns = p.ns[:len(p.ns)-1] }()
+
+	prefix, local := splitQName(qname)
+	elem := &Node{Type: ElementNode, Name: local, Prefix: prefix, Line: line, Col: col}
+	if prefix != "" {
+		uri, ok := p.lookupNS(prefix)
+		if !ok {
+			return nil, p.errf("undeclared namespace prefix %q", prefix)
+		}
+		elem.URI = uri
+	} else if uri, ok := p.lookupNS(""); ok {
+		elem.URI = uri
+	}
+	for _, a := range attrs {
+		apre, alocal := splitQName(a.name)
+		var uri string
+		if a.name == "xmlns" || apre == "xmlns" {
+			uri = XMLNSNamespace
+		} else if apre != "" {
+			u, ok := p.lookupNS(apre)
+			if !ok {
+				return nil, p.errf("undeclared namespace prefix %q", apre)
+			}
+			uri = u
+		}
+		an := &Node{Type: AttrNode, Name: alocal, Prefix: apre, URI: uri,
+			Data: a.value, Parent: elem, Line: a.line, Col: a.col}
+		elem.Attr = append(elem.Attr, an)
+	}
+
+	if p.hasPrefix("/>") {
+		p.advance(2)
+		return elem, nil
+	}
+	if err := p.expect(">"); err != nil {
+		return nil, err
+	}
+	if err := p.parseContent(elem); err != nil {
+		return nil, err
+	}
+	// closing tag
+	endName, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	if endName != qname {
+		return nil, p.errf("mismatched end tag </%s>, expected </%s>", endName, qname)
+	}
+	p.skipSpace()
+	if err := p.expect(">"); err != nil {
+		return nil, err
+	}
+	return elem, nil
+}
+
+// parseContent parses element content up to (and consuming) the "</" of the
+// matching end tag.
+func (p *parser) parseContent(parent *Node) error {
+	var text strings.Builder
+	tline, tcol := p.line, p.col
+	flush := func() {
+		if text.Len() > 0 {
+			parent.AppendChild(&Node{Type: TextNode, Data: text.String(), Line: tline, Col: tcol})
+			text.Reset()
+		}
+	}
+	for p.pos < len(p.src) {
+		switch {
+		case p.hasPrefix("</"):
+			flush()
+			p.advance(2)
+			return nil
+		case p.hasPrefix("<!--"):
+			flush()
+			c, err := p.parseComment()
+			if err != nil {
+				return err
+			}
+			parent.AppendChild(c)
+			tline, tcol = p.line, p.col
+		case p.hasPrefix("<![CDATA["):
+			if text.Len() == 0 {
+				tline, tcol = p.line, p.col
+			}
+			p.advance(9)
+			start := p.pos
+			for p.pos < len(p.src) && !p.hasPrefix("]]>") {
+				p.advance(1)
+			}
+			if p.pos >= len(p.src) {
+				return p.errf("unterminated CDATA section")
+			}
+			text.Write(p.src[start:p.pos])
+			p.advance(3)
+		case p.hasPrefix("<?"):
+			flush()
+			pi, err := p.parsePI()
+			if err != nil {
+				return err
+			}
+			parent.AppendChild(pi)
+			tline, tcol = p.line, p.col
+		case p.peek() == '<':
+			flush()
+			child, err := p.parseElement()
+			if err != nil {
+				return err
+			}
+			parent.AppendChild(child)
+			tline, tcol = p.line, p.col
+		case p.peek() == '&':
+			if text.Len() == 0 {
+				tline, tcol = p.line, p.col
+			}
+			s, err := p.parseReference()
+			if err != nil {
+				return err
+			}
+			text.WriteString(s)
+		default:
+			if p.hasPrefix("]]>") {
+				return p.errf("']]>' not allowed in content")
+			}
+			if text.Len() == 0 {
+				tline, tcol = p.line, p.col
+			}
+			text.WriteByte(p.src[p.pos])
+			p.advance(1)
+		}
+	}
+	return p.errf("unexpected end of input inside <%s>", parent.FullName())
+}
+
+func (p *parser) parseAttValue() (string, error) {
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return "", p.errf("expected quoted attribute value")
+	}
+	p.advance(1)
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == q:
+			p.advance(1)
+			return b.String(), nil
+		case c == '<':
+			return "", p.errf("'<' not allowed in attribute value")
+		case c == '&':
+			s, err := p.parseReference()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		case c == '\t' || c == '\n' || c == '\r':
+			// attribute-value normalization
+			b.WriteByte(' ')
+			p.advance(1)
+		default:
+			b.WriteByte(c)
+			p.advance(1)
+		}
+	}
+	return "", p.errf("unterminated attribute value")
+}
+
+// parseReference parses an entity or character reference starting at '&'.
+func (p *parser) parseReference() (string, error) {
+	p.advance(1) // &
+	if p.peek() == '#' {
+		p.advance(1)
+		base := 10
+		if p.peek() == 'x' || p.peek() == 'X' {
+			base = 16
+			p.advance(1)
+		}
+		var code rune
+		digits := 0
+		for p.pos < len(p.src) && p.src[p.pos] != ';' {
+			c := p.src[p.pos]
+			var d rune = -1
+			switch {
+			case c >= '0' && c <= '9':
+				d = rune(c - '0')
+			case base == 16 && c >= 'a' && c <= 'f':
+				d = rune(c-'a') + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				d = rune(c-'A') + 10
+			}
+			if d < 0 {
+				return "", p.errf("invalid character reference")
+			}
+			code = code*rune(base) + d
+			digits++
+			if code > utf8.MaxRune {
+				return "", p.errf("character reference out of range")
+			}
+			p.advance(1)
+		}
+		if digits == 0 || p.peek() != ';' {
+			return "", p.errf("malformed character reference")
+		}
+		p.advance(1)
+		if !utf8.ValidRune(code) || code == 0 {
+			return "", p.errf("invalid character reference value %d", code)
+		}
+		return string(code), nil
+	}
+	name, err := p.parseName()
+	if err != nil {
+		return "", p.errf("malformed entity reference")
+	}
+	if p.peek() != ';' {
+		return "", p.errf("entity reference %q missing ';'", name)
+	}
+	p.advance(1)
+	switch name {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return "\"", nil
+	}
+	return "", p.errf("undefined entity &%s;", name)
+}

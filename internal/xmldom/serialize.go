@@ -1,0 +1,270 @@
+package xmldom
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteOptions control serialization. The zero value produces compact XML
+// with an XML declaration.
+type WriteOptions struct {
+	// Method is "xml" (default), "html" or "text", mirroring xsl:output.
+	Method string
+	// Indent, when non-empty, pretty-prints using this unit (e.g. "  ").
+	Indent string
+	// OmitDecl suppresses the <?xml ...?> declaration (xml method only).
+	OmitDecl bool
+	// DoctypePublic/DoctypeSystem emit a DOCTYPE before the root element.
+	DoctypePublic string
+	DoctypeSystem string
+}
+
+// htmlVoid lists HTML elements that are serialized without an end tag when
+// using the html output method.
+var htmlVoid = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// htmlRawText lists HTML elements whose text content is not escaped.
+var htmlRawText = map[string]bool{"script": true, "style": true}
+
+// Serialize renders the node tree to w according to opts.
+func Serialize(w io.Writer, n *Node, opts WriteOptions) error {
+	s := &serializer{w: w, opts: opts}
+	if opts.Method == "" {
+		s.opts.Method = "xml"
+	}
+	s.run(n)
+	return s.err
+}
+
+// SerializeToString renders the node tree to a string.
+func SerializeToString(n *Node, opts WriteOptions) string {
+	var b strings.Builder
+	_ = Serialize(&b, n, opts)
+	return b.String()
+}
+
+// XML returns the compact XML serialization of n without a declaration.
+func (n *Node) XML() string {
+	return SerializeToString(n, WriteOptions{OmitDecl: true})
+}
+
+// Pretty returns an indented XML rendering of n, the moral equivalent of a
+// browser's collapsed source view of an XML document without a stylesheet
+// (paper Fig. 4).
+func Pretty(n *Node) string {
+	return SerializeToString(n, WriteOptions{Indent: "  ", OmitDecl: false})
+}
+
+type serializer struct {
+	w    io.Writer
+	opts WriteOptions
+	err  error
+}
+
+func (s *serializer) ws(str string) {
+	if s.err == nil {
+		_, s.err = io.WriteString(s.w, str)
+	}
+}
+
+func (s *serializer) run(n *Node) {
+	if s.opts.Method == "text" {
+		s.ws(n.StringValue())
+		return
+	}
+	if n.Type == DocumentNode {
+		if s.opts.Method == "xml" && !s.opts.OmitDecl {
+			s.ws("<?xml version=\"1.0\" encoding=\"UTF-8\"?>")
+			if s.opts.Indent != "" {
+				s.ws("\n")
+			}
+		}
+		s.doctype(n)
+		for _, c := range n.Children {
+			s.node(c, 0, false)
+			if s.opts.Indent != "" {
+				s.ws("\n")
+			}
+		}
+		return
+	}
+	s.doctype(n)
+	s.node(n, 0, false)
+}
+
+func (s *serializer) doctype(n *Node) {
+	root := n.DocumentElement()
+	if root == nil {
+		return
+	}
+	pub, sys := s.opts.DoctypePublic, s.opts.DoctypeSystem
+	if pub == "" && sys == "" {
+		return
+	}
+	s.ws("<!DOCTYPE " + root.FullName())
+	if pub != "" {
+		s.ws(" PUBLIC \"" + pub + "\"")
+		if sys != "" {
+			s.ws(" \"" + sys + "\"")
+		}
+	} else {
+		s.ws(" SYSTEM \"" + sys + "\"")
+	}
+	s.ws(">")
+	if s.opts.Indent != "" {
+		s.ws("\n")
+	}
+}
+
+// hasElementChildren reports whether n has at least one element child and
+// no non-whitespace text children (i.e. it is safe to indent inside it).
+func hasOnlyStructuredContent(n *Node) bool {
+	hasElem := false
+	for _, c := range n.Children {
+		switch c.Type {
+		case ElementNode, CommentNode, PINode:
+			hasElem = true
+		case TextNode:
+			if strings.TrimSpace(c.Data) != "" {
+				return false
+			}
+		}
+	}
+	return hasElem
+}
+
+func (s *serializer) indent(depth int) {
+	if s.opts.Indent == "" {
+		return
+	}
+	s.ws("\n")
+	for i := 0; i < depth; i++ {
+		s.ws(s.opts.Indent)
+	}
+}
+
+func (s *serializer) node(n *Node, depth int, inRaw bool) {
+	switch n.Type {
+	case ElementNode:
+		s.element(n, depth)
+	case TextNode:
+		if inRaw || n.Raw {
+			s.ws(n.Data)
+		} else {
+			s.ws(EscapeText(n.Data))
+		}
+	case CommentNode:
+		s.ws("<!--" + n.Data + "-->")
+	case PINode:
+		if n.Data == "" {
+			s.ws("<?" + n.Name + "?>")
+		} else {
+			s.ws("<?" + n.Name + " " + n.Data + "?>")
+		}
+	case DocumentNode:
+		for _, c := range n.Children {
+			s.node(c, depth, inRaw)
+		}
+	case AttrNode:
+		// Attribute nodes are serialized by their element.
+	}
+}
+
+func (s *serializer) element(n *Node, depth int) {
+	html := s.opts.Method == "html" && n.URI == ""
+	name := n.FullName()
+	s.ws("<" + name)
+	for _, a := range n.Attr {
+		s.ws(" " + a.FullName() + "=\"" + EscapeAttr(a.Data) + "\"")
+	}
+	if len(n.Children) == 0 {
+		if html {
+			if htmlVoid[strings.ToLower(n.Name)] {
+				s.ws(">")
+				return
+			}
+			s.ws("></" + name + ">")
+			return
+		}
+		s.ws("/>")
+		return
+	}
+	s.ws(">")
+	raw := html && htmlRawText[strings.ToLower(n.Name)]
+	structured := s.opts.Indent != "" && hasOnlyStructuredContent(n)
+	for _, c := range n.Children {
+		if structured && c.Type != TextNode {
+			s.indent(depth + 1)
+		}
+		if structured && c.Type == TextNode {
+			continue // whitespace-only: replaced by indentation
+		}
+		s.node(c, depth+1, raw)
+	}
+	if structured {
+		s.indent(depth)
+	}
+	s.ws("</" + name + ">")
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>\r") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '\r':
+			b.WriteString("&#13;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr escapes a string for use inside a double-quoted attribute.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, "&<>\"\t\n\r") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\t':
+			b.WriteString("&#9;")
+		case '\n':
+			b.WriteString("&#10;")
+		case '\r':
+			b.WriteString("&#13;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Fprint writes a compact XML rendering of n to w; mainly a debugging aid.
+func Fprint(w io.Writer, n *Node) {
+	fmt.Fprint(w, SerializeToString(n, WriteOptions{OmitDecl: true}))
+}

@@ -1,0 +1,323 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokLiteral // quoted string
+	tokName    // NCName, QName, or name ending in ":*"
+	tokVar     // $qname
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokDot
+	tokDotDot
+	tokAt
+	tokComma
+	tokAxis // name followed by '::' (value is axis name)
+	tokSlash
+	tokSlashSlash
+	tokPipe
+	tokPlus
+	tokMinus
+	tokEq
+	tokNeq
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokStar     // wildcard *
+	tokMultiply // operator *
+	tokAnd
+	tokOr
+	tokMod
+	tokDiv
+)
+
+type token struct {
+	kind tokKind
+	val  string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of expression"
+	case tokNumber:
+		return fmt.Sprintf("number %v", t.num)
+	case tokLiteral:
+		return fmt.Sprintf("literal %q", t.val)
+	case tokName:
+		return fmt.Sprintf("name %q", t.val)
+	case tokVar:
+		return "$" + t.val
+	case tokAxis:
+		return t.val + "::"
+	}
+	if t.val != "" {
+		return fmt.Sprintf("%q", t.val)
+	}
+	return fmt.Sprintf("token(%d)", t.kind)
+}
+
+// SyntaxError reports a lexical or grammatical error in an expression.
+type SyntaxError struct {
+	Expr string
+	Pos  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xpath: %s at offset %d in %q", e.Msg, e.Pos, e.Expr)
+}
+
+// lex tokenizes an XPath 1.0 expression, applying the spec's
+// disambiguation rules for '*' and the operator names and/or/mod/div.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	errAt := func(pos int, format string, args ...interface{}) error {
+		return &SyntaxError{Expr: src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+	// operatorContext reports whether, per XPath 1.0 §3.7, a following '*'
+	// or name must be interpreted as an operator: true when the preceding
+	// token exists and is not '@', '::', '(', '[', ',' or an operator.
+	operatorContext := func() bool {
+		if len(toks) == 0 {
+			return false
+		}
+		switch toks[len(toks)-1].kind {
+		case tokAt, tokAxis, tokLParen, tokLBracket, tokComma,
+			tokAnd, tokOr, tokMod, tokDiv, tokMultiply, tokSlash, tokSlashSlash,
+			tokPipe, tokPlus, tokMinus, tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+			return false
+		}
+		return true
+	}
+	push := func(kind tokKind, val string, pos int) {
+		toks = append(toks, token{kind: kind, val: val, pos: pos})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			push(tokLParen, "(", i)
+			i++
+		case c == ')':
+			push(tokRParen, ")", i)
+			i++
+		case c == '[':
+			push(tokLBracket, "[", i)
+			i++
+		case c == ']':
+			push(tokRBracket, "]", i)
+			i++
+		case c == ',':
+			push(tokComma, ",", i)
+			i++
+		case c == '@':
+			push(tokAt, "@", i)
+			i++
+		case c == '|':
+			push(tokPipe, "|", i)
+			i++
+		case c == '+':
+			push(tokPlus, "+", i)
+			i++
+		case c == '-':
+			push(tokMinus, "-", i)
+			i++
+		case c == '=':
+			push(tokEq, "=", i)
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				push(tokNeq, "!=", i)
+				i += 2
+			} else {
+				return nil, errAt(i, "unexpected '!'")
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				push(tokLe, "<=", i)
+				i += 2
+			} else {
+				push(tokLt, "<", i)
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				push(tokGe, ">=", i)
+				i += 2
+			} else {
+				push(tokGt, ">", i)
+				i++
+			}
+		case c == '/':
+			if i+1 < len(src) && src[i+1] == '/' {
+				push(tokSlashSlash, "//", i)
+				i += 2
+			} else {
+				push(tokSlash, "/", i)
+				i++
+			}
+		case c == '.':
+			if i+1 < len(src) && src[i+1] == '.' {
+				push(tokDotDot, "..", i)
+				i += 2
+			} else if i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9' {
+				start := i
+				i++
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+				n := mustParseNum(src[start:i])
+				toks = append(toks, token{kind: tokNumber, num: n, pos: start})
+			} else {
+				push(tokDot, ".", i)
+				i++
+			}
+		case c == '*':
+			if operatorContext() {
+				push(tokMultiply, "*", i)
+			} else {
+				push(tokStar, "*", i)
+			}
+			i++
+		case c == '"' || c == '\'':
+			q := c
+			start := i
+			i++
+			j := strings.IndexByte(src[i:], q)
+			if j < 0 {
+				return nil, errAt(start, "unterminated string literal")
+			}
+			push(tokLiteral, src[i:i+j], start)
+			i += j + 1
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			if i < len(src) && src[i] == '.' {
+				i++
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			toks = append(toks, token{kind: tokNumber, num: mustParseNum(src[start:i]), pos: start})
+		case c == '$':
+			i++
+			name, n, err := lexName(src[i:])
+			if err != nil {
+				return nil, errAt(i, "invalid variable name")
+			}
+			push(tokVar, name, i-1)
+			i += n
+		case isNCNameStartByte(c):
+			start := i
+			name, n, err := lexName(src[i:])
+			if err != nil {
+				return nil, errAt(i, "invalid name")
+			}
+			i += n
+			// Operator-name disambiguation.
+			if operatorContext() {
+				switch name {
+				case "and":
+					push(tokAnd, name, start)
+					continue
+				case "or":
+					push(tokOr, name, start)
+					continue
+				case "mod":
+					push(tokMod, name, start)
+					continue
+				case "div":
+					push(tokDiv, name, start)
+					continue
+				}
+			}
+			// name '::' → axis specifier
+			j := i
+			for j < len(src) && (src[j] == ' ' || src[j] == '\t' || src[j] == '\n' || src[j] == '\r') {
+				j++
+			}
+			if j+1 < len(src) && src[j] == ':' && src[j+1] == ':' {
+				push(tokAxis, name, start)
+				i = j + 2
+				continue
+			}
+			// QName with wildcard local part: prefix ':*'
+			if !strings.Contains(name, ":") && i+1 < len(src) && src[i] == ':' && src[i+1] == '*' {
+				name += ":*"
+				i += 2
+			}
+			push(tokName, name, start)
+		default:
+			return nil, errAt(i, "unexpected character %q", string(rune(c)))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func mustParseNum(s string) float64 {
+	var f float64
+	_, err := fmt.Sscanf(s, "%g", &f)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+func isNCNameStartByte(c byte) bool {
+	return c == '_' || (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c >= 0x80
+}
+
+// lexName consumes an NCName or QName (prefix:local) from the front of s
+// and returns it along with the number of bytes consumed.
+func lexName(s string) (string, int, error) {
+	i := 0
+	consumeNC := func() bool {
+		start := i
+		for i < len(s) {
+			r, size := utf8.DecodeRuneInString(s[i:])
+			if i == start {
+				if !(r == '_' || unicode.IsLetter(r)) {
+					break
+				}
+			} else if !(r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)) {
+				break
+			}
+			i += size
+		}
+		return i > start
+	}
+	if !consumeNC() {
+		return "", 0, fmt.Errorf("expected name")
+	}
+	// Possible QName: single colon followed directly by an NCName start
+	// (a following "::" is an axis and is handled by the caller).
+	if i+1 < len(s) && s[i] == ':' && s[i+1] != ':' && s[i+1] != '*' {
+		save := i
+		i++
+		if !consumeNC() {
+			i = save
+		}
+	}
+	return s[:i], i, nil
+}

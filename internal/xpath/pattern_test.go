@@ -1,0 +1,194 @@
+package xpath
+
+import (
+	"testing"
+
+	"goldweb/internal/xmldom"
+)
+
+const patternDoc = `<goldmodel id="m1">
+  <factclasses>
+    <factclass id="f1"><factatts><factatt id="a1"/><factatt id="a2"/></factatts></factclass>
+  </factclasses>
+  <dimclasses>
+    <dimclass id="d1"><dimatt id="da1"/></dimclass>
+  </dimclasses>
+</goldmodel>`
+
+func patDoc(t *testing.T) *xmldom.Node {
+	t.Helper()
+	d, err := xmldom.ParseString(patternDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func matchNode(t *testing.T, pat string, n *xmldom.Node) bool {
+	t.Helper()
+	p, err := CompilePattern(pat)
+	if err != nil {
+		t.Fatalf("compile pattern %q: %v", pat, err)
+	}
+	ok, err := p.Matches(NewContext(n), n)
+	if err != nil {
+		t.Fatalf("match %q: %v", pat, err)
+	}
+	return ok
+}
+
+func TestPatternBasicMatching(t *testing.T) {
+	d := patDoc(t)
+	root := d.DocumentElement()
+	fc := d.DescendantElements("factclass")[0]
+	fa1 := d.DescendantElements("factatt")[0]
+	fa2 := d.DescendantElements("factatt")[1]
+	id := fc.GetAttr("id")
+
+	cases := []struct {
+		pat  string
+		node *xmldom.Node
+		want bool
+	}{
+		{"factclass", fc, true},
+		{"dimclass", fc, false},
+		{"*", fc, true},
+		{"*", d, false},
+		{"/", d, true},
+		{"/", root, false},
+		{"/goldmodel", root, true},
+		{"/factclass", fc, false}, // not a child of the root
+		{"factclasses/factclass", fc, true},
+		{"dimclasses/factclass", fc, false},
+		{"goldmodel//factatt", fa1, true},
+		{"//factatt", fa2, true},
+		{"/goldmodel/factclasses/factclass/factatts/factatt", fa1, true},
+		{"@id", id, true},
+		{"@name", id, false},
+		{"@*", id, true},
+		{"factclass/@id", id, true},
+		{"dimclass/@id", id, false},
+		{"factatt[1]", fa1, true},
+		{"factatt[1]", fa2, false},
+		{"factatt[2]", fa2, true},
+		{"factatt[last()]", fa2, true},
+		{"factatt[@id='a1']", fa1, true},
+		{"factatt[@id='a1']", fa2, false},
+		{"node()", fc, true},
+	}
+	for _, tc := range cases {
+		if got := matchNode(t, tc.pat, tc.node); got != tc.want {
+			t.Errorf("pattern %q vs %s: got %v, want %v", tc.pat, tc.node.Path(), got, tc.want)
+		}
+	}
+}
+
+func TestPatternUnion(t *testing.T) {
+	d := patDoc(t)
+	fc := d.DescendantElements("factclass")[0]
+	dc := d.DescendantElements("dimclass")[0]
+	p := MustCompilePattern("factclass|dimclass")
+	for _, n := range []*xmldom.Node{fc, dc} {
+		ok, err := p.Matches(NewContext(n), n)
+		if err != nil || !ok {
+			t.Errorf("union should match %s: %v", n.Name, err)
+		}
+	}
+	if len(p.Alternatives()) != 2 {
+		t.Errorf("alternatives = %d", len(p.Alternatives()))
+	}
+}
+
+func TestPatternDescendantGap(t *testing.T) {
+	d := xmldom.MustParseString(`<a><b><c><d/></c></b><x><d/></x></a>`)
+	dInB := d.DescendantElements("d")[0]
+	dInX := d.DescendantElements("d")[1]
+	if !matchNode(t, "b//d", dInB) {
+		t.Error("b//d should match d under b")
+	}
+	if matchNode(t, "b//d", dInX) {
+		t.Error("b//d should not match d under x")
+	}
+	if !matchNode(t, "a//c/d", dInB) {
+		t.Error("a//c/d should match")
+	}
+	if !matchNode(t, "/a//d", dInX) {
+		t.Error("/a//d should match both")
+	}
+}
+
+func TestPatternIDRooted(t *testing.T) {
+	d := patDoc(t)
+	fc := d.DescendantElements("factclass")[0]
+	fa := d.DescendantElements("factatt")[0]
+	if !matchNode(t, "id('f1')", fc) {
+		t.Error("id('f1') should match the factclass")
+	}
+	if matchNode(t, "id('x9')", fc) {
+		t.Error("id('x9') should not match")
+	}
+	if !matchNode(t, "id('f1')//factatt", fa) {
+		t.Error("id('f1')//factatt should match")
+	}
+}
+
+func TestPatternDefaultPriorities(t *testing.T) {
+	cases := []struct {
+		pat  string
+		want float64
+	}{
+		{"factclass", 0},
+		{"*", -0.5},
+		{"node()", -0.5},
+		{"text()", -0.5},
+		{"@id", 0},
+		{"@*", -0.5},
+		{"factclass[@id]", 0.5},
+		{"factclasses/factclass", 0.5},
+		{"/", 0.5},
+		{"processing-instruction('x')", 0},
+		{"processing-instruction()", -0.5},
+	}
+	for _, tc := range cases {
+		p := MustCompilePattern(tc.pat)
+		if got := p.DefaultPriority(); got != tc.want {
+			t.Errorf("priority(%q) = %v, want %v", tc.pat, got, tc.want)
+		}
+	}
+}
+
+func TestPatternRejectsFullExpressions(t *testing.T) {
+	bad := []string{
+		"ancestor::a",
+		"a/following-sibling::b",
+		"1 + 1",
+		"$var",
+		"..",
+		"a/..",
+		"id(@ref)", // non-literal id()
+	}
+	for _, pat := range bad {
+		if _, err := CompilePattern(pat); err == nil {
+			t.Errorf("pattern %q should be rejected", pat)
+		}
+	}
+}
+
+func TestPatternTextAndComment(t *testing.T) {
+	d := xmldom.MustParseString(`<a>hi<!--c--></a>`)
+	a := d.DocumentElement()
+	text := a.Children[0]
+	comment := a.Children[1]
+	if !matchNode(t, "text()", text) {
+		t.Error("text() should match text node")
+	}
+	if matchNode(t, "text()", comment) {
+		t.Error("text() should not match comment")
+	}
+	if !matchNode(t, "comment()", comment) {
+		t.Error("comment() should match")
+	}
+	if !matchNode(t, "a/text()", text) {
+		t.Error("a/text() should match")
+	}
+}

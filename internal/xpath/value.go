@@ -1,0 +1,148 @@
+// Package xpath implements an XPath 1.0 expression engine over the xmldom
+// tree model: lexer, parser, and evaluator with the core function library.
+//
+// It is the query substrate shared by the xslt engine (select/match/test
+// expressions) and the xsd validator (key/keyref selector and field paths),
+// in the same way MSXML's and Xerces' XPath engines underpinned the
+// original system.
+package xpath
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"goldweb/internal/xmldom"
+)
+
+// Value is the result of evaluating an expression. It is one of the four
+// XPath 1.0 types: NodeSet, Boolean, Number or String.
+type Value interface {
+	xpathValue()
+}
+
+// NodeSet is an unordered collection of nodes. Evaluation results are kept
+// in document order without duplicates.
+type NodeSet []*xmldom.Node
+
+// Boolean is the XPath boolean type.
+type Boolean bool
+
+// Number is the XPath number type (IEEE 754 double).
+type Number float64
+
+// String is the XPath string type.
+type String string
+
+func (NodeSet) xpathValue() {}
+func (Boolean) xpathValue() {}
+func (Number) xpathValue()  {}
+func (String) xpathValue()  {}
+
+// ToString converts any Value to its XPath string() form.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case String:
+		return string(x)
+	case Number:
+		return FormatNumber(float64(x))
+	case Boolean:
+		if x {
+			return "true"
+		}
+		return "false"
+	case NodeSet:
+		if len(x) == 0 {
+			return ""
+		}
+		return x[0].StringValue()
+	}
+	return ""
+}
+
+// ToNumber converts any Value to its XPath number() form.
+func ToNumber(v Value) float64 {
+	switch x := v.(type) {
+	case nil:
+		return math.NaN()
+	case Number:
+		return float64(x)
+	case Boolean:
+		if x {
+			return 1
+		}
+		return 0
+	case String:
+		return stringToNumber(string(x))
+	case NodeSet:
+		return stringToNumber(ToString(x))
+	}
+	return math.NaN()
+}
+
+// ToBool converts any Value to its XPath boolean() form.
+func ToBool(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case Boolean:
+		return bool(x)
+	case Number:
+		f := float64(x)
+		return f != 0 && !math.IsNaN(f)
+	case String:
+		return len(x) > 0
+	case NodeSet:
+		return len(x) > 0
+	}
+	return false
+}
+
+// stringToNumber implements the XPath string-to-number rules: optional
+// whitespace, optional minus sign, decimal representation; anything else
+// yields NaN.
+func stringToNumber(s string) float64 {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return math.NaN()
+	}
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	// XPath numbers have no exponent notation and no leading '+'.
+	if s == "" || strings.ContainsAny(s, "eE+") {
+		return math.NaN()
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	if neg {
+		return -f
+	}
+	return f
+}
+
+// FormatNumber renders a float64 using the XPath number-to-string rules:
+// "NaN", "Infinity", "-Infinity", integers without a decimal point, and
+// otherwise the shortest decimal form without an exponent.
+func FormatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == 0:
+		return "0" // normalizes -0
+	case f == math.Trunc(f) && math.Abs(f) < 1e18:
+		return strconv.FormatInt(int64(f), 10)
+	default:
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+}

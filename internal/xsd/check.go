@@ -1,0 +1,145 @@
+package xsd
+
+import (
+	"fmt"
+
+	"goldweb/internal/xmldom"
+)
+
+// SchemaIssue is one finding of the schema quality checker.
+type SchemaIssue struct {
+	Severity string // "error" or "warning"
+	Where    string // schema path
+	Msg      string
+}
+
+func (i SchemaIssue) String() string {
+	return fmt.Sprintf("%s: %s: %s", i.Severity, i.Where, i.Msg)
+}
+
+// CheckSchema performs a quality review of a schema document, mirroring
+// the IBM XML Schema Quality Checker step of the paper's workflow: it
+// reports structural rule violations and, beyond what ParseSchema
+// enforces, semantic problems such as invalid default values, enumeration
+// values that do not conform to the base type, and keyrefs that do not
+// resolve to a key.
+func CheckSchema(doc *xmldom.Node) []SchemaIssue {
+	var issues []SchemaIssue
+	add := func(sev, where, format string, args ...interface{}) {
+		issues = append(issues, SchemaIssue{Severity: sev, Where: where, Msg: fmt.Sprintf(format, args...)})
+	}
+	s, err := ParseSchema(doc)
+	if err != nil {
+		where := "/"
+		if se, ok := err.(*SchemaError); ok && se.Node != nil {
+			where = se.Node.Path()
+		}
+		add("error", where, "%v", err)
+		return issues
+	}
+	// Enumeration values and defaults must conform to their types.
+	for _, st := range s.SimpleTypes {
+		for _, e := range st.Enum {
+			if st.base != nil {
+				if err := checkSimpleValue(st.base, e); err != nil {
+					add("error", st.src.Path(), "enumeration value %q violates base type %s: %v", e, st.Base, err)
+				}
+			}
+		}
+		if st.Length != nil && (st.MinLength != nil || st.MaxLength != nil) {
+			add("warning", st.src.Path(), "type %s mixes length with minLength/maxLength", typeLabel(st))
+		}
+		if st.MinInclusive != nil && st.MaxInclusive != nil && *st.MinInclusive > *st.MaxInclusive {
+			add("error", st.src.Path(), "type %s has minInclusive > maxInclusive", typeLabel(st))
+		}
+		if len(st.Enum) == 0 && len(st.Patterns) == 0 && st.Length == nil &&
+			st.MinLength == nil && st.MaxLength == nil && st.MinInclusive == nil &&
+			st.MaxInclusive == nil && st.MinExclusive == nil && st.MaxExclusive == nil &&
+			st.WhiteSpace == "" {
+			add("warning", st.src.Path(), "type %s restricts %s without any facet", typeLabel(st), st.Base)
+		}
+	}
+	// Walk declarations.
+	var walkDecl func(d *ElementDecl, where string)
+	var walkCT func(ct *ComplexType, where string)
+	var walkPart func(p *Particle, where string, names map[string]int)
+	walkPart = func(p *Particle, where string, names map[string]int) {
+		if p == nil {
+			return
+		}
+		if p.Kind == PElement {
+			names[p.Elem.Name]++
+			walkDecl(p.Elem, where+"/"+p.Elem.Name)
+			return
+		}
+		// A fresh name scope per nested group is a simplification; same-
+		// name siblings inside one group are the common UPA hazard.
+		sub := map[string]int{}
+		for _, c := range p.Children {
+			walkPart(c, where, sub)
+		}
+		for name, n := range sub {
+			if n > 1 && p.Kind == PChoice {
+				add("warning", where, "choice contains element %s %d times (ambiguous content model)", name, n)
+			}
+		}
+	}
+	walkCT = func(ct *ComplexType, where string) {
+		for _, ad := range ct.Attributes {
+			if ad.HasDefault && ad.Type != nil {
+				if err := checkSimpleValue(ad.Type, ad.Default); err != nil {
+					add("error", where, "default value of attribute %s violates its type: %v", ad.Name, err)
+				}
+			}
+			if ad.HasFixed && ad.Type != nil {
+				if err := checkSimpleValue(ad.Type, ad.Fixed); err != nil {
+					add("error", where, "fixed value of attribute %s violates its type: %v", ad.Name, err)
+				}
+			}
+			if ad.Type != nil && ad.Type.rootKind() == btID && ad.Use != "required" {
+				add("warning", where, "ID attribute %s should be required", ad.Name)
+			}
+		}
+		walkPart(ct.Content, where, map[string]int{})
+	}
+	seenCT := map[*ComplexType]bool{}
+	walkDecl = func(d *ElementDecl, where string) {
+		if d.Complex != nil && !seenCT[d.Complex] {
+			seenCT[d.Complex] = true
+			walkCT(d.Complex, where)
+		}
+		names := map[ConstraintKind]map[string]bool{
+			KeyConstraint: {}, UniqueConstraint: {}, KeyrefConstraint: {},
+		}
+		for _, ic := range d.Constraints {
+			if names[ic.Kind][ic.Name] {
+				add("error", where, "duplicate %s constraint %s", ic.Kind, ic.Name)
+			}
+			names[ic.Kind][ic.Name] = true
+		}
+		for _, ic := range d.Constraints {
+			if ic.Kind != KeyrefConstraint {
+				continue
+			}
+			if !names[KeyConstraint][ic.Refer] && !names[UniqueConstraint][ic.Refer] {
+				add("error", where, "keyref %s refers to undeclared key %s", ic.Name, ic.Refer)
+			}
+		}
+	}
+	for name, d := range s.Elements {
+		walkDecl(d, "/"+name)
+	}
+	if len(s.Elements) == 0 {
+		add("warning", "/", "schema declares no global elements; no document can be validated")
+	}
+	return issues
+}
+
+// CheckSchemaString parses and checks schema text.
+func CheckSchemaString(src string) []SchemaIssue {
+	doc, err := xmldom.ParseString(src)
+	if err != nil {
+		return []SchemaIssue{{Severity: "error", Where: "/", Msg: err.Error()}}
+	}
+	return CheckSchema(doc)
+}

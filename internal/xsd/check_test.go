@@ -1,0 +1,316 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+)
+
+func sch(body string) string {
+	return `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">` + body + `</xsd:schema>`
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	bad := []struct {
+		name, src, want string
+	}{
+		{"not a schema", `<foo/>`, "root element must be xsd:schema"},
+		{"unknown base", sch(`<xsd:simpleType name="T"><xsd:restriction base="Nope"/></xsd:simpleType>`), "unknown base type"},
+		{"unknown type ref", sch(`<xsd:element name="e" type="Nope"/>`), "unknown type Nope"},
+		{"duplicate element", sch(`<xsd:element name="e"/><xsd:element name="e"/>`), "duplicate global element"},
+		{"bad occurs", sch(`<xsd:element name="e"><xsd:complexType><xsd:sequence><xsd:element name="c" minOccurs="3" maxOccurs="2"/></xsd:sequence></xsd:complexType></xsd:element>`), "minOccurs 3 exceeds maxOccurs 2"},
+		{"circular simpletype", sch(`<xsd:simpleType name="A"><xsd:restriction base="B"/></xsd:simpleType><xsd:simpleType name="B"><xsd:restriction base="A"/></xsd:simpleType>`), "circular"},
+		{"list unsupported", sch(`<xsd:simpleType name="L"><xsd:list itemType="xsd:string"/></xsd:simpleType>`), "restriction"},
+		{"keyref missing refer", sch(`<xsd:element name="e"><xsd:keyref name="k"><xsd:selector xpath="a"/><xsd:field xpath="@b"/></xsd:keyref></xsd:element>`), "keyref requires refer"},
+		{"constraint missing field", sch(`<xsd:element name="e"><xsd:key name="k"><xsd:selector xpath="a"/></xsd:key></xsd:element>`), "requires a selector and at least one field"},
+		{"bad selector xpath", sch(`<xsd:element name="e"><xsd:key name="k"><xsd:selector xpath="[["/><xsd:field xpath="@a"/></xsd:key></xsd:element>`), "bad selector xpath"},
+		{"attribute default and fixed", sch(`<xsd:element name="e"><xsd:complexType><xsd:attribute name="a" default="x" fixed="y"/></xsd:complexType></xsd:element>`), "cannot have both default and fixed"},
+	}
+	for _, tc := range bad {
+		_, err := ParseSchemaString(tc.src)
+		if err == nil {
+			t.Errorf("%s: schema accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCheckSchemaCleanOnGoodSchema(t *testing.T) {
+	issues := CheckSchemaString(miniSchema)
+	for _, i := range issues {
+		if i.Severity == "error" {
+			t.Errorf("unexpected error: %s", i)
+		}
+	}
+}
+
+func TestCheckSchemaFindsBadEnumValue(t *testing.T) {
+	src := sch(`<xsd:simpleType name="T"><xsd:restriction base="xsd:integer">
+		<xsd:enumeration value="12"/><xsd:enumeration value="notanumber"/>
+	</xsd:restriction></xsd:simpleType><xsd:element name="e" type="T"/>`)
+	issues := CheckSchemaString(src)
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i.Msg, `enumeration value "notanumber"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bad enum not flagged: %v", issues)
+	}
+}
+
+func TestCheckSchemaFindsBadDefault(t *testing.T) {
+	src := sch(`<xsd:element name="e"><xsd:complexType>
+		<xsd:attribute name="n" type="xsd:integer" default="abc"/>
+	</xsd:complexType></xsd:element>`)
+	issues := CheckSchemaString(src)
+	found := false
+	for _, i := range issues {
+		if i.Severity == "error" && strings.Contains(i.Msg, "default value of attribute n") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bad default not flagged: %v", issues)
+	}
+}
+
+func TestCheckSchemaFindsDanglingKeyref(t *testing.T) {
+	src := sch(`<xsd:element name="e">
+		<xsd:complexType><xsd:sequence><xsd:element name="c" minOccurs="0"/></xsd:sequence></xsd:complexType>
+		<xsd:keyref name="kr" refer="ghost"><xsd:selector xpath="c"/><xsd:field xpath="@a"/></xsd:keyref>
+	</xsd:element>`)
+	issues := CheckSchemaString(src)
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i.Msg, "keyref kr refers to undeclared key ghost") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dangling keyref not flagged: %v", issues)
+	}
+}
+
+func TestCheckSchemaWarnsAmbiguousChoice(t *testing.T) {
+	src := sch(`<xsd:element name="e"><xsd:complexType><xsd:choice>
+		<xsd:element name="x"/><xsd:element name="x"/>
+	</xsd:choice></xsd:complexType></xsd:element>`)
+	issues := CheckSchemaString(src)
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i.Msg, "ambiguous content model") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ambiguity not flagged: %v", issues)
+	}
+}
+
+// ---- facet coverage ----
+
+func validateOne(t *testing.T, schema, doc string) []ValidationError {
+	t.Helper()
+	s, err := ParseSchemaString(schema)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	return s.ValidateString(doc, ValidateOptions{})
+}
+
+func TestPatternFacet(t *testing.T) {
+	schema := sch(`<xsd:simpleType name="Code"><xsd:restriction base="xsd:string">
+		<xsd:pattern value="[A-Z]{2}-[0-9]+"/></xsd:restriction></xsd:simpleType>
+		<xsd:element name="e"><xsd:complexType><xsd:attribute name="c" type="Code" use="required"/></xsd:complexType></xsd:element>`)
+	if errs := validateOne(t, schema, `<e c="AB-123"/>`); len(errs) != 0 {
+		t.Errorf("valid pattern rejected: %v", errs)
+	}
+	if errs := validateOne(t, schema, `<e c="ab-123"/>`); len(errs) == 0 {
+		t.Error("invalid pattern accepted")
+	}
+	// The pattern is anchored: a substring match is not enough.
+	if errs := validateOne(t, schema, `<e c="xAB-123y"/>`); len(errs) == 0 {
+		t.Error("unanchored match accepted")
+	}
+}
+
+func TestLengthAndRangeFacets(t *testing.T) {
+	schema := sch(`<xsd:simpleType name="Short"><xsd:restriction base="xsd:string">
+		<xsd:minLength value="2"/><xsd:maxLength value="4"/></xsd:restriction></xsd:simpleType>
+		<xsd:simpleType name="Pct"><xsd:restriction base="xsd:integer">
+		<xsd:minInclusive value="0"/><xsd:maxInclusive value="100"/></xsd:restriction></xsd:simpleType>
+		<xsd:element name="e"><xsd:complexType>
+		<xsd:attribute name="s" type="Short"/><xsd:attribute name="p" type="Pct"/>
+		</xsd:complexType></xsd:element>`)
+	if errs := validateOne(t, schema, `<e s="abc" p="50"/>`); len(errs) != 0 {
+		t.Errorf("valid rejected: %v", errs)
+	}
+	if errs := validateOne(t, schema, `<e s="a"/>`); len(errs) == 0 {
+		t.Error("too-short accepted")
+	}
+	if errs := validateOne(t, schema, `<e s="abcde"/>`); len(errs) == 0 {
+		t.Error("too-long accepted")
+	}
+	if errs := validateOne(t, schema, `<e p="101"/>`); len(errs) == 0 {
+		t.Error("out-of-range accepted")
+	}
+	if errs := validateOne(t, schema, `<e p="-1"/>`); len(errs) == 0 {
+		t.Error("negative accepted")
+	}
+}
+
+func TestSimpleContentElement(t *testing.T) {
+	schema := sch(`<xsd:element name="price" type="xsd:decimal"/>`)
+	if errs := validateOne(t, schema, `<price>12.50</price>`); len(errs) != 0 {
+		t.Errorf("valid rejected: %v", errs)
+	}
+	if errs := validateOne(t, schema, `<price>cheap</price>`); len(errs) == 0 {
+		t.Error("invalid decimal accepted")
+	}
+	if errs := validateOne(t, schema, `<price><sub/></price>`); len(errs) == 0 {
+		t.Error("child element in simple content accepted")
+	}
+}
+
+func TestFixedValues(t *testing.T) {
+	schema := sch(`<xsd:element name="e"><xsd:complexType>
+		<xsd:attribute name="v" type="xsd:string" fixed="const"/>
+	</xsd:complexType></xsd:element>`)
+	if errs := validateOne(t, schema, `<e v="const"/>`); len(errs) != 0 {
+		t.Errorf("fixed match rejected: %v", errs)
+	}
+	if errs := validateOne(t, schema, `<e v="other"/>`); len(errs) == 0 {
+		t.Error("fixed mismatch accepted")
+	}
+	if errs := validateOne(t, schema, `<e/>`); len(errs) != 0 {
+		t.Errorf("absent fixed attribute rejected: %v", errs)
+	}
+}
+
+// ---- content model coverage ----
+
+func TestChoiceContentModel(t *testing.T) {
+	schema := sch(`<xsd:element name="e"><xsd:complexType><xsd:choice>
+		<xsd:element name="a"/><xsd:element name="b"/>
+	</xsd:choice></xsd:complexType></xsd:element>`)
+	if errs := validateOne(t, schema, `<e><a/></e>`); len(errs) != 0 {
+		t.Errorf("choice a: %v", errs)
+	}
+	if errs := validateOne(t, schema, `<e><b/></e>`); len(errs) != 0 {
+		t.Errorf("choice b: %v", errs)
+	}
+	if errs := validateOne(t, schema, `<e><a/><b/></e>`); len(errs) == 0 {
+		t.Error("both branches accepted")
+	}
+	if errs := validateOne(t, schema, `<e/>`); len(errs) == 0 {
+		t.Error("empty choice accepted")
+	}
+}
+
+func TestRepeatedChoice(t *testing.T) {
+	schema := sch(`<xsd:element name="e"><xsd:complexType>
+		<xsd:choice minOccurs="0" maxOccurs="unbounded">
+		<xsd:element name="a"/><xsd:element name="b"/>
+	</xsd:choice></xsd:complexType></xsd:element>`)
+	for _, doc := range []string{`<e/>`, `<e><a/></e>`, `<e><b/><a/><a/><b/></e>`} {
+		if errs := validateOne(t, schema, doc); len(errs) != 0 {
+			t.Errorf("%s: %v", doc, errs)
+		}
+	}
+	if errs := validateOne(t, schema, `<e><c/></e>`); len(errs) == 0 {
+		t.Error("foreign element accepted")
+	}
+}
+
+func TestNestedSequenceOccurs(t *testing.T) {
+	schema := sch(`<xsd:element name="e"><xsd:complexType><xsd:sequence>
+		<xsd:sequence minOccurs="0" maxOccurs="2">
+			<xsd:element name="k"/><xsd:element name="v"/>
+		</xsd:sequence>
+		<xsd:element name="end"/>
+	</xsd:sequence></xsd:complexType></xsd:element>`)
+	ok := []string{`<e><end/></e>`, `<e><k/><v/><end/></e>`, `<e><k/><v/><k/><v/><end/></e>`}
+	for _, doc := range ok {
+		if errs := validateOne(t, schema, doc); len(errs) != 0 {
+			t.Errorf("%s: %v", doc, errs)
+		}
+	}
+	bad := []string{`<e><k/><end/></e>`, `<e><k/><v/><k/><v/><k/><v/><end/></e>`, `<e/>`}
+	for _, doc := range bad {
+		if errs := validateOne(t, schema, doc); len(errs) == 0 {
+			t.Errorf("%s accepted", doc)
+		}
+	}
+}
+
+func TestAllGroup(t *testing.T) {
+	schema := sch(`<xsd:element name="e"><xsd:complexType><xsd:all>
+		<xsd:element name="a"/><xsd:element name="b"/><xsd:element name="c" minOccurs="0"/>
+	</xsd:all></xsd:complexType></xsd:element>`)
+	ok := []string{`<e><a/><b/></e>`, `<e><b/><a/></e>`, `<e><c/><b/><a/></e>`}
+	for _, doc := range ok {
+		if errs := validateOne(t, schema, doc); len(errs) != 0 {
+			t.Errorf("%s: %v", doc, errs)
+		}
+	}
+	bad := []string{`<e><a/></e>`, `<e><a/><b/><b/></e>`}
+	for _, doc := range bad {
+		if errs := validateOne(t, schema, doc); len(errs) == 0 {
+			t.Errorf("%s accepted", doc)
+		}
+	}
+}
+
+func TestExactOccurrenceBounds(t *testing.T) {
+	schema := sch(`<xsd:element name="e"><xsd:complexType><xsd:sequence>
+		<xsd:element name="x" minOccurs="2" maxOccurs="3"/>
+	</xsd:sequence></xsd:complexType></xsd:element>`)
+	counts := map[int]bool{0: false, 1: false, 2: true, 3: true, 4: false}
+	for n, want := range counts {
+		doc := "<e>" + strings.Repeat("<x/>", n) + "</e>"
+		errs := validateOne(t, schema, doc)
+		if (len(errs) == 0) != want {
+			t.Errorf("%d occurrences: valid=%v want %v (%v)", n, len(errs) == 0, want, errs)
+		}
+	}
+}
+
+func TestNamedComplexTypeFlatStyle(t *testing.T) {
+	// The "flat" schema style of the paper's §3.1: named types referenced
+	// from element declarations.
+	schema := sch(`
+	<xsd:complexType name="MethodsType"><xsd:sequence>
+		<xsd:element name="method" maxOccurs="unbounded"><xsd:complexType>
+			<xsd:attribute name="name" type="xsd:string" use="required"/>
+		</xsd:complexType></xsd:element>
+	</xsd:sequence></xsd:complexType>
+	<xsd:element name="klass"><xsd:complexType><xsd:sequence>
+		<xsd:element name="methods" type="MethodsType" minOccurs="0"/>
+	</xsd:sequence></xsd:complexType></xsd:element>`)
+	if errs := validateOne(t, schema, `<klass><methods><method name="m1"/><method name="m2"/></methods></klass>`); len(errs) != 0 {
+		t.Errorf("flat style: %v", errs)
+	}
+	if errs := validateOne(t, schema, `<klass><methods><method/></methods></klass>`); len(errs) == 0 {
+		t.Error("missing method name accepted")
+	}
+}
+
+func TestDerivedSimpleTypeChain(t *testing.T) {
+	schema := sch(`
+	<xsd:simpleType name="NonEmpty"><xsd:restriction base="xsd:string"><xsd:minLength value="1"/></xsd:restriction></xsd:simpleType>
+	<xsd:simpleType name="ShortName"><xsd:restriction base="NonEmpty"><xsd:maxLength value="5"/></xsd:restriction></xsd:simpleType>
+	<xsd:element name="e"><xsd:complexType><xsd:attribute name="n" type="ShortName" use="required"/></xsd:complexType></xsd:element>`)
+	if errs := validateOne(t, schema, `<e n="ok"/>`); len(errs) != 0 {
+		t.Errorf("chain valid rejected: %v", errs)
+	}
+	if errs := validateOne(t, schema, `<e n=""/>`); len(errs) == 0 {
+		t.Error("empty accepted despite inherited minLength")
+	}
+	if errs := validateOne(t, schema, `<e n="toolong"/>`); len(errs) == 0 {
+		t.Error("too-long accepted")
+	}
+}

@@ -1,0 +1,614 @@
+package xsd
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xpath"
+)
+
+// ParseSchema compiles a schema document into a Schema.
+func ParseSchema(doc *xmldom.Node) (*Schema, error) {
+	root := doc.DocumentElement()
+	if root == nil || root.URI != Namespace || root.Name != "schema" {
+		return nil, &SchemaError{Node: root, Msg: "root element must be xsd:schema"}
+	}
+	s := &Schema{
+		Elements:     map[string]*ElementDecl{},
+		SimpleTypes:  map[string]*SimpleType{},
+		ComplexTypes: map[string]*ComplexType{},
+		doc:          doc,
+	}
+	p := &schemaParser{s: s}
+	for _, c := range root.Elements() {
+		if c.URI != Namespace {
+			continue
+		}
+		switch c.Name {
+		case "element":
+			decl, err := p.parseElementDecl(c)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := s.Elements[decl.Name]; dup {
+				return nil, &SchemaError{Node: c, Msg: "duplicate global element " + decl.Name}
+			}
+			s.Elements[decl.Name] = decl
+		case "simpleType":
+			st, err := p.parseSimpleType(c)
+			if err != nil {
+				return nil, err
+			}
+			if st.Name == "" {
+				return nil, &SchemaError{Node: c, Msg: "global simpleType requires a name"}
+			}
+			if _, dup := s.SimpleTypes[st.Name]; dup {
+				return nil, &SchemaError{Node: c, Msg: "duplicate simpleType " + st.Name}
+			}
+			s.SimpleTypes[st.Name] = st
+		case "complexType":
+			ct, err := p.parseComplexType(c)
+			if err != nil {
+				return nil, err
+			}
+			if ct.Name == "" {
+				return nil, &SchemaError{Node: c, Msg: "global complexType requires a name"}
+			}
+			if _, dup := s.ComplexTypes[ct.Name]; dup {
+				return nil, &SchemaError{Node: c, Msg: "duplicate complexType " + ct.Name}
+			}
+			s.ComplexTypes[ct.Name] = ct
+		case "annotation", "import", "include":
+			// Annotations are ignored; import/include are out of scope for
+			// the single-document schemas this system manages.
+		case "attribute", "attributeGroup", "group", "notation", "redefine":
+			return nil, &SchemaError{Node: c, Msg: "global xsd:" + c.Name + " is not supported"}
+		default:
+			return nil, &SchemaError{Node: c, Msg: "unknown schema construct xsd:" + c.Name}
+		}
+	}
+	if err := s.resolve(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseSchemaString parses the schema from XML text.
+func ParseSchemaString(src string) (*Schema, error) {
+	doc, err := xmldom.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSchema(doc)
+}
+
+// MustParseSchemaString is for embedded, known-good schemas.
+func MustParseSchemaString(src string) *Schema {
+	s, err := ParseSchemaString(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type schemaParser struct {
+	s *Schema
+}
+
+// schemaElements returns the xsd-namespace element children, skipping
+// annotations.
+func schemaElements(n *xmldom.Node) []*xmldom.Node {
+	var out []*xmldom.Node
+	for _, c := range n.Elements() {
+		if c.URI == Namespace && c.Name != "annotation" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (p *schemaParser) parseElementDecl(e *xmldom.Node) (*ElementDecl, error) {
+	decl := &ElementDecl{src: e}
+	decl.Name = e.AttrValue("name")
+	if ref := e.AttrValue("ref"); ref != "" {
+		return nil, &SchemaError{Node: e, Msg: "element ref is not supported; declare elements inline or globally by name"}
+	}
+	if decl.Name == "" {
+		return nil, &SchemaError{Node: e, Msg: "element requires a name"}
+	}
+	decl.TypeName = e.AttrValue("type")
+	if v := e.GetAttr("default"); v != nil {
+		decl.Default, decl.HasDefault = v.Data, true
+	}
+	if v := e.GetAttr("fixed"); v != nil {
+		decl.Fixed, decl.HasFixed = v.Data, true
+	}
+	for _, c := range schemaElements(e) {
+		switch c.Name {
+		case "complexType":
+			if decl.TypeName != "" || decl.Complex != nil || decl.Simple != nil {
+				return nil, &SchemaError{Node: c, Msg: "element " + decl.Name + " has multiple type definitions"}
+			}
+			ct, err := p.parseComplexType(c)
+			if err != nil {
+				return nil, err
+			}
+			decl.Complex = ct
+		case "simpleType":
+			if decl.TypeName != "" || decl.Complex != nil || decl.Simple != nil {
+				return nil, &SchemaError{Node: c, Msg: "element " + decl.Name + " has multiple type definitions"}
+			}
+			st, err := p.parseSimpleType(c)
+			if err != nil {
+				return nil, err
+			}
+			decl.Simple = st
+		case "key", "keyref", "unique":
+			ic, err := p.parseConstraint(c)
+			if err != nil {
+				return nil, err
+			}
+			decl.Constraints = append(decl.Constraints, ic)
+		default:
+			return nil, &SchemaError{Node: c, Msg: "unexpected xsd:" + c.Name + " inside element " + decl.Name}
+		}
+	}
+	if decl.TypeName == "" && decl.Complex == nil && decl.Simple == nil {
+		// Untyped elements accept any simple content (anySimpleType).
+		decl.Simple = builtinType("anySimpleType")
+	}
+	return decl, nil
+}
+
+func (p *schemaParser) parseComplexType(e *xmldom.Node) (*ComplexType, error) {
+	ct := &ComplexType{Name: e.AttrValue("name"), Mixed: e.AttrValue("mixed") == "true", src: e}
+	for _, c := range schemaElements(e) {
+		switch c.Name {
+		case "sequence", "choice", "all":
+			if ct.Content != nil {
+				return nil, &SchemaError{Node: c, Msg: "complexType has multiple content groups"}
+			}
+			part, err := p.parseGroup(c)
+			if err != nil {
+				return nil, err
+			}
+			ct.Content = part
+		case "attribute":
+			ad, err := p.parseAttributeDecl(c)
+			if err != nil {
+				return nil, err
+			}
+			for _, prev := range ct.Attributes {
+				if prev.Name == ad.Name {
+					return nil, &SchemaError{Node: c, Msg: "duplicate attribute " + ad.Name}
+				}
+			}
+			ct.Attributes = append(ct.Attributes, ad)
+		case "simpleContent", "complexContent", "anyAttribute", "group", "attributeGroup":
+			return nil, &SchemaError{Node: c, Msg: "xsd:" + c.Name + " is not supported"}
+		default:
+			return nil, &SchemaError{Node: c, Msg: "unexpected xsd:" + c.Name + " in complexType"}
+		}
+	}
+	return ct, nil
+}
+
+func (p *schemaParser) parseGroup(e *xmldom.Node) (*Particle, error) {
+	part := &Particle{src: e}
+	switch e.Name {
+	case "sequence":
+		part.Kind = PSequence
+	case "choice":
+		part.Kind = PChoice
+	case "all":
+		part.Kind = PAll
+	}
+	var err error
+	part.Min, part.Max, err = parseOccurs(e)
+	if err != nil {
+		return nil, err
+	}
+	if part.Kind == PAll && (part.Min > 1 || part.Max != 1) {
+		return nil, &SchemaError{Node: e, Msg: "xsd:all cannot repeat"}
+	}
+	for _, c := range schemaElements(e) {
+		switch c.Name {
+		case "element":
+			child := &Particle{Kind: PElement, src: c}
+			child.Min, child.Max, err = parseOccurs(c)
+			if err != nil {
+				return nil, err
+			}
+			decl, err := p.parseElementDecl(c)
+			if err != nil {
+				return nil, err
+			}
+			child.Elem = decl
+			part.Children = append(part.Children, child)
+		case "sequence", "choice", "all":
+			if part.Kind == PAll {
+				return nil, &SchemaError{Node: c, Msg: "xsd:all may only contain elements"}
+			}
+			child, err := p.parseGroup(c)
+			if err != nil {
+				return nil, err
+			}
+			part.Children = append(part.Children, child)
+		case "any":
+			return nil, &SchemaError{Node: c, Msg: "xsd:any is not supported"}
+		default:
+			return nil, &SchemaError{Node: c, Msg: "unexpected xsd:" + c.Name + " in content group"}
+		}
+	}
+	return part, nil
+}
+
+func parseOccurs(e *xmldom.Node) (int, int, error) {
+	min, max := 1, 1
+	if v := e.AttrValue("minOccurs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, 0, &SchemaError{Node: e, Msg: "bad minOccurs " + v}
+		}
+		min = n
+	}
+	if v := e.AttrValue("maxOccurs"); v != "" {
+		if v == "unbounded" {
+			max = Unbounded
+		} else {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return 0, 0, &SchemaError{Node: e, Msg: "bad maxOccurs " + v}
+			}
+			max = n
+		}
+	}
+	if max != Unbounded && min > max {
+		return 0, 0, &SchemaError{Node: e, Msg: fmt.Sprintf("minOccurs %d exceeds maxOccurs %d", min, max)}
+	}
+	return min, max, nil
+}
+
+func (p *schemaParser) parseAttributeDecl(e *xmldom.Node) (*AttributeDecl, error) {
+	ad := &AttributeDecl{Name: e.AttrValue("name"), TypeName: e.AttrValue("type"),
+		Use: e.AttrValue("use"), src: e}
+	if ad.Name == "" {
+		return nil, &SchemaError{Node: e, Msg: "attribute requires a name"}
+	}
+	switch ad.Use {
+	case "", "optional", "required", "prohibited":
+	default:
+		return nil, &SchemaError{Node: e, Msg: "bad attribute use " + ad.Use}
+	}
+	if v := e.GetAttr("default"); v != nil {
+		ad.Default, ad.HasDefault = v.Data, true
+	}
+	if v := e.GetAttr("fixed"); v != nil {
+		ad.Fixed, ad.HasFixed = v.Data, true
+	}
+	if ad.HasDefault && ad.HasFixed {
+		return nil, &SchemaError{Node: e, Msg: "attribute " + ad.Name + " cannot have both default and fixed"}
+	}
+	if ad.HasDefault && ad.Use == "required" {
+		return nil, &SchemaError{Node: e, Msg: "required attribute " + ad.Name + " cannot have a default"}
+	}
+	for _, c := range schemaElements(e) {
+		if c.Name != "simpleType" {
+			return nil, &SchemaError{Node: c, Msg: "unexpected xsd:" + c.Name + " in attribute"}
+		}
+		st, err := p.parseSimpleType(c)
+		if err != nil {
+			return nil, err
+		}
+		ad.Type = st
+	}
+	if ad.TypeName == "" && ad.Type == nil {
+		ad.Type = builtinType("anySimpleType")
+	}
+	return ad, nil
+}
+
+func (p *schemaParser) parseSimpleType(e *xmldom.Node) (*SimpleType, error) {
+	st := &SimpleType{Name: e.AttrValue("name"), src: e}
+	kids := schemaElements(e)
+	if len(kids) != 1 || kids[0].Name != "restriction" {
+		return nil, &SchemaError{Node: e, Msg: "simpleType must contain exactly one xsd:restriction (list/union are not supported)"}
+	}
+	r := kids[0]
+	st.Base = r.AttrValue("base")
+	if st.Base == "" {
+		return nil, &SchemaError{Node: r, Msg: "restriction requires a base"}
+	}
+	intFacet := func(c *xmldom.Node) (*int, error) {
+		n, err := strconv.Atoi(c.AttrValue("value"))
+		if err != nil || n < 0 {
+			return nil, &SchemaError{Node: c, Msg: "bad facet value " + c.AttrValue("value")}
+		}
+		return &n, nil
+	}
+	numFacet := func(c *xmldom.Node) (*float64, error) {
+		f, err := strconv.ParseFloat(c.AttrValue("value"), 64)
+		if err != nil {
+			return nil, &SchemaError{Node: c, Msg: "bad facet value " + c.AttrValue("value")}
+		}
+		return &f, nil
+	}
+	for _, c := range schemaElements(r) {
+		var err error
+		switch c.Name {
+		case "enumeration":
+			st.Enum = append(st.Enum, c.AttrValue("value"))
+		case "pattern":
+			src := c.AttrValue("value")
+			re, rerr := compileXSDPattern(src)
+			if rerr != nil {
+				return nil, &SchemaError{Node: c, Msg: "bad pattern " + src + ": " + rerr.Error()}
+			}
+			st.Patterns = append(st.Patterns, re)
+			st.patternSrcs = append(st.patternSrcs, src)
+		case "length":
+			st.Length, err = intFacet(c)
+		case "minLength":
+			st.MinLength, err = intFacet(c)
+		case "maxLength":
+			st.MaxLength, err = intFacet(c)
+		case "minInclusive":
+			st.MinInclusive, err = numFacet(c)
+		case "maxInclusive":
+			st.MaxInclusive, err = numFacet(c)
+		case "minExclusive":
+			st.MinExclusive, err = numFacet(c)
+		case "maxExclusive":
+			st.MaxExclusive, err = numFacet(c)
+		case "whiteSpace":
+			ws := c.AttrValue("value")
+			switch ws {
+			case "preserve", "replace", "collapse":
+				st.WhiteSpace = ws
+			default:
+				return nil, &SchemaError{Node: c, Msg: "bad whiteSpace value " + ws}
+			}
+		case "totalDigits", "fractionDigits":
+			return nil, &SchemaError{Node: c, Msg: "facet xsd:" + c.Name + " is not supported"}
+		default:
+			return nil, &SchemaError{Node: c, Msg: "unknown facet xsd:" + c.Name}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// compileXSDPattern translates an XSD regular expression into a Go regexp.
+// XSD patterns are implicitly anchored; the common subset (character
+// classes, quantifiers, alternation) is shared syntax.
+func compileXSDPattern(src string) (*regexp.Regexp, error) {
+	// \i, \c (name characters) are XSD-specific; approximate them.
+	rep := strings.NewReplacer(
+		`\i`, `[A-Za-z_:]`,
+		`\c`, `[-A-Za-z0-9_:.·]`,
+	)
+	return regexp.Compile(`\A(?:` + rep.Replace(src) + `)\z`)
+}
+
+func (p *schemaParser) parseConstraint(e *xmldom.Node) (*IdentityConstraint, error) {
+	ic := &IdentityConstraint{Name: e.AttrValue("name"), src: e}
+	switch e.Name {
+	case "key":
+		ic.Kind = KeyConstraint
+	case "unique":
+		ic.Kind = UniqueConstraint
+	case "keyref":
+		ic.Kind = KeyrefConstraint
+		ic.Refer = e.AttrValue("refer")
+		if ic.Refer == "" {
+			return nil, &SchemaError{Node: e, Msg: "keyref requires refer"}
+		}
+		// refer is a QName; constraints live in no namespace here.
+		if i := strings.IndexByte(ic.Refer, ':'); i >= 0 {
+			ic.Refer = ic.Refer[i+1:]
+		}
+	}
+	if ic.Name == "" {
+		return nil, &SchemaError{Node: e, Msg: "identity constraint requires a name"}
+	}
+	for _, c := range schemaElements(e) {
+		switch c.Name {
+		case "selector":
+			src := c.AttrValue("xpath")
+			expr, err := xpath.Compile(src)
+			if err != nil {
+				return nil, &SchemaError{Node: c, Msg: "bad selector xpath: " + err.Error()}
+			}
+			ic.Selector = expr
+			ic.selectorSrc = src
+		case "field":
+			src := c.AttrValue("xpath")
+			expr, err := xpath.Compile(src)
+			if err != nil {
+				return nil, &SchemaError{Node: c, Msg: "bad field xpath: " + err.Error()}
+			}
+			ic.Fields = append(ic.Fields, expr)
+			ic.fieldSrcs = append(ic.fieldSrcs, src)
+		default:
+			return nil, &SchemaError{Node: c, Msg: "unexpected xsd:" + c.Name + " in " + e.Name}
+		}
+	}
+	if ic.Selector == nil || len(ic.Fields) == 0 {
+		return nil, &SchemaError{Node: e, Msg: ic.Kind.String() + " " + ic.Name + " requires a selector and at least one field"}
+	}
+	return ic, nil
+}
+
+// ---- reference resolution ----
+
+// nsForPrefix resolves a namespace prefix using the xmlns declarations in
+// scope at the given schema node.
+func nsForPrefix(n *xmldom.Node, prefix string) (string, bool) {
+	if prefix == "xml" {
+		return xmldom.XMLNamespace, true
+	}
+	for cur := n; cur != nil; cur = cur.Parent {
+		for _, a := range cur.Attr {
+			if a.URI != xmldom.XMLNSNamespace {
+				continue
+			}
+			if prefix == "" && a.Prefix == "" && a.Name == "xmlns" {
+				return a.Data, true
+			}
+			if a.Prefix == "xmlns" && a.Name == prefix {
+				return a.Data, true
+			}
+		}
+	}
+	return "", prefix == ""
+}
+
+// lookupSimple resolves a type QName to a simple type (builtin or named).
+func (s *Schema) lookupSimple(ref string, at *xmldom.Node) (*SimpleType, error) {
+	prefix, local := "", ref
+	if i := strings.IndexByte(ref, ':'); i >= 0 {
+		prefix, local = ref[:i], ref[i+1:]
+	}
+	uri, ok := nsForPrefix(at, prefix)
+	if !ok {
+		return nil, &SchemaError{Node: at, Msg: "undeclared prefix in type reference " + ref}
+	}
+	if uri == Namespace {
+		if bt := builtinType(local); bt != nil {
+			return bt, nil
+		}
+		return nil, &SchemaError{Node: at, Msg: "unsupported built-in type xsd:" + local}
+	}
+	if st, ok := s.SimpleTypes[local]; ok {
+		return st, nil
+	}
+	return nil, nil
+}
+
+// resolve links named type references and base-type chains.
+func (s *Schema) resolve() error {
+	// Resolve simple-type bases first (with cycle detection).
+	state := map[*SimpleType]int{} // 0 unseen, 1 visiting, 2 done
+	var resolveST func(st *SimpleType) error
+	resolveST = func(st *SimpleType) error {
+		if st.builtin != btNone || state[st] == 2 {
+			return nil
+		}
+		if state[st] == 1 {
+			return &SchemaError{Node: st.src, Msg: "circular simpleType derivation at " + st.Name}
+		}
+		state[st] = 1
+		base, err := s.lookupSimple(st.Base, st.src)
+		if err != nil {
+			return err
+		}
+		if base == nil {
+			return &SchemaError{Node: st.src, Msg: "unknown base type " + st.Base}
+		}
+		if err := resolveST(base); err != nil {
+			return err
+		}
+		st.base = base
+		state[st] = 2
+		return nil
+	}
+	for _, st := range s.SimpleTypes {
+		if err := resolveST(st); err != nil {
+			return err
+		}
+	}
+	var resolveCT func(ct *ComplexType) error
+	var resolveDecl func(d *ElementDecl) error
+	var resolvePart func(p *Particle) error
+	resolveDecl = func(d *ElementDecl) error {
+		if d.TypeName != "" {
+			st, err := s.lookupSimple(d.TypeName, d.src)
+			if err != nil {
+				return err
+			}
+			if st != nil {
+				if err := resolveST(st); err != nil {
+					return err
+				}
+				d.Simple = st
+			} else if ct, ok := s.ComplexTypes[stripPrefix(d.TypeName)]; ok {
+				d.Complex = ct
+			} else {
+				return &SchemaError{Node: d.src, Msg: "unknown type " + d.TypeName + " for element " + d.Name}
+			}
+		}
+		if d.Simple != nil && d.Simple.builtin == btNone && d.Simple.base == nil {
+			if err := resolveST(d.Simple); err != nil {
+				return err
+			}
+		}
+		if d.Complex != nil {
+			return resolveCT(d.Complex)
+		}
+		return nil
+	}
+	resolvePart = func(p *Particle) error {
+		if p == nil {
+			return nil
+		}
+		if p.Kind == PElement {
+			return resolveDecl(p.Elem)
+		}
+		for _, c := range p.Children {
+			if err := resolvePart(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	resolvedCT := map[*ComplexType]bool{}
+	resolveCT = func(ct *ComplexType) error {
+		if resolvedCT[ct] {
+			return nil
+		}
+		resolvedCT[ct] = true
+		for _, ad := range ct.Attributes {
+			if ad.TypeName != "" {
+				st, err := s.lookupSimple(ad.TypeName, ad.src)
+				if err != nil {
+					return err
+				}
+				if st == nil {
+					return &SchemaError{Node: ad.src, Msg: "unknown attribute type " + ad.TypeName}
+				}
+				if err := resolveST(st); err != nil {
+					return err
+				}
+				ad.Type = st
+			} else if ad.Type != nil && ad.Type.builtin == btNone && ad.Type.base == nil {
+				if err := resolveST(ad.Type); err != nil {
+					return err
+				}
+			}
+		}
+		return resolvePart(ct.Content)
+	}
+	for _, ct := range s.ComplexTypes {
+		if err := resolveCT(ct); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.Elements {
+		if err := resolveDecl(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func stripPrefix(ref string) string {
+	if i := strings.IndexByte(ref, ':'); i >= 0 {
+		return ref[i+1:]
+	}
+	return ref
+}

@@ -1,0 +1,173 @@
+package xsd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestOccurrenceBoundsProperty: for random (min, extra, n), a document
+// with n children is accepted exactly when min ≤ n ≤ min+extra.
+func TestOccurrenceBoundsProperty(t *testing.T) {
+	f := func(minRaw, extraRaw, nRaw uint8) bool {
+		min := int(minRaw % 5)
+		max := min + int(extraRaw%5)
+		n := int(nRaw % 12)
+		schema := fmt.Sprintf(`<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:element name="e"><xsd:complexType><xsd:sequence>
+				<xsd:element name="x" minOccurs="%d" maxOccurs="%d"/>
+			</xsd:sequence></xsd:complexType></xsd:element></xsd:schema>`, min, max)
+		s, err := ParseSchemaString(schema)
+		if err != nil {
+			return false
+		}
+		doc := "<e>" + strings.Repeat("<x/>", n) + "</e>"
+		errs := s.ValidateString(doc, ValidateOptions{})
+		valid := len(errs) == 0
+		want := n >= min && n <= max
+		return valid == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnboundedOccurrenceProperty: maxOccurs="unbounded" accepts any
+// count at or above min.
+func TestUnboundedOccurrenceProperty(t *testing.T) {
+	f := func(minRaw, nRaw uint8) bool {
+		min := int(minRaw % 4)
+		n := int(nRaw % 30)
+		schema := fmt.Sprintf(`<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:element name="e"><xsd:complexType><xsd:sequence>
+				<xsd:element name="x" minOccurs="%d" maxOccurs="unbounded"/>
+			</xsd:sequence></xsd:complexType></xsd:element></xsd:schema>`, min)
+		s, err := ParseSchemaString(schema)
+		if err != nil {
+			return false
+		}
+		doc := "<e>" + strings.Repeat("<x/>", n) + "</e>"
+		valid := len(s.ValidateString(doc, ValidateOptions{})) == 0
+		return valid == (n >= min)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnumerationProperty: a value passes an enumeration facet exactly
+// when it is one of the enumerated tokens.
+func TestEnumerationProperty(t *testing.T) {
+	enum := []string{"alpha", "beta", "gamma", "delta"}
+	var b strings.Builder
+	for _, e := range enum {
+		fmt.Fprintf(&b, `<xsd:enumeration value="%s"/>`, e)
+	}
+	schema := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+		<xsd:simpleType name="T"><xsd:restriction base="xsd:string">` + b.String() +
+		`</xsd:restriction></xsd:simpleType>
+		<xsd:element name="e"><xsd:complexType><xsd:attribute name="v" type="T" use="required"/></xsd:complexType></xsd:element>
+	</xsd:schema>`
+	s, err := ParseSchemaString(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := map[string]bool{}
+	for _, e := range enum {
+		inSet[e] = true
+	}
+	f := func(pick uint8, junk string) bool {
+		var v string
+		if int(pick)%2 == 0 {
+			v = enum[int(pick/2)%len(enum)]
+		} else {
+			v = strings.Map(func(r rune) rune {
+				if r == '<' || r == '&' || r == '"' {
+					return 'x'
+				}
+				return r
+			}, junk)
+		}
+		doc := fmt.Sprintf(`<e v="%s"/>`, v)
+		valid := len(s.ValidateString(doc, ValidateOptions{})) == 0
+		return valid == inSet[v]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRangeFacetProperty: integer range facets accept exactly the values
+// in [lo, hi].
+func TestRangeFacetProperty(t *testing.T) {
+	const lo, hi = -10, 25
+	schema := fmt.Sprintf(`<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+		<xsd:simpleType name="R"><xsd:restriction base="xsd:integer">
+			<xsd:minInclusive value="%d"/><xsd:maxInclusive value="%d"/>
+		</xsd:restriction></xsd:simpleType>
+		<xsd:element name="e" type="R"/></xsd:schema>`, lo, hi)
+	s, err := ParseSchemaString(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v int8) bool {
+		doc := fmt.Sprintf("<e>%d</e>", v)
+		valid := len(s.ValidateString(doc, ValidateOptions{})) == 0
+		return valid == (int(v) >= lo && int(v) <= hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChoiceRepetitionProperty: (a|b)* accepts every interleaving of a
+// and b but nothing containing c.
+func TestChoiceRepetitionProperty(t *testing.T) {
+	schema := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+		<xsd:element name="e"><xsd:complexType>
+			<xsd:choice minOccurs="0" maxOccurs="unbounded">
+				<xsd:element name="a"/><xsd:element name="b"/>
+			</xsd:choice>
+		</xsd:complexType></xsd:element></xsd:schema>`
+	s, err := ParseSchemaString(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pattern uint16, poison bool) bool {
+		var b strings.Builder
+		b.WriteString("<e>")
+		n := int(pattern % 10)
+		for i := 0; i < n; i++ {
+			if pattern&(1<<i) != 0 {
+				b.WriteString("<a/>")
+			} else {
+				b.WriteString("<b/>")
+			}
+		}
+		if poison {
+			b.WriteString("<c/>")
+		}
+		b.WriteString("</e>")
+		valid := len(s.ValidateString(b.String(), ValidateOptions{})) == 0
+		return valid == !poison
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeneratedGoldModelsAlwaysValidate is the workhorse invariant: every
+// structurally well-formed model document (produced by the generator
+// sweep) passes the canonical schema, for a grid of sizes.
+func TestCanonicalSchemaIdempotentParsing(t *testing.T) {
+	// Parsing the schema twice yields structurally equal views (same
+	// global names, same type tables).
+	s1 := mustSchema(t)
+	s2 := mustSchema(t)
+	if len(s1.Elements) != len(s2.Elements) ||
+		len(s1.SimpleTypes) != len(s2.SimpleTypes) ||
+		len(s1.ComplexTypes) != len(s2.ComplexTypes) {
+		t.Error("schema parsing not deterministic")
+	}
+}

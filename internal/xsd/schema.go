@@ -1,0 +1,184 @@
+// Package xsd implements an XML Schema (W3C 2001) validator subset
+// sufficient for the paper's multidimensional-model schema and schemas of
+// similar shape: global and inline element declarations (both the
+// "Russian doll" and flat schema styles of §3.1 of the paper), complex
+// types with sequence/choice content models and occurrence bounds,
+// attributes with required/optional/default/fixed, named simple types
+// derived by restriction (enumeration, pattern, length and range facets),
+// the common built-in types, ID/IDREF integrity, and key/keyref/unique
+// identity constraints with XPath selectors and fields.
+//
+// It plays the role Apache Xerces played in the original system; the
+// CheckSchema meta-validator mirrors the IBM XML Schema Quality Checker
+// step the authors describe.
+package xsd
+
+import (
+	"fmt"
+	"regexp"
+
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xpath"
+)
+
+// Namespace is the XML Schema namespace URI.
+const Namespace = "http://www.w3.org/2001/XMLSchema"
+
+// Schema is a compiled schema ready to validate instance documents.
+type Schema struct {
+	// Elements holds the global element declarations by name.
+	Elements map[string]*ElementDecl
+	// SimpleTypes and ComplexTypes hold the named type definitions.
+	SimpleTypes  map[string]*SimpleType
+	ComplexTypes map[string]*ComplexType
+
+	doc *xmldom.Node
+}
+
+// ElementDecl describes an element declaration.
+type ElementDecl struct {
+	Name                 string
+	TypeName             string       // non-empty when the type is referenced by name
+	Simple               *SimpleType  // inline or resolved simple type
+	Complex              *ComplexType // inline or resolved complex type
+	Default              string
+	Fixed                string
+	HasDefault, HasFixed bool
+	Constraints          []*IdentityConstraint
+
+	src *xmldom.Node
+}
+
+// ComplexType describes a complex type: a content particle plus
+// attributes.
+type ComplexType struct {
+	Name       string
+	Content    *Particle // nil means empty content
+	Attributes []*AttributeDecl
+	Mixed      bool
+
+	src *xmldom.Node
+}
+
+// ParticleKind distinguishes content-model particles.
+type ParticleKind uint8
+
+// Particle kinds.
+const (
+	PSequence ParticleKind = iota + 1
+	PChoice
+	PAll
+	PElement
+)
+
+// Unbounded is the MaxOccurs value for maxOccurs="unbounded".
+const Unbounded = -1
+
+// Particle is a node of a content model: a sequence, choice, all group or
+// element particle, with occurrence bounds.
+type Particle struct {
+	Kind     ParticleKind
+	Min, Max int // Max == Unbounded for unbounded
+	Children []*Particle
+	Elem     *ElementDecl
+
+	src *xmldom.Node
+}
+
+// AttributeDecl describes an attribute declaration.
+type AttributeDecl struct {
+	Name                 string
+	TypeName             string
+	Type                 *SimpleType // resolved or inline
+	Use                  string      // "optional" (default), "required", "prohibited"
+	Default              string
+	Fixed                string
+	HasDefault, HasFixed bool
+
+	src *xmldom.Node
+}
+
+// SimpleType describes a simple type: a built-in or a restriction of one.
+type SimpleType struct {
+	Name    string
+	Base    string // name of the base type
+	builtin builtinKind
+
+	Enum         []string
+	Patterns     []*regexp.Regexp
+	patternSrcs  []string
+	Length       *int
+	MinLength    *int
+	MaxLength    *int
+	MinInclusive *float64
+	MaxInclusive *float64
+	MinExclusive *float64
+	MaxExclusive *float64
+	WhiteSpace   string // "", "preserve", "replace", "collapse"
+
+	base *SimpleType // resolved base (nil for builtins)
+	src  *xmldom.Node
+}
+
+// ConstraintKind distinguishes identity constraints.
+type ConstraintKind uint8
+
+// Identity constraint kinds.
+const (
+	KeyConstraint ConstraintKind = iota + 1
+	UniqueConstraint
+	KeyrefConstraint
+)
+
+func (k ConstraintKind) String() string {
+	switch k {
+	case KeyConstraint:
+		return "key"
+	case UniqueConstraint:
+		return "unique"
+	case KeyrefConstraint:
+		return "keyref"
+	}
+	return "?"
+}
+
+// IdentityConstraint is an xsd:key, xsd:unique or xsd:keyref declared on an
+// element.
+type IdentityConstraint struct {
+	Kind     ConstraintKind
+	Name     string
+	Refer    string // for keyref: the referred key/unique name
+	Selector xpath.Expr
+	Fields   []xpath.Expr
+
+	selectorSrc string
+	fieldSrcs   []string
+	src         *xmldom.Node
+}
+
+// SchemaError reports a problem in a schema document.
+type SchemaError struct {
+	Node *xmldom.Node
+	Msg  string
+}
+
+func (e *SchemaError) Error() string {
+	if e.Node != nil {
+		return fmt.Sprintf("xsd: %s (at %s, line %d)", e.Msg, e.Node.Path(), e.Node.Line)
+	}
+	return "xsd: " + e.Msg
+}
+
+// ValidationError reports one instance-document violation.
+type ValidationError struct {
+	Path string // instance path of the offending node
+	Line int
+	Msg  string
+}
+
+func (e ValidationError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%s (line %d): %s", e.Path, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Path, e.Msg)
+}

@@ -1,0 +1,167 @@
+package xsd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TreeOptions configure the schema tree rendering.
+type TreeOptions struct {
+	// ShowAttributes lists each element's attributes beneath it.
+	ShowAttributes bool
+}
+
+// Tree renders the schema's element structure as an ASCII tree, the
+// textual equivalent of the paper's Fig. 2 ("The XML Schema represented
+// as a tree structure"): every node carries its occurrence bounds, and
+// attributes typed with user-defined simple types are marked (the
+// shading of the figure).
+func Tree(s *Schema, opts TreeOptions) string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Elements))
+	for name := range s.Elements {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := &treePrinter{b: &b, s: s, opts: opts, seen: map[*ComplexType]bool{}}
+		t.element(s.Elements[name], "", "", 1, 1)
+	}
+	return b.String()
+}
+
+type treePrinter struct {
+	b    *strings.Builder
+	s    *Schema
+	opts TreeOptions
+	seen map[*ComplexType]bool
+}
+
+// card renders occurrence bounds the way the figure annotates them.
+func card(min, max int) string {
+	switch {
+	case min == 1 && max == 1:
+		return ""
+	case min == 0 && max == 1:
+		return " [0..1]"
+	case max == Unbounded:
+		return fmt.Sprintf(" [%d..*]", min)
+	default:
+		return fmt.Sprintf(" [%d..%d]", min, max)
+	}
+}
+
+func (t *treePrinter) element(d *ElementDecl, prefix, childPrefix string, min, max int) {
+	label := d.Name + card(min, max)
+	if d.Simple != nil {
+		if d.Simple.builtin == btNone {
+			// user-defined type (shaded in Fig. 2)
+			label += " : " + d.Simple.Name + "*"
+		} else if d.Simple.builtin != btAnySimpleType {
+			label += " : " + d.Simple.Name
+		}
+	}
+	fmt.Fprintf(t.b, "%s%s\n", prefix, label)
+	if d.Complex == nil {
+		return
+	}
+	ct := d.Complex
+	if t.seen[ct] && ct.Name != "" {
+		fmt.Fprintf(t.b, "%s└─ (type %s, shown above)\n", childPrefix, ct.Name)
+		return
+	}
+	t.seen[ct] = true
+
+	type kid struct {
+		render func(prefix, childPrefix string)
+	}
+	var kids []kid
+	if t.opts.ShowAttributes {
+		for _, ad := range ct.Attributes {
+			adCopy := ad
+			kids = append(kids, kid{render: func(p, _ string) {
+				fmt.Fprintf(t.b, "%s%s\n", p, attrLabel(adCopy))
+			}})
+		}
+	}
+	var collect func(p *Particle)
+	var particleKids []*Particle
+	collect = func(p *Particle) {
+		if p == nil {
+			return
+		}
+		switch p.Kind {
+		case PElement:
+			particleKids = append(particleKids, p)
+		case PSequence:
+			// A plain once-only sequence is structural noise; inline it.
+			if p.Min == 1 && p.Max == 1 {
+				for _, c := range p.Children {
+					collect(c)
+				}
+			} else {
+				particleKids = append(particleKids, p)
+			}
+		case PChoice, PAll:
+			particleKids = append(particleKids, p)
+		}
+	}
+	collect(ct.Content)
+	for _, p := range particleKids {
+		pCopy := p
+		kids = append(kids, kid{render: func(pfx, cpfx string) {
+			t.particle(pCopy, pfx, cpfx)
+		}})
+	}
+	for i, k := range kids {
+		connector, cont := "├─ ", "│  "
+		if i == len(kids)-1 {
+			connector, cont = "└─ ", "   "
+		}
+		k.render(childPrefix+connector, childPrefix+cont)
+	}
+}
+
+func (t *treePrinter) particle(p *Particle, prefix, childPrefix string) {
+	switch p.Kind {
+	case PElement:
+		t.element(p.Elem, prefix, childPrefix, p.Min, p.Max)
+	case PSequence, PChoice, PAll:
+		kind := map[ParticleKind]string{PSequence: "sequence", PChoice: "choice", PAll: "all"}[p.Kind]
+		fmt.Fprintf(t.b, "%s(%s)%s\n", prefix, kind, card(p.Min, p.Max))
+		for i, c := range p.Children {
+			connector, cont := "├─ ", "│  "
+			if i == len(p.Children)-1 {
+				connector, cont = "└─ ", "   "
+			}
+			t.particle(c, childPrefix+connector, childPrefix+cont)
+		}
+	}
+}
+
+func attrLabel(ad *AttributeDecl) string {
+	label := "@" + ad.Name
+	typeName := ""
+	if ad.TypeName != "" {
+		typeName = ad.TypeName
+	} else if ad.Type != nil && ad.Type.Name != "" {
+		typeName = ad.Type.Name
+	}
+	if typeName != "" {
+		// Mark user-defined simple types like the figure's shading.
+		if !strings.Contains(typeName, ":") {
+			typeName += "*"
+		}
+		label += " : " + typeName
+	}
+	switch {
+	case ad.Use == "required":
+		label += " (required)"
+	case ad.HasDefault:
+		label += fmt.Sprintf(" (default %q)", ad.Default)
+	case ad.HasFixed:
+		label += fmt.Sprintf(" (fixed %q)", ad.Fixed)
+	}
+	return label
+}

@@ -1,0 +1,60 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTreeRendering(t *testing.T) {
+	s := mustSchema(t)
+	out := Tree(s, TreeOptions{})
+	for _, want := range []string{
+		"goldmodel\n",
+		"├─ factclasses",
+		"factclass [1..*]",
+		"sharedagg [0..*]",
+		"dimclasses [0..1]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+	// The plain tree omits attributes.
+	if strings.Contains(out, "@id") {
+		t.Error("attributes rendered without ShowAttributes")
+	}
+}
+
+func TestTreeWithAttributes(t *testing.T) {
+	s := mustSchema(t)
+	out := Tree(s, TreeOptions{ShowAttributes: true})
+	for _, want := range []string{
+		"@id : xsd:ID (required)",
+		"@rolea : Multiplicity* (default \"M\")", // user-defined type marked
+		"@istime : xsd:boolean (default \"false\")",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTreeChoiceAndRepeatedGroups(t *testing.T) {
+	src := sch(`<xsd:element name="e"><xsd:complexType>
+		<xsd:sequence>
+			<xsd:choice><xsd:element name="a"/><xsd:element name="b"/></xsd:choice>
+			<xsd:sequence minOccurs="0" maxOccurs="unbounded"><xsd:element name="k"/></xsd:sequence>
+		</xsd:sequence>
+	</xsd:complexType></xsd:element>`)
+	s, err := ParseSchemaString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Tree(s, TreeOptions{})
+	if !strings.Contains(out, "(choice)") {
+		t.Errorf("choice not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "(sequence) [0..*]") {
+		t.Errorf("repeated group not rendered:\n%s", out)
+	}
+}

@@ -1,0 +1,593 @@
+package xsd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xpath"
+)
+
+// ValidateOptions tune instance validation.
+type ValidateOptions struct {
+	// ApplyDefaults writes schema-supplied attribute defaults into the
+	// instance (the infoset contribution a validating parser makes).
+	ApplyDefaults bool
+	// MaxErrors stops validation after this many violations (0 = all).
+	MaxErrors int
+	// SkipIdentityConstraints disables key/keyref/unique checking, leaving
+	// only DTD-style ID/IDREF integrity — the ablation of the paper's §3.1
+	// claim that keyrefs improve on their earlier DTD proposal.
+	SkipIdentityConstraints bool
+}
+
+// Validate checks an instance document against the schema and returns all
+// violations found (nil means the document is valid).
+func (s *Schema) Validate(doc *xmldom.Node, opts ValidateOptions) []ValidationError {
+	v := &validator{schema: s, opts: opts,
+		ids: map[string]*xmldom.Node{}}
+	root := doc.DocumentElement()
+	if root == nil {
+		v.errf(doc, "document has no root element")
+		return v.errs
+	}
+	decl, ok := s.Elements[root.Name]
+	if !ok {
+		v.errf(root, "no global declaration for root element %s", root.FullName())
+		return v.errs
+	}
+	v.validateElement(root, decl)
+	v.checkIDRefs()
+	return v.errs
+}
+
+// ValidateString parses and validates an instance from XML text; parse
+// errors are reported as a single ValidationError.
+func (s *Schema) ValidateString(src string, opts ValidateOptions) []ValidationError {
+	doc, err := xmldom.ParseString(src)
+	if err != nil {
+		return []ValidationError{{Path: "/", Msg: err.Error()}}
+	}
+	return s.Validate(doc, opts)
+}
+
+type idref struct {
+	node  *xmldom.Node
+	value string
+}
+
+type validator struct {
+	schema *Schema
+	opts   ValidateOptions
+	errs   []ValidationError
+	ids    map[string]*xmldom.Node
+	idrefs []idref
+	full   bool // MaxErrors reached
+}
+
+func (v *validator) errf(n *xmldom.Node, format string, args ...interface{}) {
+	if v.full {
+		return
+	}
+	e := ValidationError{Msg: fmt.Sprintf(format, args...)}
+	if n != nil {
+		e.Path = n.Path()
+		e.Line = n.Line
+	}
+	v.errs = append(v.errs, e)
+	if v.opts.MaxErrors > 0 && len(v.errs) >= v.opts.MaxErrors {
+		v.full = true
+	}
+}
+
+func (v *validator) validateElement(elem *xmldom.Node, decl *ElementDecl) {
+	if v.full {
+		return
+	}
+	switch {
+	case decl.Simple != nil:
+		v.validateSimpleElement(elem, decl)
+	case decl.Complex != nil:
+		v.validateComplexElement(elem, decl.Complex)
+	}
+	if !v.opts.SkipIdentityConstraints {
+		for _, ic := range decl.Constraints {
+			v.checkConstraintScope(elem, decl, ic)
+		}
+	}
+}
+
+func (v *validator) validateSimpleElement(elem *xmldom.Node, decl *ElementDecl) {
+	for _, c := range elem.Children {
+		if c.Type == xmldom.ElementNode {
+			v.errf(c, "element %s has simple type %s and cannot contain child elements",
+				elem.FullName(), typeLabel(decl.Simple))
+			return
+		}
+	}
+	if len(elem.Attr) > 0 {
+		v.errf(elem.Attr[0], "element %s with simple content cannot carry attributes", elem.FullName())
+	}
+	val := elem.StringValue()
+	if decl.HasFixed && decl.Simple.normalize(val) != decl.Simple.normalize(decl.Fixed) {
+		v.errf(elem, "element %s must have the fixed value %q", elem.FullName(), decl.Fixed)
+		return
+	}
+	if err := checkSimpleValue(decl.Simple, val); err != nil {
+		v.errf(elem, "element %s: %v", elem.FullName(), err)
+	}
+	v.trackIDs(elem, decl.Simple, val)
+}
+
+func (v *validator) validateComplexElement(elem *xmldom.Node, ct *ComplexType) {
+	v.validateAttributes(elem, ct)
+
+	// Character content.
+	if !ct.Mixed {
+		for _, c := range elem.Children {
+			if c.Type == xmldom.TextNode && strings.TrimSpace(c.Data) != "" {
+				v.errf(c, "element %s does not allow character content (%q)",
+					elem.FullName(), strings.TrimSpace(c.Data))
+				break
+			}
+		}
+	}
+
+	kids := elem.Elements()
+	if ct.Content == nil {
+		if len(kids) > 0 {
+			v.errf(kids[0], "element %s must be empty but contains <%s>", elem.FullName(), kids[0].FullName())
+		}
+		return
+	}
+	assign := map[*xmldom.Node]*ElementDecl{}
+	m := &contentMatcher{kids: kids, assign: assign}
+	end := m.reach(ct.Content, singlePos(0))
+	if !end[len(kids)] {
+		culprit := m.maxPos
+		if culprit < len(kids) {
+			v.errf(kids[culprit], "element <%s> is not allowed here in %s (content model %s)",
+				kids[culprit].FullName(), elem.FullName(), particleLabel(ct.Content))
+		} else {
+			v.errf(elem, "element %s is missing required content (model %s)",
+				elem.FullName(), particleLabel(ct.Content))
+		}
+		// Continue into children best-effort so nested errors surface.
+	}
+	for _, k := range kids {
+		if d := assign[k]; d != nil {
+			v.validateElement(k, d)
+		} else if !end[len(kids)] {
+			// Unmatched child in an already-invalid model: skip silently.
+			continue
+		}
+	}
+}
+
+// singlePos returns a position set containing only p.
+func singlePos(p int) map[int]bool { return map[int]bool{p: true} }
+
+// contentMatcher matches element children against a particle using
+// position-set (Thompson-style) reachability, which is polynomial and
+// handles nested occurrence bounds without backtracking blowups.
+type contentMatcher struct {
+	kids   []*xmldom.Node
+	assign map[*xmldom.Node]*ElementDecl
+	maxPos int
+}
+
+// reach returns the set of positions reachable after matching p starting
+// from every position in starts.
+func (m *contentMatcher) reach(p *Particle, starts map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	if len(starts) == 0 {
+		return out
+	}
+	cur := starts
+	count := 0
+	for {
+		if count >= p.Min {
+			for pos := range cur {
+				out[pos] = true
+			}
+		}
+		if p.Max != Unbounded && count >= p.Max {
+			break
+		}
+		next := m.reachOnce(p, cur)
+		// Detect fixpoint (also guards min>0 groups that can match empty).
+		if len(next) == 0 || subset(next, out) && count >= p.Min {
+			for pos := range next {
+				out[pos] = true
+			}
+			break
+		}
+		cur = next
+		count++
+		if count > len(m.kids)+1 {
+			// A group matched without consuming input; accept and stop.
+			for pos := range cur {
+				out[pos] = true
+			}
+			break
+		}
+	}
+	return out
+}
+
+func subset(a, b map[int]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// reachOnce matches exactly one occurrence of the particle body.
+func (m *contentMatcher) reachOnce(p *Particle, starts map[int]bool) map[int]bool {
+	switch p.Kind {
+	case PElement:
+		out := map[int]bool{}
+		for pos := range starts {
+			if pos < len(m.kids) && m.kids[pos].Name == p.Elem.Name && m.kids[pos].URI == "" {
+				m.assign[m.kids[pos]] = p.Elem
+				out[pos+1] = true
+				if pos+1 > m.maxPos {
+					m.maxPos = pos + 1
+				}
+			}
+		}
+		return out
+	case PSequence:
+		cur := starts
+		for _, c := range p.Children {
+			cur = m.reach(c, cur)
+			if len(cur) == 0 {
+				return cur
+			}
+		}
+		return cur
+	case PChoice:
+		out := map[int]bool{}
+		for _, c := range p.Children {
+			for pos := range m.reach(c, starts) {
+				out[pos] = true
+			}
+		}
+		return out
+	case PAll:
+		// xsd:all: every child element particle at most per its bounds, in
+		// any order. Match greedily by consuming children that match any
+		// unused particle.
+		out := map[int]bool{}
+		for pos := range starts {
+			if end, ok := m.matchAll(p, pos); ok {
+				out[end] = true
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// matchAll matches an xsd:all group starting at pos.
+func (m *contentMatcher) matchAll(p *Particle, pos int) (int, bool) {
+	used := make(map[*Particle]bool, len(p.Children))
+	for pos < len(m.kids) {
+		matched := false
+		for _, c := range p.Children {
+			if c.Kind != PElement || used[c] {
+				continue
+			}
+			if m.kids[pos].Name == c.Elem.Name {
+				m.assign[m.kids[pos]] = c.Elem
+				used[c] = true
+				pos++
+				if pos > m.maxPos {
+					m.maxPos = pos
+				}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			break
+		}
+	}
+	for _, c := range p.Children {
+		if c.Min > 0 && !used[c] {
+			return 0, false
+		}
+	}
+	return pos, true
+}
+
+func (v *validator) validateAttributes(elem *xmldom.Node, ct *ComplexType) {
+	declared := map[string]*AttributeDecl{}
+	for _, ad := range ct.Attributes {
+		declared[ad.Name] = ad
+	}
+	for _, a := range elem.Attr {
+		if a.URI == xmldom.XMLNSNamespace || a.URI == xmldom.XMLNamespace {
+			continue // namespace declarations and xml: attributes pass
+		}
+		if a.URI != "" {
+			v.errf(a, "namespaced attribute %s is not declared", a.FullName())
+			continue
+		}
+		ad, ok := declared[a.Name]
+		if !ok {
+			v.errf(a, "attribute %s is not declared on element %s", a.Name, elem.FullName())
+			continue
+		}
+		if ad.Use == "prohibited" {
+			v.errf(a, "attribute %s is prohibited on element %s", a.Name, elem.FullName())
+			continue
+		}
+		if ad.HasFixed && ad.Type.normalize(a.Data) != ad.Type.normalize(ad.Fixed) {
+			v.errf(a, "attribute %s must have the fixed value %q", a.Name, ad.Fixed)
+			continue
+		}
+		if err := checkSimpleValue(ad.Type, a.Data); err != nil {
+			v.errf(a, "attribute %s: %v", a.Name, err)
+			continue
+		}
+		v.trackIDs(a, ad.Type, a.Data)
+	}
+	for _, ad := range ct.Attributes {
+		if elem.GetAttr(ad.Name) != nil {
+			continue
+		}
+		if ad.Use == "required" {
+			v.errf(elem, "element %s is missing required attribute %s", elem.FullName(), ad.Name)
+			continue
+		}
+		if ad.HasDefault && v.opts.ApplyDefaults {
+			elem.SetAttr(ad.Name, ad.Default)
+		}
+		if ad.HasFixed && v.opts.ApplyDefaults {
+			elem.SetAttr(ad.Name, ad.Fixed)
+		}
+	}
+}
+
+// trackIDs records ID definitions and IDREF uses for the document-wide
+// integrity check.
+func (v *validator) trackIDs(n *xmldom.Node, st *SimpleType, val string) {
+	switch st.rootKind() {
+	case btID:
+		id := st.normalize(val)
+		if prev, dup := v.ids[id]; dup {
+			v.errf(n, "duplicate ID %q (first defined at %s)", id, prev.Path())
+		} else {
+			v.ids[id] = n
+		}
+	case btIDREF:
+		v.idrefs = append(v.idrefs, idref{node: n, value: st.normalize(val)})
+	case btIDREFS:
+		for _, tok := range strings.Fields(val) {
+			v.idrefs = append(v.idrefs, idref{node: n, value: tok})
+		}
+	}
+}
+
+func (v *validator) checkIDRefs() {
+	for _, r := range v.idrefs {
+		if _, ok := v.ids[r.value]; !ok {
+			v.errf(r.node, "IDREF %q does not match any ID in the document", r.value)
+		}
+	}
+}
+
+// ---- simple value validation ----
+
+func typeLabel(st *SimpleType) string {
+	if st.Name != "" {
+		return st.Name
+	}
+	return "anonymous type"
+}
+
+// checkSimpleValue validates a lexical value against a simple type,
+// walking the restriction chain so every level's facets apply.
+func checkSimpleValue(st *SimpleType, raw string) error {
+	v := st.normalize(raw)
+	for cur := st; cur != nil; cur = cur.base {
+		if cur.builtin != btNone {
+			return checkBuiltin(cur.builtin, v)
+		}
+		if err := checkFacets(cur, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkFacets(st *SimpleType, v string) error {
+	if len(st.Enum) > 0 {
+		ok := false
+		for _, e := range st.Enum {
+			if v == e {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%q is not one of the allowed values (%s) of type %s",
+				v, strings.Join(st.Enum, ", "), typeLabel(st))
+		}
+	}
+	for i, re := range st.Patterns {
+		if !re.MatchString(v) {
+			return fmt.Errorf("%q does not match pattern %q of type %s", v, st.patternSrcs[i], typeLabel(st))
+		}
+	}
+	n := len([]rune(v))
+	if st.Length != nil && n != *st.Length {
+		return fmt.Errorf("%q has length %d, want exactly %d", v, n, *st.Length)
+	}
+	if st.MinLength != nil && n < *st.MinLength {
+		return fmt.Errorf("%q has length %d, want at least %d", v, n, *st.MinLength)
+	}
+	if st.MaxLength != nil && n > *st.MaxLength {
+		return fmt.Errorf("%q has length %d, want at most %d", v, n, *st.MaxLength)
+	}
+	if st.MinInclusive != nil || st.MaxInclusive != nil || st.MinExclusive != nil || st.MaxExclusive != nil {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("%q is not numeric but type %s has range facets", v, typeLabel(st))
+		}
+		if st.MinInclusive != nil && f < *st.MinInclusive {
+			return fmt.Errorf("%v is below minInclusive %v", f, *st.MinInclusive)
+		}
+		if st.MaxInclusive != nil && f > *st.MaxInclusive {
+			return fmt.Errorf("%v is above maxInclusive %v", f, *st.MaxInclusive)
+		}
+		if st.MinExclusive != nil && f <= *st.MinExclusive {
+			return fmt.Errorf("%v is not above minExclusive %v", f, *st.MinExclusive)
+		}
+		if st.MaxExclusive != nil && f >= *st.MaxExclusive {
+			return fmt.Errorf("%v is not below maxExclusive %v", f, *st.MaxExclusive)
+		}
+	}
+	return nil
+}
+
+// ---- identity constraints ----
+
+// checkConstraintScope evaluates key/unique/keyref constraints declared on
+// decl against the subtree rooted at elem. Keyrefs are resolved against
+// keys declared on the same element, matching how the paper's schema
+// declares them all on the root.
+func (v *validator) checkConstraintScope(elem *xmldom.Node, decl *ElementDecl, ic *IdentityConstraint) {
+	tuples, nodes := v.collectTuples(elem, ic)
+	switch ic.Kind {
+	case KeyConstraint, UniqueConstraint:
+		seen := map[string]*xmldom.Node{}
+		for i, tup := range tuples {
+			if tup == "" {
+				if ic.Kind == KeyConstraint {
+					v.errf(nodes[i], "key %s: a selected node is missing a field value", ic.Name)
+				}
+				continue
+			}
+			if prev, dup := seen[tup]; dup {
+				v.errf(nodes[i], "%s %s: duplicate value (%s) also selected at %s",
+					ic.Kind, ic.Name, tup, prev.Path())
+				continue
+			}
+			seen[tup] = nodes[i]
+		}
+	case KeyrefConstraint:
+		var target *IdentityConstraint
+		for _, other := range decl.Constraints {
+			if other.Name == ic.Refer && (other.Kind == KeyConstraint || other.Kind == UniqueConstraint) {
+				target = other
+				break
+			}
+		}
+		if target == nil {
+			v.errf(elem, "keyref %s refers to unknown key %s", ic.Name, ic.Refer)
+			return
+		}
+		keyTuples, _ := v.collectTuples(elem, target)
+		keys := map[string]bool{}
+		for _, tup := range keyTuples {
+			if tup != "" {
+				keys[tup] = true
+			}
+		}
+		for i, tup := range tuples {
+			if tup == "" {
+				continue
+			}
+			if !keys[tup] {
+				v.errf(nodes[i], "keyref %s: value (%s) does not match any %s value",
+					ic.Name, tup, ic.Refer)
+			}
+		}
+	}
+}
+
+// collectTuples evaluates the selector and fields of a constraint and
+// returns one encoded tuple per selected node (empty string when a field
+// is absent).
+func (v *validator) collectTuples(elem *xmldom.Node, ic *IdentityConstraint) ([]string, []*xmldom.Node) {
+	ctx := xpath.NewContext(elem)
+	val, err := ic.Selector.Eval(ctx)
+	if err != nil {
+		v.errf(elem, "%s %s: selector %q failed: %v", ic.Kind, ic.Name, ic.selectorSrc, err)
+		return nil, nil
+	}
+	selected, ok := val.(xpath.NodeSet)
+	if !ok {
+		v.errf(elem, "%s %s: selector %q does not select nodes", ic.Kind, ic.Name, ic.selectorSrc)
+		return nil, nil
+	}
+	tuples := make([]string, len(selected))
+	for i, n := range selected {
+		parts := make([]string, 0, len(ic.Fields))
+		complete := true
+		for _, f := range ic.Fields {
+			fv, err := f.Eval(xpath.NewContext(n))
+			if err != nil {
+				v.errf(n, "%s %s: field failed: %v", ic.Kind, ic.Name, err)
+				complete = false
+				break
+			}
+			ns, isNS := fv.(xpath.NodeSet)
+			if isNS && len(ns) == 0 {
+				complete = false
+				break
+			}
+			parts = append(parts, xpath.ToString(fv))
+		}
+		if complete {
+			// Encode with an unlikely separator so multi-field tuples
+			// cannot collide.
+			tuples[i] = strings.Join(parts, "\x1f")
+		}
+	}
+	return tuples, selected
+}
+
+func particleLabel(p *Particle) string {
+	switch p.Kind {
+	case PElement:
+		return elementCard(p)
+	case PSequence, PChoice, PAll:
+		sep := ", "
+		if p.Kind == PChoice {
+			sep = " | "
+		}
+		parts := make([]string, len(p.Children))
+		for i, c := range p.Children {
+			parts[i] = particleLabel(c)
+		}
+		return "(" + strings.Join(parts, sep) + ")" + cardSuffix(p)
+	}
+	return "?"
+}
+
+func elementCard(p *Particle) string {
+	return p.Elem.Name + cardSuffix(p)
+}
+
+func cardSuffix(p *Particle) string {
+	switch {
+	case p.Min == 1 && p.Max == 1:
+		return ""
+	case p.Min == 0 && p.Max == 1:
+		return "?"
+	case p.Min == 0 && p.Max == Unbounded:
+		return "*"
+	case p.Min == 1 && p.Max == Unbounded:
+		return "+"
+	case p.Max == Unbounded:
+		return fmt.Sprintf("{%d,}", p.Min)
+	default:
+		return fmt.Sprintf("{%d,%d}", p.Min, p.Max)
+	}
+}

@@ -1,0 +1,216 @@
+package xslt
+
+import (
+	"strings"
+
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xpath"
+)
+
+// instruction is a compiled XSLT instruction or literal result node.
+type instruction interface {
+	exec(e *engine, ctx *xctx, out *xmldom.Node) error
+}
+
+// avt is a compiled attribute value template: literal text interleaved
+// with {expr} parts.
+type avt struct {
+	parts []avtPart
+}
+
+type avtPart struct {
+	lit  string
+	expr xpath.Expr
+}
+
+// compileAVT parses an attribute value template. "{{" and "}}" escape the
+// braces.
+func compileAVT(src string) (*avt, error) {
+	a := &avt{}
+	var lit strings.Builder
+	for i := 0; i < len(src); {
+		c := src[i]
+		switch c {
+		case '{':
+			if i+1 < len(src) && src[i+1] == '{' {
+				lit.WriteByte('{')
+				i += 2
+				continue
+			}
+			end := strings.IndexByte(src[i+1:], '}')
+			if end < 0 {
+				return nil, &CompileError{Msg: "unterminated { in attribute value template " + src}
+			}
+			exprSrc := src[i+1 : i+1+end]
+			e, err := xpath.Compile(exprSrc)
+			if err != nil {
+				return nil, err
+			}
+			if lit.Len() > 0 {
+				a.parts = append(a.parts, avtPart{lit: lit.String()})
+				lit.Reset()
+			}
+			a.parts = append(a.parts, avtPart{expr: e})
+			i += end + 2
+		case '}':
+			if i+1 < len(src) && src[i+1] == '}' {
+				lit.WriteByte('}')
+				i += 2
+				continue
+			}
+			return nil, &CompileError{Msg: "unmatched } in attribute value template " + src}
+		default:
+			lit.WriteByte(c)
+			i++
+		}
+	}
+	if lit.Len() > 0 {
+		a.parts = append(a.parts, avtPart{lit: lit.String()})
+	}
+	return a, nil
+}
+
+func (a *avt) eval(e *engine, ctx *xctx) (string, error) {
+	if len(a.parts) == 1 && a.parts[0].expr == nil {
+		return a.parts[0].lit, nil
+	}
+	var b strings.Builder
+	for _, p := range a.parts {
+		if p.expr == nil {
+			b.WriteString(p.lit)
+			continue
+		}
+		v, err := p.expr.Eval(e.xpathCtx(ctx))
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(xpath.ToString(v))
+	}
+	return b.String(), nil
+}
+
+// sortKey is a compiled xsl:sort.
+type sortKey struct {
+	sel      xpath.Expr
+	dataType *avt // "text" (default) or "number"
+	order    *avt // "ascending" (default) or "descending"
+}
+
+// withParam is a compiled xsl:with-param.
+type withParam struct {
+	name string
+	sel  xpath.Expr
+	body []instruction
+}
+
+// compiledVar is a compiled xsl:variable/xsl:param.
+type compiledVar struct {
+	name    string
+	sel     xpath.Expr
+	body    []instruction
+	isParam bool
+}
+
+// ---- concrete instructions ----
+
+type iLiteralText struct{ data string }
+
+type iLiteralElement struct {
+	name, prefix, uri string
+	attrs             []literalAttr
+	useSets           []string // xsl:use-attribute-sets
+	body              []instruction
+}
+
+type literalAttr struct {
+	name, prefix, uri string
+	value             *avt
+}
+
+type iApplyTemplates struct {
+	sel    xpath.Expr // nil → child::node()
+	mode   string
+	sorts  []sortKey
+	params []withParam
+}
+
+type iCallTemplate struct {
+	name   string
+	params []withParam
+	src    *xmldom.Node
+}
+
+type iForEach struct {
+	sel   xpath.Expr
+	sorts []sortKey
+	body  []instruction
+}
+
+type iValueOf struct {
+	sel        xpath.Expr
+	disableEsc bool
+}
+
+type iText struct {
+	data       string
+	disableEsc bool
+}
+
+type iElement struct {
+	name    *avt
+	useSets []string
+	body    []instruction
+}
+
+type iAttribute struct {
+	name *avt
+	body []instruction
+}
+
+type iComment struct{ body []instruction }
+
+type iPI struct {
+	name *avt
+	body []instruction
+}
+
+type iCopy struct {
+	useSets []string
+	body    []instruction
+}
+
+type iCopyOf struct{ sel xpath.Expr }
+
+type iIf struct {
+	test xpath.Expr
+	body []instruction
+}
+
+type iChoose struct {
+	whens     []chooseWhen
+	otherwise []instruction
+}
+
+type chooseWhen struct {
+	test xpath.Expr
+	body []instruction
+}
+
+type iVariable struct{ decl *compiledVar }
+
+type iMessage struct {
+	body      []instruction
+	terminate bool
+}
+
+type iDocument struct {
+	href *avt
+	body []instruction
+}
+
+type iApplyImports struct{}
+
+type iNumber struct {
+	value  xpath.Expr // nil → count position
+	format string
+}

@@ -1,0 +1,823 @@
+package xslt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xpath"
+)
+
+// Result holds the outcome of a transformation: the principal result
+// document, any additional documents created with xsl:document, and the
+// messages emitted with xsl:message.
+type Result struct {
+	Main *xmldom.Node
+	// Documents maps xsl:document hrefs to their result trees, in
+	// DocumentOrder.
+	Documents     map[string]*xmldom.Node
+	DocumentOrder []string
+	Output        OutputSpec
+	Messages      []string
+}
+
+// MainBytes serializes the principal result document per the stylesheet's
+// output specification.
+func (r *Result) MainBytes() []byte { return SerializeResult(r.Main, r.Output) }
+
+// DocBytes serializes one xsl:document output.
+func (r *Result) DocBytes(href string) []byte {
+	doc := r.Documents[href]
+	if doc == nil {
+		return nil
+	}
+	return SerializeResult(doc, r.Output)
+}
+
+// SerializeResult renders a result tree according to an output spec,
+// applying the XSLT 1.0 §16 html-method auto-detection when the method was
+// not declared explicitly.
+func SerializeResult(doc *xmldom.Node, spec OutputSpec) []byte {
+	method := spec.Method
+	if !spec.MethodExplicit {
+		if root := doc.DocumentElement(); root != nil &&
+			strings.EqualFold(root.Name, "html") && root.URI == "" {
+			method = "html"
+		}
+	}
+	opts := xmldom.WriteOptions{
+		Method:        method,
+		OmitDecl:      spec.OmitDecl || method != "xml",
+		DoctypePublic: spec.DoctypePublic,
+		DoctypeSystem: spec.DoctypeSystem,
+	}
+	if spec.Indent {
+		opts.Indent = "  "
+	}
+	return []byte(xmldom.SerializeToString(doc, opts))
+}
+
+// TransformError reports a runtime transformation failure.
+type TransformError struct {
+	Msg string
+}
+
+func (e *TransformError) Error() string { return "xslt: " + e.Msg }
+
+// maxDepth bounds template recursion to fail cleanly on runaway
+// stylesheets.
+const maxDepth = 800
+
+// xctx is the execution context of the transformation.
+type xctx struct {
+	node      *xmldom.Node
+	pos, size int
+	vars      map[string]xpath.Value
+	mode      string
+	// curPrec is the import precedence of the template rule whose body is
+	// executing; xsl:apply-imports searches strictly below it.
+	curPrec int
+}
+
+type engine struct {
+	sheet    *Stylesheet
+	result   *Result
+	genIDs   map[*xmldom.Node]string
+	genSeq   int
+	keyIdx   map[*xmldom.Node]map[string]map[string][]*xmldom.Node
+	funcs    map[string]xpath.Function
+	docCache map[string]*xmldom.Node
+	depth    int
+}
+
+// Transform applies the stylesheet to a source document. params provides
+// values for global xsl:param declarations. The source tree is not
+// modified (whitespace stripping, when requested by the stylesheet,
+// operates on a clone).
+func (s *Stylesheet) Transform(source *xmldom.Node, params map[string]xpath.Value) (*Result, error) {
+	if source.Type != xmldom.DocumentNode {
+		root := xmldom.NewDocument()
+		root.AppendChild(source.Clone())
+		source = root
+	} else if len(s.strip) > 0 {
+		source = source.Clone()
+		s.stripSourceSpace(source)
+	}
+	e := &engine{
+		sheet: s,
+		result: &Result{
+			Main:      xmldom.NewDocument(),
+			Documents: map[string]*xmldom.Node{},
+			Output:    s.output,
+		},
+		genIDs:   map[*xmldom.Node]string{},
+		keyIdx:   map[*xmldom.Node]map[string]map[string][]*xmldom.Node{},
+		docCache: map[string]*xmldom.Node{},
+	}
+	e.installFunctions()
+
+	// Evaluate global variables and parameters in declaration order.
+	globals := map[string]xpath.Value{}
+	gctx := &xctx{node: source, pos: 1, size: 1, vars: globals}
+	for _, d := range s.globals {
+		if d.isParam {
+			if v, ok := params[d.name]; ok {
+				globals[d.name] = v
+				continue
+			}
+		}
+		v, err := e.evalVarValue(d.sel, d.body, gctx)
+		if err != nil {
+			return nil, err
+		}
+		globals[d.name] = v
+	}
+	// Unknown caller params for which no xsl:param exists are still made
+	// visible, which is convenient for parameterized presentations.
+	for name, v := range params {
+		if _, ok := globals[name]; !ok {
+			globals[name] = v
+		}
+	}
+
+	ctx := &xctx{node: source, pos: 1, size: 1, vars: globals}
+	if err := e.applyTemplates([]*xmldom.Node{source}, ctx, "", nil, nil, e.result.Main); err != nil {
+		return nil, err
+	}
+	return e.result, nil
+}
+
+// TransformToBytes is Transform followed by MainBytes.
+func (s *Stylesheet) TransformToBytes(source *xmldom.Node, params map[string]xpath.Value) ([]byte, error) {
+	r, err := s.Transform(source, params)
+	if err != nil {
+		return nil, err
+	}
+	return r.MainBytes(), nil
+}
+
+// stripSourceSpace removes whitespace-only text nodes under elements
+// selected by xsl:strip-space.
+func (s *Stylesheet) stripSourceSpace(n *xmldom.Node) {
+	if n.Type == xmldom.ElementNode || n.Type == xmldom.DocumentNode {
+		strip := n.Type == xmldom.ElementNode && s.shouldStrip(n.Name)
+		if n.Type == xmldom.ElementNode {
+			if a := n.GetAttrNS(xmldom.XMLNamespace, "space"); a != nil && a.Data == "preserve" {
+				strip = false
+			}
+		}
+		kept := n.Children[:0]
+		for _, c := range n.Children {
+			if strip && c.Type == xmldom.TextNode && strings.TrimSpace(c.Data) == "" {
+				continue
+			}
+			s.stripSourceSpace(c)
+			kept = append(kept, c)
+		}
+		n.Children = kept
+	}
+}
+
+// xpathCtx builds an XPath evaluation context mirroring the execution
+// context.
+func (e *engine) xpathCtx(ctx *xctx) *xpath.Context {
+	return &xpath.Context{
+		Node:     ctx.node,
+		Position: ctx.pos,
+		Size:     ctx.size,
+		Vars:     ctx.vars,
+		Funcs:    e.funcs,
+		NS:       e.sheet.exprNS,
+		Current:  ctx.node,
+	}
+}
+
+// evalVarValue computes the value of a variable/param: either its select
+// expression or its body as a result tree fragment (represented as a
+// node-set containing a synthetic document node, which this processor
+// also allows to be used where node-sets are expected, like the common
+// exsl:node-set extension).
+func (e *engine) evalVarValue(sel xpath.Expr, body []instruction, ctx *xctx) (xpath.Value, error) {
+	if sel != nil {
+		return sel.Eval(e.xpathCtx(ctx))
+	}
+	if len(body) == 0 {
+		return xpath.String(""), nil
+	}
+	frag := xmldom.NewDocument()
+	if err := e.executeBody(body, ctx, frag); err != nil {
+		return nil, err
+	}
+	return xpath.NodeSet{frag}, nil
+}
+
+// executeBody runs a compiled instruction sequence. Variable declarations
+// create a copy-on-write scope so bindings are visible only to following
+// siblings and their descendants.
+func (e *engine) executeBody(body []instruction, ctx *xctx, out *xmldom.Node) error {
+	e.depth++
+	defer func() { e.depth-- }()
+	if e.depth > maxDepth {
+		return &TransformError{Msg: "maximum instruction depth exceeded (circular templates?)"}
+	}
+	local := ctx
+	for _, ins := range body {
+		if v, ok := ins.(*iVariable); ok {
+			if local == ctx {
+				cp := *ctx
+				cp.vars = copyVars(ctx.vars)
+				local = &cp
+			}
+			if _, exists := local.vars[v.decl.name]; exists {
+				// Shadowing within one scope level is an XSLT error; we
+				// allow shadowing across scopes (new map already copied).
+			}
+			val, err := e.evalVarValue(v.decl.sel, v.decl.body, local)
+			if err != nil {
+				return err
+			}
+			local.vars[v.decl.name] = val
+			continue
+		}
+		if err := ins.exec(e, local, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func copyVars(m map[string]xpath.Value) map[string]xpath.Value {
+	cp := make(map[string]xpath.Value, len(m)+4)
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
+// findTemplate returns the highest-precedence template matching node in
+// the given mode whose import precedence is strictly below maxPrec
+// (pass maxInt for an unrestricted search).
+func (e *engine) findTemplate(node *xmldom.Node, mode string, ctx *xctx, maxPrec int) (*Template, error) {
+	list := e.sheet.templates[mode]
+	pctx := e.xpathCtx(ctx)
+	pctx.Node = node
+	for _, t := range list {
+		if t.importPrec >= maxPrec {
+			continue
+		}
+		ok, err := t.Match.Matches(pctx, node)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return t, nil
+		}
+	}
+	return nil, nil
+}
+
+// applyTemplates processes each node of list with its best-matching
+// template. sorts reorder the list; params become template parameters.
+func (e *engine) applyTemplates(list []*xmldom.Node, ctx *xctx, mode string,
+	sorts []sortKey, params []withParam, out *xmldom.Node) error {
+	var err error
+	if len(sorts) > 0 {
+		list, err = e.sortNodes(list, sorts, ctx)
+		if err != nil {
+			return err
+		}
+	}
+	passed, err := e.evalWithParams(params, ctx)
+	if err != nil {
+		return err
+	}
+	size := len(list)
+	for i, n := range list {
+		t, err := e.findTemplate(n, mode, ctx, maxInt)
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			continue // no rule at all (should not happen: built-ins exist)
+		}
+		sub := &xctx{node: n, pos: i + 1, size: size, vars: ctx.vars, mode: mode}
+		if err := e.invokeTemplate(t, sub, passed, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// invokeTemplate binds parameters and runs a template body, recording the
+// template's import precedence for xsl:apply-imports.
+func (e *engine) invokeTemplate(t *Template, ctx *xctx, passed map[string]xpath.Value, out *xmldom.Node) error {
+	cp := *ctx
+	cp.curPrec = t.importPrec
+	if len(t.params) > 0 || len(passed) > 0 {
+		cp.vars = copyVars(ctx.vars)
+		for _, p := range t.params {
+			if v, ok := passed[p.name]; ok {
+				cp.vars[p.name] = v
+				continue
+			}
+			v, err := e.evalVarValue(p.sel, p.body, ctx)
+			if err != nil {
+				return err
+			}
+			cp.vars[p.name] = v
+		}
+	}
+	return e.executeBody(t.body, &cp, out)
+}
+
+func (ins *iApplyImports) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	t, err := e.findTemplate(ctx.node, ctx.mode, ctx, ctx.curPrec)
+	if err != nil {
+		return err
+	}
+	if t == nil {
+		return nil // no lower-precedence rule: no output (built-ins exist below user rules)
+	}
+	return e.invokeTemplate(t, ctx, nil, out)
+}
+
+func (e *engine) evalWithParams(params []withParam, ctx *xctx) (map[string]xpath.Value, error) {
+	if len(params) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]xpath.Value, len(params))
+	for _, p := range params {
+		v, err := e.evalVarValue(p.sel, p.body, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[p.name] = v
+	}
+	return out, nil
+}
+
+// applyAttrSets executes the named xsl:attribute-sets onto elem, merged
+// sets first so directly-declared attributes win. seen guards against
+// circular use-attribute-sets references.
+func (e *engine) applyAttrSets(names []string, ctx *xctx, elem *xmldom.Node, seen map[string]bool) error {
+	if len(names) == 0 {
+		return nil
+	}
+	if seen == nil {
+		seen = map[string]bool{}
+	}
+	for _, name := range names {
+		set := e.sheet.attrSets[name]
+		if set == nil {
+			return &TransformError{Msg: "no xsl:attribute-set named " + name}
+		}
+		if seen[name] {
+			return &TransformError{Msg: "circular use-attribute-sets through " + name}
+		}
+		seen[name] = true
+		if err := e.applyAttrSets(set.uses, ctx, elem, seen); err != nil {
+			return err
+		}
+		if err := e.executeBody(set.body, ctx, elem); err != nil {
+			return err
+		}
+		seen[name] = false
+	}
+	return nil
+}
+
+// sortNodes orders a node list by the given sort keys.
+func (e *engine) sortNodes(list []*xmldom.Node, sorts []sortKey, ctx *xctx) ([]*xmldom.Node, error) {
+	type entry struct {
+		n    *xmldom.Node
+		keys []string
+		nums []float64
+	}
+	numeric := make([]bool, len(sorts))
+	descending := make([]bool, len(sorts))
+	for i, k := range sorts {
+		if k.dataType != nil {
+			v, err := k.dataType.eval(e, ctx)
+			if err != nil {
+				return nil, err
+			}
+			numeric[i] = v == "number"
+		}
+		if k.order != nil {
+			v, err := k.order.eval(e, ctx)
+			if err != nil {
+				return nil, err
+			}
+			descending[i] = v == "descending"
+		}
+	}
+	entries := make([]entry, len(list))
+	size := len(list)
+	for i, n := range list {
+		ent := entry{n: n}
+		sub := &xctx{node: n, pos: i + 1, size: size, vars: ctx.vars, mode: ctx.mode}
+		for j, k := range sorts {
+			v, err := k.sel.Eval(e.xpathCtx(sub))
+			if err != nil {
+				return nil, err
+			}
+			if numeric[j] {
+				ent.nums = append(ent.nums, xpath.ToNumber(v))
+				ent.keys = append(ent.keys, "")
+			} else {
+				ent.keys = append(ent.keys, xpath.ToString(v))
+				ent.nums = append(ent.nums, 0)
+			}
+		}
+		entries[i] = ent
+	}
+	sort.SliceStable(entries, func(a, b int) bool {
+		for j := range sorts {
+			var cmp int
+			if numeric[j] {
+				x, y := entries[a].nums[j], entries[b].nums[j]
+				switch {
+				case x < y:
+					cmp = -1
+				case x > y:
+					cmp = 1
+				}
+			} else {
+				cmp = strings.Compare(entries[a].keys[j], entries[b].keys[j])
+			}
+			if cmp == 0 {
+				continue
+			}
+			if descending[j] {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	out := make([]*xmldom.Node, len(entries))
+	for i, ent := range entries {
+		out[i] = ent.n
+	}
+	return out, nil
+}
+
+// ---- instruction implementations ----
+
+func (ins *iLiteralText) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	out.AddText(ins.data)
+	return nil
+}
+
+func (ins *iText) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	t := out.AddText(ins.data)
+	t.Raw = ins.disableEsc
+	return nil
+}
+
+func (ins *iLiteralElement) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	elem := &xmldom.Node{Type: xmldom.ElementNode, Name: ins.name, Prefix: ins.prefix, URI: ins.uri}
+	out.AppendChild(elem)
+	if err := e.applyAttrSets(ins.useSets, ctx, elem, nil); err != nil {
+		return err
+	}
+	for _, a := range ins.attrs {
+		v, err := a.value.eval(e, ctx)
+		if err != nil {
+			return err
+		}
+		elem.SetAttrNS(a.prefix, a.uri, a.name, v)
+	}
+	return e.executeBody(ins.body, ctx, elem)
+}
+
+func (ins *iValueOf) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	v, err := ins.sel.Eval(e.xpathCtx(ctx))
+	if err != nil {
+		return err
+	}
+	s := xpath.ToString(v)
+	if s == "" {
+		return nil
+	}
+	t := out.AddText(s)
+	t.Raw = ins.disableEsc
+	return nil
+}
+
+func (ins *iApplyTemplates) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	var list []*xmldom.Node
+	if ins.sel != nil {
+		v, err := ins.sel.Eval(e.xpathCtx(ctx))
+		if err != nil {
+			return err
+		}
+		ns, ok := v.(xpath.NodeSet)
+		if !ok {
+			return &TransformError{Msg: "apply-templates select does not yield a node-set"}
+		}
+		list = ns
+	} else {
+		list = append(list, ctx.node.Children...)
+	}
+	return e.applyTemplates(list, ctx, ins.mode, ins.sorts, ins.params, out)
+}
+
+func (ins *iCallTemplate) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	t := e.sheet.named[ins.name]
+	if t == nil {
+		return &TransformError{Msg: "call-template: no template named " + ins.name}
+	}
+	passed, err := e.evalWithParams(ins.params, ctx)
+	if err != nil {
+		return err
+	}
+	return e.invokeTemplate(t, ctx, passed, out)
+}
+
+func (ins *iForEach) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	v, err := ins.sel.Eval(e.xpathCtx(ctx))
+	if err != nil {
+		return err
+	}
+	ns, ok := v.(xpath.NodeSet)
+	if !ok {
+		return &TransformError{Msg: "for-each select does not yield a node-set"}
+	}
+	list := []*xmldom.Node(ns)
+	if len(ins.sorts) > 0 {
+		list, err = e.sortNodes(list, ins.sorts, ctx)
+		if err != nil {
+			return err
+		}
+	}
+	size := len(list)
+	for i, n := range list {
+		sub := &xctx{node: n, pos: i + 1, size: size, vars: ctx.vars, mode: ctx.mode}
+		if err := e.executeBody(ins.body, sub, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ins *iElement) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	name, err := ins.name.eval(e, ctx)
+	if err != nil {
+		return err
+	}
+	prefix, local := "", name
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		prefix, local = name[:i], name[i+1:]
+	}
+	uri := ""
+	if prefix != "" {
+		uri = e.sheet.exprNS[prefix]
+	}
+	elem := &xmldom.Node{Type: xmldom.ElementNode, Name: local, Prefix: prefix, URI: uri}
+	out.AppendChild(elem)
+	if err := e.applyAttrSets(ins.useSets, ctx, elem, nil); err != nil {
+		return err
+	}
+	return e.executeBody(ins.body, ctx, elem)
+}
+
+func (ins *iAttribute) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	if out.Type != xmldom.ElementNode {
+		return &TransformError{Msg: "xsl:attribute outside an element"}
+	}
+	name, err := ins.name.eval(e, ctx)
+	if err != nil {
+		return err
+	}
+	frag := xmldom.NewDocument()
+	if err := e.executeBody(ins.body, ctx, frag); err != nil {
+		return err
+	}
+	prefix, local := "", name
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		prefix, local = name[:i], name[i+1:]
+	}
+	uri := ""
+	if prefix != "" {
+		uri = e.sheet.exprNS[prefix]
+	}
+	out.SetAttrNS(prefix, uri, local, frag.StringValue())
+	return nil
+}
+
+func (ins *iComment) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	frag := xmldom.NewDocument()
+	if err := e.executeBody(ins.body, ctx, frag); err != nil {
+		return err
+	}
+	out.AppendChild(&xmldom.Node{Type: xmldom.CommentNode, Data: frag.StringValue()})
+	return nil
+}
+
+func (ins *iPI) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	name, err := ins.name.eval(e, ctx)
+	if err != nil {
+		return err
+	}
+	frag := xmldom.NewDocument()
+	if err := e.executeBody(ins.body, ctx, frag); err != nil {
+		return err
+	}
+	out.AppendChild(&xmldom.Node{Type: xmldom.PINode, Name: name, Data: frag.StringValue()})
+	return nil
+}
+
+func (ins *iCopy) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	n := ctx.node
+	switch n.Type {
+	case xmldom.ElementNode:
+		elem := &xmldom.Node{Type: xmldom.ElementNode, Name: n.Name, Prefix: n.Prefix, URI: n.URI}
+		out.AppendChild(elem)
+		if err := e.applyAttrSets(ins.useSets, ctx, elem, nil); err != nil {
+			return err
+		}
+		return e.executeBody(ins.body, ctx, elem)
+	case xmldom.TextNode:
+		out.AddText(n.Data)
+	case xmldom.AttrNode:
+		if out.Type == xmldom.ElementNode {
+			out.SetAttrNS(n.Prefix, n.URI, n.Name, n.Data)
+		}
+	case xmldom.CommentNode, xmldom.PINode:
+		out.AppendChild(n.Clone())
+	case xmldom.DocumentNode:
+		return e.executeBody(ins.body, ctx, out)
+	}
+	return nil
+}
+
+func (ins *iCopyOf) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	v, err := ins.sel.Eval(e.xpathCtx(ctx))
+	if err != nil {
+		return err
+	}
+	ns, ok := v.(xpath.NodeSet)
+	if !ok {
+		out.AddText(xpath.ToString(v))
+		return nil
+	}
+	for _, n := range ns {
+		switch n.Type {
+		case xmldom.DocumentNode:
+			for _, c := range n.Children {
+				out.AppendChild(c.Clone())
+			}
+		case xmldom.AttrNode:
+			if out.Type == xmldom.ElementNode {
+				out.SetAttrNS(n.Prefix, n.URI, n.Name, n.Data)
+			}
+		default:
+			out.AppendChild(n.Clone())
+		}
+	}
+	return nil
+}
+
+func (ins *iIf) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	v, err := ins.test.Eval(e.xpathCtx(ctx))
+	if err != nil {
+		return err
+	}
+	if xpath.ToBool(v) {
+		return e.executeBody(ins.body, ctx, out)
+	}
+	return nil
+}
+
+func (ins *iChoose) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	for _, w := range ins.whens {
+		v, err := w.test.Eval(e.xpathCtx(ctx))
+		if err != nil {
+			return err
+		}
+		if xpath.ToBool(v) {
+			return e.executeBody(w.body, ctx, out)
+		}
+	}
+	if ins.otherwise != nil {
+		return e.executeBody(ins.otherwise, ctx, out)
+	}
+	return nil
+}
+
+func (ins *iVariable) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	// Handled inline by executeBody; reaching here is a bug.
+	return &TransformError{Msg: "internal: variable executed outside a body"}
+}
+
+func (ins *iMessage) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	frag := xmldom.NewDocument()
+	if err := e.executeBody(ins.body, ctx, frag); err != nil {
+		return err
+	}
+	msg := frag.StringValue()
+	e.result.Messages = append(e.result.Messages, msg)
+	if ins.terminate {
+		return &TransformError{Msg: "terminated by xsl:message: " + msg}
+	}
+	return nil
+}
+
+func (ins *iDocument) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	href, err := ins.href.eval(e, ctx)
+	if err != nil {
+		return err
+	}
+	doc, exists := e.result.Documents[href]
+	if !exists {
+		doc = xmldom.NewDocument()
+		e.result.Documents[href] = doc
+		e.result.DocumentOrder = append(e.result.DocumentOrder, href)
+	}
+	return e.executeBody(ins.body, ctx, doc)
+}
+
+func (ins *iNumber) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+	var n int
+	if ins.value != nil {
+		v, err := ins.value.Eval(e.xpathCtx(ctx))
+		if err != nil {
+			return err
+		}
+		n = int(xpath.ToNumber(v))
+	} else {
+		// level="single" with default count: position among
+		// preceding siblings of the same name, 1-based.
+		n = 1
+		cur := ctx.node
+		if cur.Parent != nil {
+			for _, sib := range cur.Parent.Children {
+				if sib == cur {
+					break
+				}
+				if sib.Type == cur.Type && sib.Name == cur.Name {
+					n++
+				}
+			}
+		}
+	}
+	out.AddText(formatCounter(n, ins.format))
+	return nil
+}
+
+// formatCounter renders n using an xsl:number format token: 1, 01, a, A,
+// i, I.
+func formatCounter(n int, format string) string {
+	switch format {
+	case "a", "A":
+		if n <= 0 {
+			return fmt.Sprintf("%d", n)
+		}
+		var b []byte
+		for n > 0 {
+			n--
+			b = append([]byte{byte('a' + n%26)}, b...)
+			n /= 26
+		}
+		s := string(b)
+		if format == "A" {
+			s = strings.ToUpper(s)
+		}
+		return s
+	case "i", "I":
+		s := toRoman(n)
+		if format == "I" {
+			return strings.ToUpper(s)
+		}
+		return s
+	default:
+		// Zero-padded decimal formats such as "01".
+		if len(format) > 1 && strings.Trim(format, "0123456789") == "" {
+			return fmt.Sprintf("%0*d", len(format), n)
+		}
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+func toRoman(n int) string {
+	if n <= 0 || n >= 5000 {
+		return fmt.Sprintf("%d", n)
+	}
+	vals := []struct {
+		v int
+		s string
+	}{{1000, "m"}, {900, "cm"}, {500, "d"}, {400, "cd"}, {100, "c"}, {90, "xc"},
+		{50, "l"}, {40, "xl"}, {10, "x"}, {9, "ix"}, {5, "v"}, {4, "iv"}, {1, "i"}}
+	var b strings.Builder
+	for _, kv := range vals {
+		for n >= kv.v {
+			b.WriteString(kv.s)
+			n -= kv.v
+		}
+	}
+	return b.String()
+}
