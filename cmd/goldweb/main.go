@@ -17,11 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"goldweb/internal/core"
 	"goldweb/internal/cwm"
@@ -87,7 +90,8 @@ func usage() {
   goldweb validate [-dtd] <model.xml>      schema (or legacy DTD) validation
   goldweb pretty <model.xml>               pretty-print (browser raw view)
   goldweb publish -o <dir> <model.xml>     generate the HTML presentation
-  goldweb serve [-addr :8080] <model.xml>  server-side XSLT over HTTP
+  goldweb serve [-addr :8080] [-timeout 30s] [-max-inflight 64] [-cache-size 64] <model.xml>
+                                           server-side XSLT over HTTP
   goldweb export [-style ...] <model.xml>  relational DDL export
   goldweb schema                           print the canonical XML Schema
   goldweb schema-tree [-attrs]             the schema as a tree (Fig. 2)
@@ -254,6 +258,9 @@ func cmdPublish(args []string) error {
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout (0 disables)")
+	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "max concurrent requests; excess sheds with 503 (0 disables)")
+	cacheSize := fs.Int("cache-size", server.DefaultCacheSize, "max cached presentations (LRU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -267,8 +274,14 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
-	fmt.Printf("serving %q on %s (site at /site/index.html)\n", m.Name, *addr)
-	return server.New(m).ListenAndServe(*addr)
+	srv := server.New(m,
+		server.WithRequestTimeout(*timeout),
+		server.WithMaxInflight(*maxInflight),
+		server.WithCacheSize(*cacheSize))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("serving %q on %s (site at /site/index.html, health at /healthz)\n", m.Name, *addr)
+	return srv.Serve(ctx, *addr)
 }
 
 func cmdExport(args []string) error {

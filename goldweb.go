@@ -129,8 +129,29 @@ func CheckLinks(s *Site) []error {
 	return out
 }
 
-// NewServer creates the HTTP server performing server-side XSLT (§6).
-func NewServer(m *Model) *server.Server { return server.New(m) }
+// Serving types and options (the hardened §6 architecture).
+type (
+	// Server is the HTTP server performing server-side XSLT.
+	Server = server.Server
+	// ServerOption tunes the server's resilience knobs.
+	ServerOption = server.Option
+)
+
+// Server resilience options, re-exported from internal/server.
+var (
+	// WithRequestTimeout bounds one request's wall-clock time.
+	WithRequestTimeout = server.WithRequestTimeout
+	// WithMaxInflight sheds load with 503 + Retry-After beyond n
+	// concurrent requests.
+	WithMaxInflight = server.WithMaxInflight
+	// WithCacheSize bounds the presentation cache (LRU entries).
+	WithCacheSize = server.WithCacheSize
+)
+
+// NewServer creates the HTTP server performing server-side XSLT (§6),
+// hardened with panic recovery, per-request timeouts, load shedding and
+// a bounded singleflight presentation cache (see internal/server).
+func NewServer(m *Model, opts ...ServerOption) *Server { return server.New(m, opts...) }
 
 // NewDataset prepares an empty OLAP dataset for a model.
 func NewDataset(m *Model) *Dataset { return olap.NewDataset(m) }
@@ -164,4 +185,16 @@ func PrettyXML(m *Model) string { return m.PrettyXML() }
 
 // ParseXML parses any XML text into the project's DOM; exposed so
 // downstream users can run their own XPath queries or transforms.
+// Resource consumption is bounded by xmldom.DefaultLimits.
 func ParseXML(src string) (*xmldom.Node, error) { return xmldom.ParseString(src) }
+
+// XMLLimits bound what a single XML parse may consume (nesting depth,
+// input bytes, attributes per element); zero fields mean "no limit".
+type XMLLimits = xmldom.Limits
+
+// ParseXMLWithLimits parses untrusted XML under explicit resource
+// limits, so hostile documents (10k-deep nests, attribute bombs,
+// oversized bodies) fail fast instead of exhausting the process.
+func ParseXMLWithLimits(src string, lim XMLLimits) (*xmldom.Node, error) {
+	return xmldom.ParseStringWithLimits(src, lim)
+}

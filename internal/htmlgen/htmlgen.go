@@ -86,6 +86,27 @@ func Publish(m *core.Model, opts Options) (*Site, error) {
 	return PublishDocument(m.ToXML(), opts)
 }
 
+// FocusTargets returns the set of fact class ids that are valid Focus
+// values for the model. Serving layers use it to reject an unknown
+// ?focus= before it reaches the publication pipeline (or a cache).
+func FocusTargets(m *core.Model) map[string]bool {
+	set := make(map[string]bool, len(m.Facts))
+	for _, f := range m.Facts {
+		set[f.ID] = true
+	}
+	return set
+}
+
+// TotalBytes reports the summed size of every generated page — a cheap
+// read-side measure used for cache accounting and logging.
+func (s *Site) TotalBytes() int {
+	n := 0
+	for _, content := range s.Pages {
+		n += len(content)
+	}
+	return n
+}
+
 // PublishDocument renders a goldmodel XML document. The document is
 // validated first (unless disabled) with schema defaults applied, exactly
 // the server-side pipeline of §6.

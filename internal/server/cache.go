@@ -1,0 +1,135 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"goldweb/internal/htmlgen"
+)
+
+// siteKey identifies one cached presentation. The generation number ties
+// the entry to the model snapshot it was published from, so a publication
+// that finishes after SetModel swapped the model can never be served for
+// the new one.
+type siteKey struct {
+	gen   uint64
+	mode  htmlgen.Mode
+	focus string
+}
+
+// siteCache is a bounded LRU of generated presentations. Unbounded
+// per-focus caching was a DoS: every distinct ?focus= value allocated a
+// whole rendered Site forever.
+type siteCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used; values are *cacheEntry
+	m   map[siteKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  siteKey
+	site *htmlgen.Site
+}
+
+func newSiteCache(max int) *siteCache {
+	if max < 1 {
+		max = 1
+	}
+	return &siteCache{max: max, ll: list.New(), m: map[siteKey]*list.Element{}}
+}
+
+func (c *siteCache) get(key siteKey) (*htmlgen.Site, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).site, true
+}
+
+func (c *siteCache) add(key siteKey, site *htmlgen.Site) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).site = site
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, site: site})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// purge drops every entry (model swap).
+func (c *siteCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.m = map[siteKey]*list.Element{}
+}
+
+// len reports the current entry count (for tests).
+func (c *siteCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup is a minimal singleflight: concurrent callers for the same
+// key share one in-flight publication instead of queueing behind a lock
+// and re-running the transformation each.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[siteKey]*flightCall
+}
+
+type flightCall struct {
+	wg   sync.WaitGroup
+	site *htmlgen.Site
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: map[siteKey]*flightCall{}}
+}
+
+// Do runs fn once per key; duplicate callers wait for the leader and
+// share its result. If fn panics, the panic propagates on the leader's
+// goroutine (the recovery middleware turns it into a 500) while waiting
+// followers receive an error instead of deadlocking.
+func (g *flightGroup) Do(key siteKey, fn func() (*htmlgen.Site, error)) (*htmlgen.Site, error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.site, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	finish := func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("publication panicked: %v", r)
+			finish()
+			panic(r)
+		}
+		finish()
+	}()
+	c.site, c.err = fn()
+	return c.site, c.err
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// The middleware stack hardening the serving path (§6 moved the XSLT
+// transformation into the server, making it the single point of failure):
+//
+//	withRecovery  — a panicking handler becomes a 500, not a dead connection
+//	withMethods   — the site is read-only: non-GET/HEAD gets 405 + Allow
+//	withLimiter   — a semaphore sheds load with 503 + Retry-After when full
+//	withTimeout   — a hanging handler yields 504 on that request only
+
+// withRecovery converts a handler panic into a 500 response. It is the
+// outermost layer so a re-panic from the timeout goroutine is also caught.
+func withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				http.Error(w, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withMethods rejects methods other than GET and HEAD with 405.
+func withMethods(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withLimiter bounds the number of requests inside the expensive part of
+// the stack. Excess requests are shed immediately with 503 + Retry-After
+// instead of queueing without bound behind a slow transformation.
+func withLimiter(n int, next http.Handler) http.Handler {
+	if n <= 0 {
+		return next
+	}
+	sem := make(chan struct{}, n)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server is saturated, retry shortly", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// withTimeout bounds one request's wall-clock time. The inner handler
+// runs on its own goroutine against a buffered writer; if the deadline
+// fires first the client gets 504 and the stragglers' output is
+// discarded. The request context carries the deadline so context-aware
+// handlers can stop early. A panic on the inner goroutine is forwarded
+// to the serving goroutine for withRecovery to translate.
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+		bw := &bufferedResponse{header: make(http.Header), code: http.StatusOK}
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		go func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					panicked <- rec
+					return
+				}
+				close(done)
+			}()
+			next.ServeHTTP(bw, r)
+		}()
+		select {
+		case <-done:
+			bw.copyTo(w)
+		case rec := <-panicked:
+			panic(rec)
+		case <-ctx.Done():
+			http.Error(w, "request timed out", http.StatusGatewayTimeout)
+		}
+	})
+}
+
+// bufferedResponse captures a handler's full response so it can be
+// replayed — or abandoned — atomically by withTimeout.
+type bufferedResponse struct {
+	header    http.Header
+	code      int
+	wroteCode bool
+	body      bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if !b.wroteCode {
+		b.code = code
+		b.wroteCode = true
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+func (b *bufferedResponse) copyTo(w http.ResponseWriter) {
+	dst := w.Header()
+	for k, vs := range b.header {
+		dst[k] = vs
+	}
+	w.WriteHeader(b.code)
+	w.Write(b.body.Bytes())
+}

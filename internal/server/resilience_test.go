@@ -1,0 +1,393 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"goldweb/internal/core"
+	"goldweb/internal/htmlgen"
+)
+
+// countingPublish wraps the real pipeline and counts invocations.
+func countingPublish(n *atomic.Int64) PublishFunc {
+	return func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+		n.Add(1)
+		return htmlgen.Publish(m, opts)
+	}
+}
+
+func TestUnknownFocusIs404AndNeverCached(t *testing.T) {
+	var calls atomic.Int64
+	srv := New(core.SampleSales(), WithPublishFunc(countingPublish(&calls)))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i, path := range []string{"/single?focus=garbage", "/site/index.html?focus=zzz", "/single?focus=../../etc"} {
+		code, body, _ := get(t, ts, path)
+		if code != http.StatusNotFound {
+			t.Errorf("request %d: status %d, want 404 (%s)", i, code, body)
+		}
+	}
+	if got := calls.Load(); got != 0 {
+		t.Errorf("publish ran %d times for garbage focus, want 0", got)
+	}
+	if got := srv.cache.len(); got != 0 {
+		t.Errorf("cache holds %d entries after garbage focus, want 0", got)
+	}
+
+	// A real fact id still works.
+	if code, _, _ := get(t, ts, "/single?focus=f1"); code != http.StatusOK {
+		t.Errorf("valid focus rejected: %d", code)
+	}
+}
+
+func TestSingleflightColdCacheSharesOnePublish(t *testing.T) {
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	var calls atomic.Int64
+	srv := New(core.SampleSales(), WithPublishFunc(
+		func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+			calls.Add(1)
+			entered <- struct{}{}
+			<-release
+			return htmlgen.Publish(m, opts)
+		}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	codes := make(chan int, 2)
+	fetch := func() {
+		resp, err := ts.Client().Get(ts.URL + "/single")
+		if err != nil {
+			t.Error(err)
+			codes <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes <- resp.StatusCode
+	}
+	go fetch()
+	<-entered // leader is inside publish
+	go fetch() // follower joins the in-flight call
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("request %d: status %d", i, code)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("publish ran %d times for two concurrent cold requests, want 1", got)
+	}
+}
+
+func TestPanickingPublishReturns500ThenRecovers(t *testing.T) {
+	var calls atomic.Int64
+	srv := New(core.SampleSales(), WithPublishFunc(
+		func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+			if calls.Add(1) == 1 {
+				panic("injected transformation fault")
+			}
+			return htmlgen.Publish(m, opts)
+		}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body, _ := get(t, ts, "/single")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking publish: status %d, want 500 (%s)", code, body)
+	}
+	if !strings.Contains(body, "injected transformation fault") {
+		t.Errorf("500 body does not name the fault: %q", body)
+	}
+	// The rest of the site keeps serving, and the same page succeeds on retry.
+	if code, _, _ := get(t, ts, "/schema.xsd"); code != http.StatusOK {
+		t.Errorf("schema after panic: %d", code)
+	}
+	if code, _, _ := get(t, ts, "/single"); code != http.StatusOK {
+		t.Errorf("retry after panic: %d", code)
+	}
+}
+
+func TestHangingPublishTimesOutWhileSiteKeepsServing(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	srv := New(core.SampleSales(),
+		WithRequestTimeout(100*time.Millisecond),
+		WithPublishFunc(func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+			if opts.Mode == htmlgen.SinglePage {
+				<-hang
+			}
+			return htmlgen.Publish(m, opts)
+		}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _, _ := get(t, ts, "/single")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("hanging publish: status %d, want 504", code)
+	}
+	// Other pages (different cache keys) are unaffected.
+	if code, _, _ := get(t, ts, "/site/index.html"); code != http.StatusOK {
+		t.Errorf("multi-page during hang: %d", code)
+	}
+	if code, _, _ := get(t, ts, "/healthz"); code != http.StatusOK {
+		t.Errorf("healthz during hang: %d", code)
+	}
+}
+
+func TestLimiterShedsWith503AndRetryAfter(t *testing.T) {
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	srv := New(core.SampleSales(),
+		WithMaxInflight(2),
+		WithRequestTimeout(0),
+		WithPublishFunc(func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+			entered <- struct{}{}
+			<-release
+			return htmlgen.Publish(m, opts)
+		}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for _, path := range []string{"/single", "/site/index.html"} {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			resp, err := ts.Client().Get(ts.URL + p)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(path)
+	}
+	<-entered
+	<-entered // both slots are now held inside publish
+
+	resp, err := ts.Client().Get(ts.URL + "/schema.xsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated: status %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 is missing Retry-After")
+	}
+	// Health endpoints bypass the limiter.
+	if code, _, _ := get(t, ts, "/healthz"); code != http.StatusOK {
+		t.Errorf("healthz while saturated: %d", code)
+	}
+
+	close(release)
+	wg.Wait()
+	if code, _, _ := get(t, ts, "/schema.xsd"); code != http.StatusOK {
+		t.Errorf("after release: %d", code)
+	}
+}
+
+func TestCacheIsBoundedLRU(t *testing.T) {
+	var calls atomic.Int64
+	srv := New(core.SampleSales(),
+		WithCacheSize(1),
+		WithPublishFunc(countingPublish(&calls)))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get(t, ts, "/single")          // miss → publish #1
+	get(t, ts, "/single")          // hit
+	get(t, ts, "/site/index.html") // miss → publish #2, evicts /single
+	get(t, ts, "/single")          // miss again → publish #3
+	if got := calls.Load(); got != 3 {
+		t.Errorf("publish count %d, want 3 (size-1 LRU must evict)", got)
+	}
+	if got := srv.cache.len(); got != 1 {
+		t.Errorf("cache length %d, want 1", got)
+	}
+}
+
+func TestSinglePageWithoutIndexIs500(t *testing.T) {
+	srv := New(core.SampleSales(), WithPublishFunc(
+		func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+			return &htmlgen.Site{Pages: map[string][]byte{}}, nil
+		}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, body, _ := get(t, ts, "/single")
+	if code != http.StatusInternalServerError {
+		t.Errorf("index-less site: status %d body %q, want 500", code, body)
+	}
+}
+
+func TestMethodFiltering(t *testing.T) {
+	srv := New(core.SampleSales())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/single", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Errorf("Allow header %q", allow)
+	}
+
+	req, _ := http.NewRequest(http.MethodHead, ts.URL+"/schema.xsd", nil)
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD: status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	srv := New(core.SampleSales())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, body, _ := get(t, ts, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+	code, body, _ = get(t, ts, "/readyz")
+	if code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("readyz: %d %q", code, body)
+	}
+}
+
+func TestContentTypesForNonHTMLAssets(t *testing.T) {
+	for page, want := range map[string]string{
+		"model.xml":  "text/xml",
+		"sheet.xsl":  "text/xml",
+		"style.css":  "text/css",
+		"index.html": "text/html",
+		"blob.bin":   "application/octet-stream",
+	} {
+		if got := contentType(page); !strings.Contains(got, want) {
+			t.Errorf("contentType(%q) = %q, want %q", page, got, want)
+		}
+	}
+}
+
+// TestConcurrentRequestsDuringModelSwaps is the -race hammer: every
+// endpoint under parallel load while SetModel flips the published model.
+func TestConcurrentRequestsDuringModelSwaps(t *testing.T) {
+	srv := New(core.SampleSales())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	paths := []string{
+		"/site/index.html", "/single", "/model.xml", "/pretty",
+		"/schema.xsd", "/validate", "/cwm.xmi", "/client/model.xml",
+		"/healthz",
+	}
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		models := []*core.Model{core.SampleHospital(), core.SampleSales()}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				srv.SetModel(models[i%2])
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p := paths[(w+i)%len(paths)]
+				resp, err := ts.Client().Get(ts.URL + p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- errStatus(p, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type statusErr struct {
+	path string
+	code int
+}
+
+func (e statusErr) Error() string { return e.path + ": status " + http.StatusText(e.code) }
+
+func errStatus(path string, code int) error { return statusErr{path, code} }
+
+func TestGracefulShutdown(t *testing.T) {
+	srv := New(core.SampleSales())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeListener(ctx, ln) }()
+
+	url := "http://" + ln.Addr().String()
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get(url + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down within 5s")
+	}
+}

@@ -4,17 +4,29 @@
 // the raw and pretty-printed XML, the canonical schema, and an on-demand
 // validation report.
 //
-// Presentations are cached per (mode, focus) pair and regenerated when
-// the model changes.
+// The serving path is hardened for production traffic: the published
+// model lives in an immutable snapshot behind an RWMutex, presentations
+// are generated through a singleflight group (concurrent cold-cache
+// requests for the same page share one transformation) into a bounded
+// LRU cache, and every request passes a middleware stack providing panic
+// recovery, a per-request timeout, load shedding with 503 + Retry-After,
+// and method filtering. /healthz and /readyz expose liveness and
+// readiness, and Serve runs a full http.Server lifecycle with IO
+// timeouts and graceful shutdown.
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"path"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"goldweb/internal/core"
 	"goldweb/internal/cwm"
@@ -22,48 +34,152 @@ import (
 	"goldweb/internal/xmldom"
 )
 
-// Server publishes one conceptual model over HTTP.
-type Server struct {
-	mu    sync.Mutex
+// snapshot is one immutable published state. Handlers grab the current
+// snapshot under a read lock and then work without any lock at all; a
+// concurrent SetModel builds a fresh snapshot and swaps the pointer.
+type snapshot struct {
 	model *core.Model
 	doc   *xmldom.Node
-	cache map[string]*htmlgen.Site
+	// focuses is the set of fact class ids that are valid ?focus= values;
+	// anything else is a 404 before it can touch the cache.
+	focuses map[string]bool
+}
+
+// PublishFunc generates a presentation for a model. The server's default
+// is htmlgen.Publish; tests inject faulty ones to prove that a panicking
+// or hanging transformation is contained to its own request.
+type PublishFunc func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error)
+
+// Server publishes one conceptual model over HTTP.
+type Server struct {
+	mu   sync.RWMutex
+	snap *snapshot
+	gen  uint64 // snapshot generation, part of every cache key
+
+	cache  *siteCache
+	flight *flightGroup
+	ready  atomic.Bool
+
+	publish        PublishFunc
+	requestTimeout time.Duration
+	maxInflight    int
+	shutdownGrace  time.Duration
+}
+
+// Defaults for the tunable knobs (overridable with Options).
+const (
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxInflight    = 64
+	DefaultCacheSize      = 64
+	DefaultShutdownGrace  = 10 * time.Second
+)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithRequestTimeout bounds one request's wall-clock time (0 disables).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.requestTimeout = d }
+}
+
+// WithMaxInflight bounds concurrently served requests; excess load is
+// shed with 503 + Retry-After (0 disables the limiter).
+func WithMaxInflight(n int) Option {
+	return func(s *Server) { s.maxInflight = n }
+}
+
+// WithCacheSize bounds the number of cached presentations.
+func WithCacheSize(n int) Option {
+	return func(s *Server) { s.cache = newSiteCache(n) }
+}
+
+// WithPublishFunc replaces the publication pipeline — the fault-injection
+// hook used by resilience tests.
+func WithPublishFunc(fn PublishFunc) Option {
+	return func(s *Server) { s.publish = fn }
+}
+
+// WithShutdownGrace bounds how long Serve waits for in-flight requests
+// after its context is canceled.
+func WithShutdownGrace(d time.Duration) Option {
+	return func(s *Server) { s.shutdownGrace = d }
 }
 
 // New creates a server for the model.
-func New(m *core.Model) *Server {
-	s := &Server{}
+func New(m *core.Model, opts ...Option) *Server {
+	s := &Server{
+		cache:          newSiteCache(DefaultCacheSize),
+		flight:         newFlightGroup(),
+		publish:        htmlgen.Publish,
+		requestTimeout: DefaultRequestTimeout,
+		maxInflight:    DefaultMaxInflight,
+		shutdownGrace:  DefaultShutdownGrace,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.SetModel(m)
 	return s
 }
 
 // SetModel swaps the published model and invalidates cached
-// presentations.
+// presentations. While the new snapshot is being prepared the server
+// reports not-ready on /readyz; requests already holding the old
+// snapshot keep being served from it.
 func (s *Server) SetModel(m *core.Model) {
+	s.ready.Store(false)
+	defer s.ready.Store(true)
+	snap := &snapshot{model: m, doc: m.ToXML(), focuses: htmlgen.FocusTargets(m)}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.model = m
-	s.doc = m.ToXML()
-	s.cache = map[string]*htmlgen.Site{}
+	s.snap = snap
+	s.gen++
+	s.mu.Unlock()
+	s.cache.purge()
 }
 
-// site returns the cached (or freshly generated) presentation.
+// snapshotAndGen returns the current published state.
+func (s *Server) snapshotAndGen() (*snapshot, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap, s.gen
+}
+
+// errUnknownFocus marks a ?focus= naming no fact class of the model.
+var errUnknownFocus = errors.New("unknown focus")
+
+// site returns the cached (or freshly generated) presentation. The focus
+// is validated against the snapshot's fact ids *before* cache lookup, so
+// attacker-chosen values can never become cache keys; concurrent misses
+// for the same key share one publication via the singleflight group.
 func (s *Server) site(mode htmlgen.Mode, focus string) (*htmlgen.Site, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	key := fmt.Sprintf("%d|%s", mode, focus)
-	if site, ok := s.cache[key]; ok {
+	snap, gen := s.snapshotAndGen()
+	if focus != "" && !snap.focuses[focus] {
+		return nil, fmt.Errorf("%w %q: no such fact class", errUnknownFocus, focus)
+	}
+	key := siteKey{gen: gen, mode: mode, focus: focus}
+	if site, ok := s.cache.get(key); ok {
 		return site, nil
 	}
-	site, err := htmlgen.Publish(s.model, htmlgen.Options{Mode: mode, Focus: focus})
-	if err != nil {
-		return nil, err
-	}
-	s.cache[key] = site
-	return site, nil
+	return s.flight.Do(key, func() (*htmlgen.Site, error) {
+		site, err := s.publish(snap.model, htmlgen.Options{Mode: mode, Focus: focus})
+		if err != nil {
+			return nil, err
+		}
+		s.cache.add(key, site)
+		return site, nil
+	})
 }
 
-// Handler returns the HTTP handler:
+// siteError maps a publication error onto the right status code.
+func siteError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errUnknownFocus) {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+// Handler returns the full HTTP handler, middleware included:
 //
 //	GET /                  redirect to /site/index.html
 //	GET /site/<page>       multi-page presentation (?focus=<factid>)
@@ -75,7 +191,32 @@ func (s *Server) site(mode htmlgen.Mode, focus string) (*htmlgen.Site, error) {
 //	GET /client/model.xml  XML + xml-stylesheet PI for client-side XSLT (§6 future work)
 //	GET /client/single.xsl the stylesheet the browser applies
 //	GET /cwm.xmi           CWM OLAP interchange document (§6 future work)
+//	GET /healthz           liveness (always 200 while the process serves)
+//	GET /readyz            readiness (503 while SetModel swaps the model)
+//
+// Health endpoints sit outside the limiter and timeout so orchestrators
+// can still probe a saturated server.
 func (s *Server) Handler() http.Handler {
+	app := withLimiter(s.maxInflight, withTimeout(s.requestTimeout, s.appMux()))
+	root := http.NewServeMux()
+	root.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	root.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "model swap in progress", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ready")
+	})
+	root.Handle("/", app)
+	return withRecovery(withMethods(root))
+}
+
+// appMux builds the application routes (no middleware).
+func (s *Server) appMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -95,7 +236,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		site, err := s.site(htmlgen.MultiPage, r.URL.Query().Get("focus"))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			siteError(w, err)
 			return
 		}
 		content := site.Page(page)
@@ -109,29 +250,30 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/single", func(w http.ResponseWriter, r *http.Request) {
 		site, err := s.site(htmlgen.SinglePage, r.URL.Query().Get("focus"))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			siteError(w, err)
+			return
+		}
+		content := site.Page(htmlgen.IndexName)
+		if content == nil {
+			http.Error(w, "presentation has no index page", http.StatusInternalServerError)
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		w.Write(site.Page(htmlgen.IndexName))
+		w.Write(content)
 	})
 	mux.HandleFunc("/style.css", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/css; charset=utf-8")
 		fmt.Fprint(w, core.StyleCSS)
 	})
 	mux.HandleFunc("/model.xml", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		out := xmldom.SerializeToString(s.doc, xmldom.WriteOptions{})
-		s.mu.Unlock()
+		snap, _ := s.snapshotAndGen()
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		fmt.Fprint(w, out)
+		fmt.Fprint(w, xmldom.SerializeToString(snap.doc, xmldom.WriteOptions{}))
 	})
 	mux.HandleFunc("/pretty", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		out := xmldom.Pretty(s.doc)
-		s.mu.Unlock()
+		snap, _ := s.snapshotAndGen()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, out)
+		fmt.Fprint(w, xmldom.Pretty(snap.doc))
 	})
 	// The paper's §6 future work: "when the browsers completely support
 	// XML and XSLT, the transformation will be able to be performed in the
@@ -140,9 +282,8 @@ func (s *Server) Handler() http.Handler {
 	// and the stylesheet itself is served next to it, so an XSLT-capable
 	// browser renders the model client-side.
 	mux.HandleFunc("/client/model.xml", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		doc := s.doc.Clone()
-		s.mu.Unlock()
+		snap, _ := s.snapshotAndGen()
+		doc := snap.doc.Clone()
 		pi := &xmldom.Node{Type: xmldom.PINode, Name: "xml-stylesheet",
 			Data: `type="text/xsl" href="/client/single.xsl"`}
 		doc.InsertBefore(pi, doc.DocumentElement())
@@ -154,26 +295,24 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprint(w, core.SingleXSL)
 	})
 	mux.HandleFunc("/cwm.xmi", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		model := s.model
-		s.mu.Unlock()
+		snap, _ := s.snapshotAndGen()
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		fmt.Fprint(w, cwm.ExportString(model))
+		fmt.Fprint(w, cwm.ExportString(snap.model))
 	})
 	mux.HandleFunc("/schema.xsd", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 		fmt.Fprint(w, core.SchemaXSD)
 	})
 	mux.HandleFunc("/validate", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		doc := s.doc.Clone()
-		model := s.model
-		s.mu.Unlock()
+		snap, _ := s.snapshotAndGen()
+		// Validation applies schema defaults to the document, so it works
+		// on a private clone of the immutable snapshot.
+		doc := snap.doc.Clone()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		schemaErrs := core.ValidateDocument(doc)
-		semErrs := model.Validate()
+		semErrs := snap.model.Validate()
 		if len(schemaErrs) == 0 && len(semErrs) == 0 {
-			fmt.Fprintf(w, "VALID: %s conforms to the XML Schema and the metamodel constraints\n", model.Name)
+			fmt.Fprintf(w, "VALID: %s conforms to the XML Schema and the metamodel constraints\n", snap.model.Name)
 			return
 		}
 		var lines []string
@@ -198,12 +337,58 @@ func contentType(page string) string {
 		return "text/css; charset=utf-8"
 	case strings.HasSuffix(page, ".html"):
 		return "text/html; charset=utf-8"
+	case strings.HasSuffix(page, ".xml"), strings.HasSuffix(page, ".xsl"):
+		return "text/xml; charset=utf-8"
 	default:
 		return "application/octet-stream"
 	}
 }
 
-// ListenAndServe runs the server on addr (blocking).
+// Serve runs a production http.Server on addr: IO timeouts against slow
+// clients, and graceful shutdown when ctx is canceled (in-flight requests
+// get the configured grace period to finish). It returns nil on a clean
+// shutdown.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeListener(ctx, ln)
+}
+
+// ServeListener is Serve on an existing listener (tests use it to bind
+// port 0).
+func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
+	writeTimeout := 2 * s.requestTimeout
+	if writeTimeout <= 0 {
+		writeTimeout = 2 * DefaultRequestTimeout
+	}
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), s.shutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			hs.Close()
+			return err
+		}
+		<-errc // always http.ErrServerClosed after Shutdown
+		return nil
+	}
+}
+
+// ListenAndServe runs the server on addr (blocking, no graceful
+// shutdown); kept for compatibility with simple callers.
 func (s *Server) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, s.Handler())
+	return s.Serve(context.Background(), addr)
 }

@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"testing"
+
+	"goldweb/internal/core"
+	"goldweb/internal/xmldom"
+)
+
+// TestDefaultParseLimitsAcceptRealModels pins the contract between the
+// parser's DoS limits and the documents this system actually produces:
+// the paper's sample models and the evaluation sweep sizes must all
+// parse under xmldom.DefaultLimits.
+func TestDefaultParseLimitsAcceptRealModels(t *testing.T) {
+	docs := map[string]string{
+		"sales":    core.SampleSales().XMLString(),
+		"hospital": core.SampleHospital().XMLString(),
+	}
+	for _, spec := range []ModelSpec{
+		{Facts: 1, Dims: 1, Depth: 0},
+		{Facts: 3, Dims: 4, Depth: 2, Cubes: true},
+		{Facts: 10, Dims: 20, Depth: 8},
+		{Facts: 25, Dims: 30, Depth: 10, Cubes: true},
+	} {
+		docs[spec.String()] = GenModel(spec).XMLString()
+	}
+	for name, src := range docs {
+		if _, err := xmldom.ParseString(src); err != nil {
+			t.Errorf("%s (%d bytes) rejected by default limits: %v", name, len(src), err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package xmldom
+
+import "fmt"
+
+// Limits bound the resources a single Parse call may consume, so a
+// malicious or malformed document cannot exhaust the process (deeply
+// nested elements overflow recursion, attribute bombs trigger the
+// quadratic duplicate check, oversized inputs blow memory). A field
+// that is zero or negative means "no limit for this axis".
+type Limits struct {
+	// MaxDepth caps element nesting depth.
+	MaxDepth int
+	// MaxInput caps the input size in bytes.
+	MaxInput int
+	// MaxAttrs caps the number of attributes on a single element.
+	MaxAttrs int
+}
+
+// DefaultLimits are the limits Parse and ParseString apply. They are
+// far above anything a real multidimensional model produces (the
+// deepest documents of the workload sweeps nest a few dozen levels)
+// while still rejecting pathological inputs such as a 10k-deep nest.
+var DefaultLimits = Limits{
+	MaxDepth: 4096,
+	MaxInput: 64 << 20, // 64 MiB
+	MaxAttrs: 1024,
+}
+
+// ParseWithLimits is Parse with explicit resource limits.
+func ParseWithLimits(src []byte, lim Limits) (*Node, error) {
+	if lim.MaxInput > 0 && len(src) > lim.MaxInput {
+		return nil, &ParseError{Line: 1, Col: 1,
+			Msg: fmt.Sprintf("input is %d bytes, exceeds the %d byte limit", len(src), lim.MaxInput)}
+	}
+	p := &parser{src: src, line: 1, col: 1, limits: lim}
+	return p.parseDocument()
+}
+
+// ParseStringWithLimits is ParseWithLimits for string input.
+func ParseStringWithLimits(src string, lim Limits) (*Node, error) {
+	return ParseWithLimits([]byte(src), lim)
+}

@@ -1,0 +1,86 @@
+package xmldom
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func nested(depth int) string {
+	return strings.Repeat("<d>", depth) + "x" + strings.Repeat("</d>", depth)
+}
+
+func TestDefaultLimitsRejectTenKDeepNesting(t *testing.T) {
+	_, err := ParseString(nested(10_000))
+	if err == nil {
+		t.Fatal("10k-deep document parsed under default limits")
+	}
+	if !strings.Contains(err.Error(), "nesting depth") {
+		t.Errorf("error does not describe the depth limit: %v", err)
+	}
+}
+
+func TestDefaultLimitsAllowReasonableNesting(t *testing.T) {
+	// The pre-existing stress depth (2000) must stay parseable.
+	if _, err := ParseString(nested(2000)); err != nil {
+		t.Fatalf("2000-deep document rejected: %v", err)
+	}
+}
+
+func TestExplicitDepthLimitIsExact(t *testing.T) {
+	lim := Limits{MaxDepth: 16}
+	if _, err := ParseStringWithLimits(nested(16), lim); err != nil {
+		t.Errorf("depth 16 at limit 16 rejected: %v", err)
+	}
+	if _, err := ParseStringWithLimits(nested(17), lim); err == nil {
+		t.Error("depth 17 at limit 16 accepted")
+	}
+}
+
+func TestInputSizeLimit(t *testing.T) {
+	doc := "<r>" + strings.Repeat("a", 200) + "</r>"
+	_, err := ParseStringWithLimits(doc, Limits{MaxInput: 100})
+	if err == nil {
+		t.Fatal("oversized input accepted")
+	}
+	if !strings.Contains(err.Error(), "byte limit") {
+		t.Errorf("error does not describe the size limit: %v", err)
+	}
+	if _, err := ParseStringWithLimits(doc, Limits{MaxInput: 1000}); err != nil {
+		t.Errorf("in-budget input rejected: %v", err)
+	}
+}
+
+func attrBomb(n int) string {
+	var b strings.Builder
+	b.WriteString("<e")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, ` a%d="v"`, i)
+	}
+	b.WriteString("/>")
+	return b.String()
+}
+
+func TestAttributeBombRejected(t *testing.T) {
+	_, err := ParseString(attrBomb(2000))
+	if err == nil {
+		t.Fatal("2000-attribute element accepted under default limits")
+	}
+	if !strings.Contains(err.Error(), "attributes") {
+		t.Errorf("error does not describe the attribute limit: %v", err)
+	}
+
+	lim := Limits{MaxAttrs: 8}
+	if _, err := ParseStringWithLimits(attrBomb(8), lim); err != nil {
+		t.Errorf("8 attributes at limit 8 rejected: %v", err)
+	}
+	if _, err := ParseStringWithLimits(attrBomb(9), lim); err == nil {
+		t.Error("9 attributes at limit 8 accepted")
+	}
+}
+
+func TestZeroLimitsMeanUnlimited(t *testing.T) {
+	if _, err := ParseStringWithLimits(nested(6000), Limits{}); err != nil {
+		t.Errorf("unlimited parse of 6000-deep document failed: %v", err)
+	}
+}

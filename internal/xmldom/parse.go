@@ -27,14 +27,21 @@ type parser struct {
 	pos       int
 	line, col int
 	ns        []map[string]string // namespace binding frames
+	limits    Limits
+	depth     int // current element nesting depth
 }
 
 // Parse parses a complete XML document and returns its document node.
 // The parser is namespace-aware: prefixes are resolved against in-scope
 // xmlns declarations and retained on the nodes for faithful serialization.
 // Whitespace-only text nodes are preserved (XSLT decides about stripping).
+// Resource consumption is bounded by DefaultLimits; use ParseWithLimits
+// to tighten or lift the bounds.
 func Parse(src []byte) (*Node, error) {
-	p := &parser{src: src, line: 1, col: 1}
+	return ParseWithLimits(src, DefaultLimits)
+}
+
+func (p *parser) parseDocument() (*Node, error) {
 	p.ns = append(p.ns, map[string]string{"xml": XMLNamespace})
 	doc := NewDocument()
 	if err := p.parseProlog(doc); err != nil {
@@ -313,6 +320,11 @@ func (p *parser) parseElement() (*Node, error) {
 	if err := p.expect("<"); err != nil {
 		return nil, err
 	}
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.limits.MaxDepth > 0 && p.depth > p.limits.MaxDepth {
+		return nil, p.errf("element nesting depth exceeds the limit of %d", p.limits.MaxDepth)
+	}
 	qname, err := p.parseName()
 	if err != nil {
 		return nil, err
@@ -345,6 +357,9 @@ func (p *parser) parseElement() (*Node, error) {
 			if prev.name == aname {
 				return nil, p.errf("duplicate attribute %q in <%s>", aname, qname)
 			}
+		}
+		if p.limits.MaxAttrs > 0 && len(attrs) >= p.limits.MaxAttrs {
+			return nil, p.errf("element <%s> exceeds the limit of %d attributes", qname, p.limits.MaxAttrs)
 		}
 		attrs = append(attrs, rawAttr{aname, aval, aline, acol})
 	}
