@@ -117,8 +117,25 @@ func ValidateXML(src string) []string {
 	return out
 }
 
-// Publish renders a model as a web presentation.
+// Publish renders a model as a web presentation. Set
+// PublishOptions.Workers to fan multi-page serialization over a worker
+// pool; output is byte-identical at any worker count.
 func Publish(m *Model, opts PublishOptions) (*Site, error) { return htmlgen.Publish(m, opts) }
+
+// PublishPerFact renders one focused presentation per fact class (the
+// per-fact views of Fig. 5), keyed by fact id. The model document is
+// validated and indexed once, then the publications run concurrently on
+// the PublishOptions.Workers pool over the shared frozen document.
+func PublishPerFact(m *Model, opts PublishOptions) (map[string]*Site, error) {
+	return htmlgen.PublishPerFact(m, opts)
+}
+
+// FreezeXML indexes a parsed XML tree and marks it immutable: document
+// order becomes a stamp comparison, id() and descendant name queries
+// answer from per-document indexes, and the tree becomes safe to share
+// across goroutines (e.g. one document, many concurrent transforms).
+// Mutating a frozen tree panics; use Editable() for a mutable deep copy.
+func FreezeXML(n *xmldom.Node) { xmldom.Freeze(n) }
 
 // CheckLinks verifies every internal link of a generated site.
 func CheckLinks(s *Site) []error {

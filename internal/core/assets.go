@@ -67,15 +67,33 @@ func ValidateModel(m *Model) []xsd.ValidationError {
 	return ValidateDocument(m.ToXML())
 }
 
-// SinglePageStylesheet compiles the embedded XSLT 1.0 single-page
-// presentation. Stylesheets are not safe for concurrent use; callers
-// compile one per goroutine.
+var (
+	singleOnce sync.Once
+	singleXSLT *xslt.Stylesheet
+	singleErr  error
+
+	multiOnce sync.Once
+	multiXSLT *xslt.Stylesheet
+	multiErr  error
+)
+
+// SinglePageStylesheet returns the compiled embedded XSLT 1.0
+// single-page presentation. Compiled stylesheets are read-only and safe
+// for concurrent Transform calls, so the same instance is shared
+// process-wide (compiled once).
 func SinglePageStylesheet() (*xslt.Stylesheet, error) {
-	return xslt.CompileString(SingleXSL, xslt.CompileOptions{})
+	singleOnce.Do(func() {
+		singleXSLT, singleErr = xslt.CompileString(SingleXSL, xslt.CompileOptions{})
+	})
+	return singleXSLT, singleErr
 }
 
-// MultiPageStylesheet compiles the embedded XSLT 1.1 multi-page
-// presentation (one page per class, via xsl:document).
+// MultiPageStylesheet returns the compiled embedded XSLT 1.1 multi-page
+// presentation (one page per class, via xsl:document), shared and
+// compiled once like SinglePageStylesheet.
 func MultiPageStylesheet() (*xslt.Stylesheet, error) {
-	return xslt.CompileString(MultiXSL, xslt.CompileOptions{})
+	multiOnce.Do(func() {
+		multiXSLT, multiErr = xslt.CompileString(MultiXSL, xslt.CompileOptions{})
+	})
+	return multiXSLT, multiErr
 }

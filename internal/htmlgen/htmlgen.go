@@ -11,8 +11,10 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"goldweb/internal/core"
 	"goldweb/internal/xmldom"
@@ -53,6 +55,26 @@ type Options struct {
 	OmitCSS bool
 	// SkipValidation publishes without the schema-validation step.
 	SkipValidation bool
+	// Workers bounds the worker pool used to serialize multi-page output
+	// and to fan out per-fact publication: 0 picks GOMAXPROCS, 1 forces
+	// sequential operation. Output is byte-identical at any setting.
+	Workers int
+}
+
+// workerCount resolves Options.Workers to an effective pool size for n
+// independent jobs.
+func workerCount(opt, n int) int {
+	w := opt
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Site is a generated presentation: page name → serialized content.
@@ -110,11 +132,25 @@ func (s *Site) TotalBytes() int {
 // PublishDocument renders a goldmodel XML document. The document is
 // validated first (unless disabled) with schema defaults applied, exactly
 // the server-side pipeline of §6.
+//
+// Frozen (xmldom.Freeze) documents are published as-is — validation runs
+// on an Editable copy because applying defaults mutates, and that copy
+// is what gets transformed so defaults still reach the presentation.
+// An unfrozen document is frozen in place after validation so the
+// transformation runs on the indexed fast paths; pass Editable() first
+// if the tree must stay mutable afterwards.
 func PublishDocument(doc *xmldom.Node, opts Options) (*Site, error) {
+	work := doc
 	if !opts.SkipValidation {
-		if errs := core.ValidateDocument(doc); len(errs) > 0 {
+		if work.Frozen() {
+			work = doc.Editable()
+		}
+		if errs := core.ValidateDocument(work); len(errs) > 0 {
 			return nil, fmt.Errorf("htmlgen: document is invalid: %v (%d problems)", errs[0], len(errs))
 		}
+	}
+	if !work.Frozen() {
+		xmldom.Freeze(work)
 	}
 	var sheet *xslt.Stylesheet
 	var err error
@@ -134,22 +170,111 @@ func PublishDocument(doc *xmldom.Node, opts Options) (*Site, error) {
 		"focus": xpath.String(opts.Focus),
 		"css":   xpath.String(css),
 	}
-	res, err := sheet.Transform(doc, params)
+	res, err := sheet.Transform(work, params)
 	if err != nil {
 		return nil, err
 	}
 	site := &Site{Pages: map[string][]byte{}, Messages: res.Messages}
-	site.Pages[IndexName] = res.MainBytes()
-	site.Order = append(site.Order, IndexName)
-	for _, href := range res.DocumentOrder {
-		site.Pages[href] = res.DocBytes(href)
-		site.Order = append(site.Order, href)
-	}
+	serializePages(site, res, opts.Workers)
 	if !opts.OmitCSS && css == "style.css" {
 		site.Pages["style.css"] = []byte(core.StyleCSS)
 		site.Order = append(site.Order, "style.css")
 	}
 	return site, nil
+}
+
+// serializePages renders the main document and every xsl:document output
+// into the site, fanning serialization over a bounded worker pool. Page
+// serialization only reads the (per-transform) result trees, so the jobs
+// are independent; results are collected by index, which keeps Order and
+// page bytes identical to the sequential path.
+func serializePages(site *Site, res *xslt.Result, workers int) {
+	hrefs := res.DocumentOrder
+	jobs := len(hrefs) + 1 // + the main document
+	w := workerCount(workers, jobs)
+	bufs := make([][]byte, jobs)
+	if w == 1 {
+		bufs[0] = res.MainBytes()
+		for i, href := range hrefs {
+			bufs[i+1] = res.DocBytes(href)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if i == 0 {
+						bufs[0] = res.MainBytes()
+					} else {
+						bufs[i] = res.DocBytes(hrefs[i-1])
+					}
+				}
+			}()
+		}
+		for i := 0; i < jobs; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	site.Pages[IndexName] = bufs[0]
+	site.Order = append(site.Order, IndexName)
+	for i, href := range hrefs {
+		site.Pages[href] = bufs[i+1]
+		site.Order = append(site.Order, href)
+	}
+}
+
+// PublishPerFact renders the per-fact presentations of Fig. 5: one
+// focused site per fact class, keyed by fact id. The model document is
+// validated and frozen once, then the independent publications fan out
+// over the Options.Workers pool, sharing the frozen document and the
+// cached compiled stylesheet across goroutines.
+func PublishPerFact(m *core.Model, opts Options) (map[string]*Site, error) {
+	doc := m.ToXML()
+	if !opts.SkipValidation {
+		if errs := core.ValidateDocument(doc); len(errs) > 0 {
+			return nil, fmt.Errorf("htmlgen: document is invalid: %v (%d problems)", errs[0], len(errs))
+		}
+	}
+	xmldom.Freeze(doc)
+	facts := make([]string, 0, len(m.Facts))
+	for _, f := range m.Facts {
+		facts = append(facts, f.ID)
+	}
+	sites := make([]*Site, len(facts))
+	errs := make([]error, len(facts))
+	w := workerCount(opts.Workers, len(facts))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				o := opts
+				o.Focus = facts[i]
+				o.SkipValidation = true
+				sites[i], errs[i] = PublishDocument(doc, o)
+			}
+		}()
+	}
+	for i := range facts {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	out := make(map[string]*Site, len(facts))
+	for i, id := range facts {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("htmlgen: focus %s: %w", id, errs[i])
+		}
+		out[id] = sites[i]
+	}
+	return out, nil
 }
 
 // WriteTo writes every page of the site below dir, creating it if needed.

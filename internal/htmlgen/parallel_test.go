@@ -1,0 +1,100 @@
+package htmlgen
+
+import (
+	"bytes"
+	"testing"
+
+	"goldweb/internal/core"
+)
+
+// sitesEqual fails unless the two sites have identical page sets, order
+// and bytes.
+func sitesEqual(t *testing.T, label string, a, b *Site) {
+	t.Helper()
+	if len(a.Order) != len(b.Order) {
+		t.Fatalf("%s: page count %d vs %d", label, len(a.Order), len(b.Order))
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatalf("%s: order differs at %d: %s vs %s", label, i, a.Order[i], b.Order[i])
+		}
+	}
+	for name, content := range a.Pages {
+		if !bytes.Equal(content, b.Pages[name]) {
+			t.Errorf("%s: page %s differs (%d vs %d bytes)", label, name, len(content), len(b.Pages[name]))
+		}
+	}
+}
+
+// TestParallelPublishByteIdentical: multi-page publication over the
+// worker pool produces exactly the bytes of the sequential path.
+func TestParallelPublishByteIdentical(t *testing.T) {
+	for _, m := range []*core.Model{core.SampleSales(), core.SampleHospital()} {
+		for _, mode := range []Mode{SinglePage, MultiPage} {
+			seq, err := Publish(m, Options{Mode: mode, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Publish(m, Options{Mode: mode, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sitesEqual(t, m.Name+"/"+mode.String(), seq, par)
+			if errs := CheckLinks(par); len(errs) > 0 {
+				t.Errorf("%s/%s: broken links in parallel site: %v", m.Name, mode, errs[0])
+			}
+		}
+	}
+}
+
+// TestPublishPerFact: the Fig. 5 fan-out yields one site per fact class,
+// each identical to a directly focused publication.
+func TestPublishPerFact(t *testing.T) {
+	m := core.SampleHospital()
+	sites, err := PublishPerFact(m, Options{Mode: MultiPage, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != len(m.Facts) {
+		t.Fatalf("got %d sites, want %d", len(sites), len(m.Facts))
+	}
+	for _, f := range m.Facts {
+		site := sites[f.ID]
+		if site == nil {
+			t.Fatalf("no site for fact %s", f.ID)
+		}
+		direct, err := Publish(m, Options{Mode: MultiPage, Focus: f.ID, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sitesEqual(t, "focus "+f.ID, direct, site)
+		if errs := CheckLinks(site); len(errs) > 0 {
+			t.Errorf("focus %s: broken link: %v", f.ID, errs[0])
+		}
+	}
+}
+
+// TestPublishFrozenDocumentUntouched: publishing a frozen document must
+// not mutate it — defaults are applied to a working copy only.
+func TestPublishFrozenDocumentUntouched(t *testing.T) {
+	m := core.SampleSales()
+	doc := m.ToXML()
+	before := doc.XML()
+	doc.Freeze()
+	site, err := PublishDocument(doc, Options{Mode: MultiPage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(site.HTMLPages()) == 0 {
+		t.Fatal("no pages generated")
+	}
+	if got := doc.XML(); got != before {
+		t.Error("frozen document bytes changed during publication")
+	}
+	// And it must match a publication of the unfrozen original.
+	plain, err := PublishDocument(m.ToXML(), Options{Mode: MultiPage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sitesEqual(t, "frozen vs unfrozen", plain, site)
+}

@@ -76,7 +76,7 @@ func TestSingleflightColdCacheSharesOnePublish(t *testing.T) {
 		codes <- resp.StatusCode
 	}
 	go fetch()
-	<-entered // leader is inside publish
+	<-entered  // leader is inside publish
 	go fetch() // follower joins the in-flight call
 	time.Sleep(50 * time.Millisecond)
 	close(release)

@@ -37,17 +37,27 @@ import (
 // snapshot is one immutable published state. Handlers grab the current
 // snapshot under a read lock and then work without any lock at all; a
 // concurrent SetModel builds a fresh snapshot and swaps the pointer.
+// Both documents are frozen (xmldom.Freeze), so every handler and every
+// concurrent publication reads them without cloning or re-indexing.
 type snapshot struct {
 	model *core.Model
-	doc   *xmldom.Node
+	// doc is the canonical document as the model renders it — served by
+	// /model.xml and /pretty, which must not show schema defaults.
+	doc *xmldom.Node
+	// pubDoc is the publication source: validated once at swap time with
+	// schema defaults applied. pubErr records a validation failure; the
+	// publication path reports it instead of transforming.
+	pubDoc *xmldom.Node
+	pubErr error
 	// focuses is the set of fact class ids that are valid ?focus= values;
 	// anything else is a 404 before it can touch the cache.
 	focuses map[string]bool
 }
 
-// PublishFunc generates a presentation for a model. The server's default
-// is htmlgen.Publish; tests inject faulty ones to prove that a panicking
-// or hanging transformation is contained to its own request.
+// PublishFunc generates a presentation for a model. When unset the
+// server publishes straight from the snapshot's frozen, pre-validated
+// document; tests inject faulty ones to prove that a panicking or
+// hanging transformation is contained to its own request.
 type PublishFunc func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error)
 
 // Server publishes one conceptual model over HTTP.
@@ -110,7 +120,6 @@ func New(m *core.Model, opts ...Option) *Server {
 	s := &Server{
 		cache:          newSiteCache(DefaultCacheSize),
 		flight:         newFlightGroup(),
-		publish:        htmlgen.Publish,
 		requestTimeout: DefaultRequestTimeout,
 		maxInflight:    DefaultMaxInflight,
 		shutdownGrace:  DefaultShutdownGrace,
@@ -130,6 +139,15 @@ func (s *Server) SetModel(m *core.Model) {
 	s.ready.Store(false)
 	defer s.ready.Store(true)
 	snap := &snapshot{model: m, doc: m.ToXML(), focuses: htmlgen.FocusTargets(m)}
+	xmldom.Freeze(snap.doc)
+	// Validate once per swap (applying schema defaults) so the request
+	// path never re-validates; the defaults-applied document is frozen and
+	// shared by every concurrent transformation.
+	snap.pubDoc = m.ToXML()
+	if errs := core.ValidateDocument(snap.pubDoc); len(errs) > 0 {
+		snap.pubErr = fmt.Errorf("document is invalid: %v (%d problems)", errs[0], len(errs))
+	}
+	xmldom.Freeze(snap.pubDoc)
 	s.mu.Lock()
 	s.snap = snap
 	s.gen++
@@ -161,7 +179,19 @@ func (s *Server) site(mode htmlgen.Mode, focus string) (*htmlgen.Site, error) {
 		return site, nil
 	}
 	return s.flight.Do(key, func() (*htmlgen.Site, error) {
-		site, err := s.publish(snap.model, htmlgen.Options{Mode: mode, Focus: focus})
+		var site *htmlgen.Site
+		var err error
+		if s.publish != nil {
+			site, err = s.publish(snap.model, htmlgen.Options{Mode: mode, Focus: focus})
+		} else if snap.pubErr != nil {
+			err = snap.pubErr
+		} else {
+			// Default pipeline: transform the snapshot's frozen,
+			// pre-validated document directly — no clone, no re-validation,
+			// safe to run concurrently for different cache keys.
+			site, err = htmlgen.PublishDocument(snap.pubDoc,
+				htmlgen.Options{Mode: mode, Focus: focus, SkipValidation: true})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -283,7 +313,7 @@ func (s *Server) appMux() http.Handler {
 	// browser renders the model client-side.
 	mux.HandleFunc("/client/model.xml", func(w http.ResponseWriter, r *http.Request) {
 		snap, _ := s.snapshotAndGen()
-		doc := snap.doc.Clone()
+		doc := snap.doc.Editable()
 		pi := &xmldom.Node{Type: xmldom.PINode, Name: "xml-stylesheet",
 			Data: `type="text/xsl" href="/client/single.xsl"`}
 		doc.InsertBefore(pi, doc.DocumentElement())
@@ -306,8 +336,8 @@ func (s *Server) appMux() http.Handler {
 	mux.HandleFunc("/validate", func(w http.ResponseWriter, r *http.Request) {
 		snap, _ := s.snapshotAndGen()
 		// Validation applies schema defaults to the document, so it works
-		// on a private clone of the immutable snapshot.
-		doc := snap.doc.Clone()
+		// on a private editable copy of the frozen snapshot.
+		doc := snap.doc.Editable()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		schemaErrs := core.ValidateDocument(doc)
 		semErrs := snap.model.Validate()

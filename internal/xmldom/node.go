@@ -69,10 +69,23 @@ type Node struct {
 	// Raw marks a text node whose data must be emitted without escaping
 	// (produced by xsl:value-of disable-output-escaping, script/style).
 	Raw bool
+
+	// Index state, populated by Freeze (see index.go). ord/end are the
+	// node's document-order stamp and its subtree's last stamp, sym the
+	// interned name, idx the owning document's identity + indexes.
+	ord, end uint64
+	sym      Sym
+	idx      *DocIndex
 }
 
-// NewDocument returns an empty document node.
-func NewDocument() *Node { return &Node{Type: DocumentNode} }
+// NewDocument returns an empty document node. Documents carry a
+// process-unique identity from birth so cross-tree document-order
+// comparisons are deterministic.
+func NewDocument() *Node {
+	d := &Node{Type: DocumentNode}
+	d.idx = newDocIdent(d)
+	return d
+}
 
 // NewElement returns a detached element with the given local name and no
 // namespace.
@@ -91,7 +104,10 @@ func (n *Node) FullName() string {
 }
 
 // AppendChild adds c as the last child of n and reparents it.
+// Panics when either tree is frozen (see Freeze/Editable).
 func (n *Node) AppendChild(c *Node) *Node {
+	n.assertMutable()
+	c.assertMutable()
 	c.Parent = n
 	n.Children = append(n.Children, c)
 	return c
@@ -99,7 +115,10 @@ func (n *Node) AppendChild(c *Node) *Node {
 
 // InsertBefore inserts c immediately before the existing child ref.
 // If ref is nil or not a child of n, c is appended.
+// Panics when either tree is frozen (see Freeze/Editable).
 func (n *Node) InsertBefore(c, ref *Node) {
+	n.assertMutable()
+	c.assertMutable()
 	idx := -1
 	for i, ch := range n.Children {
 		if ch == ref {
@@ -118,7 +137,9 @@ func (n *Node) InsertBefore(c, ref *Node) {
 }
 
 // RemoveChild detaches c from n. It is a no-op if c is not a child of n.
+// Panics when the tree is frozen (see Freeze/Editable).
 func (n *Node) RemoveChild(c *Node) {
+	n.assertMutable()
 	for i, ch := range n.Children {
 		if ch == c {
 			n.Children = append(n.Children[:i], n.Children[i+1:]...)
@@ -146,7 +167,9 @@ func (n *Node) SetAttr(name, value string) *Node {
 }
 
 // SetAttrNS sets a namespaced attribute on n.
+// Panics when the tree is frozen (see Freeze/Editable).
 func (n *Node) SetAttrNS(prefix, uri, name, value string) *Node {
+	n.assertMutable()
 	for _, a := range n.Attr {
 		if a.Name == name && a.URI == uri {
 			a.Data = value
@@ -187,7 +210,9 @@ func (n *Node) AttrValue(name string) string {
 func (n *Node) HasAttr(name string) bool { return n.GetAttr(name) != nil }
 
 // RemoveAttr deletes the named no-namespace attribute if present.
+// Panics when the tree is frozen (see Freeze/Editable).
 func (n *Node) RemoveAttr(name string) {
+	n.assertMutable()
 	for i, a := range n.Attr {
 		if a.Name == name && a.URI == "" {
 			n.Attr = append(n.Attr[:i], n.Attr[i+1:]...)
@@ -416,17 +441,22 @@ func orderKey(n *Node) []pathStep {
 // CompareOrder reports the relative document order of a and b:
 // -1 if a precedes b, +1 if a follows b, 0 if they are the same node.
 // Both nodes must belong to the same tree; nodes from different trees
-// compare by an arbitrary but consistent rule (tree identity).
+// compare by an arbitrary but consistent rule (tree identity, assigned
+// at document creation). On frozen trees the comparison is a single
+// stamp comparison; otherwise it walks root-to-node paths.
 func CompareOrder(a, b *Node) int {
 	if a == b {
 		return 0
 	}
+	if a.idx != nil && a.idx == b.idx && a.idx.frozen {
+		if a.ord < b.ord {
+			return -1
+		}
+		return 1
+	}
 	ra, rb := a.Root(), b.Root()
 	if ra != rb {
-		// Arbitrary but stable: compare root pointers via fmt; callers
-		// only need consistency, not meaning, across trees.
-		pa, pb := fmt.Sprintf("%p", ra), fmt.Sprintf("%p", rb)
-		if pa < pb {
+		if treeIdent(ra) < treeIdent(rb) {
 			return -1
 		}
 		return 1
@@ -457,27 +487,54 @@ func CompareOrder(a, b *Node) int {
 }
 
 // SortDocOrder sorts nodes in place into document order and removes
-// duplicates, returning the (possibly shortened) slice.
+// duplicates, returning the (possibly shortened) slice. When every node
+// belongs to a frozen tree the sort compares precomputed stamps; the
+// path-key fallback only runs for unfrozen trees.
 func SortDocOrder(nodes []*Node) []*Node {
 	if len(nodes) < 2 {
 		return nodes
 	}
+	allFrozen := true
+	for _, n := range nodes {
+		if n.idx == nil || !n.idx.frozen {
+			allFrozen = false
+			break
+		}
+	}
+	if allFrozen {
+		sort.Slice(nodes, func(i, j int) bool {
+			a, b := nodes[i], nodes[j]
+			if a.idx != b.idx {
+				return a.idx.id < b.idx.id
+			}
+			return a.ord < b.ord
+		})
+		out := nodes[:0]
+		var prev *Node
+		for _, n := range nodes {
+			if n != prev {
+				out = append(out, n)
+				prev = n
+			}
+		}
+		return out
+	}
 	type keyed struct {
-		n *Node
-		k []pathStep
+		n    *Node
+		root uint64
+		k    []pathStep
 	}
 	ks := make([]keyed, len(nodes))
 	for i, n := range nodes {
-		ks[i] = keyed{n, orderKey(n)}
+		ks[i] = keyed{n, treeIdent(n.Root()), orderKey(n)}
 	}
 	sort.SliceStable(ks, func(i, j int) bool {
 		a, b := ks[i], ks[j]
 		if a.n == b.n {
 			return false
 		}
-		ra, rb := a.n.Root(), b.n.Root()
-		if ra != rb {
-			return fmt.Sprintf("%p", ra) < fmt.Sprintf("%p", rb)
+		if a.root != b.root {
+			return a.root < b.root
 		}
 		for x := 0; x < len(a.k) && x < len(b.k); x++ {
 			sa, sb := a.k[x], b.k[x]

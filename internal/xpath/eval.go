@@ -320,16 +320,19 @@ func (p *pathExpr) Eval(ctx *Context) (Value, error) {
 // evalStep selects along one step from a single context node, applying the
 // step's predicates with proximity positions in axis order.
 func evalStep(ctx *Context, n *xmldom.Node, s *step) ([]*xmldom.Node, error) {
-	candidates := axisNodes(n, s.axis)
-	// Filter by node test first.
-	matched := candidates[:0:0]
-	for _, c := range candidates {
-		ok, err := matchTest(ctx, c, s.axis, s.test)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			matched = append(matched, c)
+	matched, fast := indexedStep(n, s)
+	if !fast {
+		candidates := axisNodes(n, s.axis)
+		// Filter by node test first.
+		matched = candidates[:0:0]
+		for _, c := range candidates {
+			ok, err := matchTest(ctx, c, s.axis, s.test)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matched = append(matched, c)
+			}
 		}
 	}
 	var err error
@@ -342,13 +345,47 @@ func evalStep(ctx *Context, n *xmldom.Node, s *step) ([]*xmldom.Node, error) {
 	return matched, nil
 }
 
+// indexedStep answers descendant name tests straight from a frozen
+// document's name index (ok=false → take the walking path). Only the
+// unprefixed form is eligible: an unprefixed test selects no-namespace
+// elements, which the final URI filter enforces since the index matches
+// by local name alone. The result slice may alias the index, which is
+// safe because every caller treats step results as read-only.
+func indexedStep(n *xmldom.Node, s *step) ([]*xmldom.Node, bool) {
+	if s.axis != axisDescendant && s.axis != axisDescendantOrSelf {
+		return nil, false
+	}
+	if s.test.kind != testName || s.test.prefix != "" {
+		return nil, false
+	}
+	list, ok := n.IndexedDescendants(s.test.name, s.axis == axisDescendantOrSelf)
+	if !ok {
+		return nil, false
+	}
+	for i, c := range list {
+		if c.URI != "" {
+			out := make([]*xmldom.Node, i, len(list))
+			copy(out, list[:i])
+			for _, d := range list[i:] {
+				if d.URI == "" {
+					out = append(out, d)
+				}
+			}
+			return out, true
+		}
+	}
+	return list, true
+}
+
 // axisNodes returns the nodes on the given axis from n, in axis order
 // (reverse document order for reverse axes, which is what predicate
 // position semantics require).
 func axisNodes(n *xmldom.Node, axis axisType) []*xmldom.Node {
 	switch axis {
 	case axisChild:
-		return append([]*xmldom.Node(nil), n.Children...)
+		// Callers never mutate axis results, so the child and attribute
+		// slices are returned without copying.
+		return n.Children
 	case axisDescendant:
 		return n.Descendants()
 	case axisDescendantOrSelf:
@@ -376,7 +413,7 @@ func axisNodes(n *xmldom.Node, axis axisType) []*xmldom.Node {
 		if n.Type != xmldom.ElementNode {
 			return nil
 		}
-		return append([]*xmldom.Node(nil), n.Attr...)
+		return n.Attr
 	case axisFollowingSibling:
 		p := n.Parent
 		if p == nil || n.Type == xmldom.AttrNode {

@@ -113,6 +113,17 @@ func fnID(ctx *Context, args []Value) (Value, error) {
 		return NodeSet(nil), nil
 	}
 	root := ctx.Node.Root()
+	if ix := root.Index(); ix != nil {
+		// Frozen document: answer from the ID map. (On documents with
+		// duplicate ids — invalid XML — this returns the first bearer
+		// where the walking path returns all of them.)
+		for _, id := range ids {
+			if e := ix.ByID(id); e != nil {
+				out = append(out, e)
+			}
+		}
+		return NodeSet(xmldom.SortDocOrder(out)), nil
+	}
 	for _, e := range root.DescendantElements("") {
 		if want[e.AttrValue("id")] && e.HasAttr("id") {
 			out = append(out, e)

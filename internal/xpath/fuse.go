@@ -1,0 +1,128 @@
+package xpath
+
+// Step fusion: the parser expands `//` into descendant-or-self::node()
+// followed by the next step, which makes `//name` enumerate every node of
+// the subtree and then that node's children — quadratic work that
+// SortDocOrder has to dedup afterwards. When the following step is a
+// child step whose predicates cannot observe position, the pair is
+// equivalent to a single descendant step, which the evaluator can in
+// turn answer straight from a frozen document's name index.
+
+// newPath builds a pathExpr with fused steps.
+func newPath(input Expr, absolute bool, steps []*step) *pathExpr {
+	return &pathExpr{input: input, absolute: absolute, steps: fuseSteps(steps)}
+}
+
+// fuseSteps rewrites descendant-or-self::node()/child::T[preds] into
+// descendant::T[preds] wherever the predicates are position-independent.
+func fuseSteps(steps []*step) []*step {
+	out := steps[:0:0]
+	for i := 0; i < len(steps); i++ {
+		s := steps[i]
+		if i+1 < len(steps) && isDescOrSelfNode(s) && canFuseInto(steps[i+1]) {
+			nxt := steps[i+1]
+			out = append(out, &step{axis: axisDescendant, test: nxt.test, preds: nxt.preds})
+			i++
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func isDescOrSelfNode(s *step) bool {
+	return s.axis == axisDescendantOrSelf && s.test.kind == testNode && len(s.preds) == 0
+}
+
+// canFuseInto reports whether a child step can absorb a preceding
+// descendant-or-self::node(). Fusion changes the context position and
+// size seen by the step's predicates (siblings vs. all descendants), so
+// every predicate must be provably position-independent: it must
+// statically evaluate to a non-number (a numeric predicate is an implicit
+// position() = N test) and must not call position() or last().
+func canFuseInto(s *step) bool {
+	if s.axis != axisChild {
+		return false
+	}
+	for _, p := range s.preds {
+		if !staticallyNonNumeric(p) || usesPosition(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// staticallyNonNumeric reports whether e can be proven to never yield an
+// XPath number. Unknown constructs (variables, unknown functions) return
+// false, keeping the analysis conservative.
+func staticallyNonNumeric(e Expr) bool {
+	switch v := e.(type) {
+	case *pathExpr, *unionExpr, *filterExpr, literalExpr:
+		return true
+	case *binaryExpr:
+		switch v.op {
+		case tokAnd, tokOr, tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+			return true
+		}
+		return false
+	case *callExpr:
+		switch v.name {
+		case "boolean", "not", "true", "false", "lang", "contains", "starts-with",
+			"string", "concat", "substring", "substring-before", "substring-after",
+			"normalize-space", "translate", "name", "local-name", "namespace-uri",
+			"id", "key", "current":
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// usesPosition reports whether e contains a position() or last() call
+// anywhere. This is deliberately over-broad: a call inside a nested
+// path's predicate refers to that inner context and would actually be
+// safe, but rejecting it only costs the optimization, never correctness.
+func usesPosition(e Expr) bool {
+	switch v := e.(type) {
+	case *callExpr:
+		if v.name == "position" || v.name == "last" {
+			return true
+		}
+		for _, a := range v.args {
+			if usesPosition(a) {
+				return true
+			}
+		}
+	case *binaryExpr:
+		return usesPosition(v.l) || usesPosition(v.r)
+	case *negExpr:
+		return usesPosition(v.e)
+	case *unionExpr:
+		for _, p := range v.parts {
+			if usesPosition(p) {
+				return true
+			}
+		}
+	case *filterExpr:
+		if usesPosition(v.primary) {
+			return true
+		}
+		for _, p := range v.preds {
+			if usesPosition(p) {
+				return true
+			}
+		}
+	case *pathExpr:
+		if v.input != nil && usesPosition(v.input) {
+			return true
+		}
+		for _, s := range v.steps {
+			for _, p := range s.preds {
+				if usesPosition(p) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package xpath
+
+import (
+	"testing"
+
+	"goldweb/internal/xmldom"
+)
+
+// indexDoc is shaped to exercise the frozen fast paths: repeated element
+// names at several depths, namespaced homonyms, id attributes and text.
+const indexDoc = `<r xmlns:x="urn:x">
+  <a id="a1"><b id="b1"/><b/><x:b/></a>
+  <a id="a2"><c><b id="b2"/></c></a>
+  <c><a><b/></a></c>
+</r>`
+
+// queryBoth evaluates src against an unfrozen and a frozen copy of the
+// same document and fails unless the two results select the same nodes
+// (compared by path) in the same order.
+func queryBoth(t *testing.T, src string) (NodeSet, NodeSet) {
+	t.Helper()
+	plain := xmldom.MustParseString(indexDoc)
+	frozen := xmldom.MustParseString(indexDoc)
+	xmldom.Freeze(frozen)
+	pv, err := Query(plain, src)
+	if err != nil {
+		t.Fatalf("%s (unfrozen): %v", src, err)
+	}
+	fv, err := Query(frozen, src)
+	if err != nil {
+		t.Fatalf("%s (frozen): %v", src, err)
+	}
+	pns, ok := pv.(NodeSet)
+	if !ok {
+		if ToString(pv) != ToString(fv) {
+			t.Fatalf("%s: unfrozen %v, frozen %v", src, pv, fv)
+		}
+		return nil, nil
+	}
+	fns := fv.(NodeSet)
+	if len(pns) != len(fns) {
+		t.Fatalf("%s: unfrozen %d nodes, frozen %d", src, len(pns), len(fns))
+	}
+	for i := range pns {
+		if pns[i].Path() != fns[i].Path() {
+			t.Fatalf("%s: node %d differs: %s vs %s", src, i, pns[i].Path(), fns[i].Path())
+		}
+	}
+	return pns, fns
+}
+
+// TestFrozenMatchesUnfrozen: the index fast paths (descendant name test,
+// step fusion, id()) must be invisible — same nodes, same order.
+func TestFrozenMatchesUnfrozen(t *testing.T) {
+	exprs := []string{
+		"//b", "//a", "//a//b", "//c/b", "/r//b", "//a/b | //c",
+		"//b[../@id]", "//a[@id='a2']//b", "descendant::b",
+		"//b[1]", "//a[last()]", "//a[2]/c//b", "count(//b) = 5",
+		"id('a1')", "id('b2')", "id('a1 b2')", "id('nope')",
+		"//*",
+	}
+	for _, src := range exprs {
+		queryBoth(t, src)
+	}
+}
+
+// TestFrozenNodeSetInvariant: frozen evaluation upholds the NodeSet
+// contract — document order, duplicate-free — for unions and paths.
+func TestFrozenNodeSetInvariant(t *testing.T) {
+	for _, src := range []string{
+		"//b", "//a | //b", "//b | //a//b | //c", "//b/ancestor::*", "//a//b",
+	} {
+		_, fns := queryBoth(t, src)
+		for i := 1; i < len(fns); i++ {
+			if fns[i-1] == fns[i] {
+				t.Errorf("%s: duplicate at %d", src, i)
+			}
+			if xmldom.CompareOrder(fns[i-1], fns[i]) >= 0 {
+				t.Errorf("%s: out of document order at %d", src, i)
+			}
+		}
+	}
+}
+
+// TestFusionPositionalSafety: //name[pred] with positional predicates
+// must NOT be fused into descendant::name[pred] — //b[1] selects the
+// first b child of each parent, not the first b in the document.
+func TestFusionPositionalSafety(t *testing.T) {
+	doc := xmldom.MustParseString(`<r><a><b v="1"/><b v="2"/></a><a><b v="3"/></a></r>`)
+	xmldom.Freeze(doc)
+	ns, err := QueryNodes(doc, "//b[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 2 {
+		t.Fatalf("//b[1] selected %d nodes, want 2 (one per parent)", len(ns))
+	}
+	if got := ns[0].AttrValue("v") + ns[1].AttrValue("v"); got != "13" {
+		t.Errorf("//b[1] selected v=%q, want first b of each parent", got)
+	}
+	// descendant::b[1] is the genuinely fused form: first among all.
+	ns, err = QueryNodes(doc, "/r/descendant::b[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || ns[0].AttrValue("v") != "1" {
+		t.Errorf("descendant::b[1] = %d nodes", len(ns))
+	}
+}

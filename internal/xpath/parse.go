@@ -201,7 +201,7 @@ func (p *exprParser) parsePath() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &pathExpr{input: fe, steps: steps}, nil
+			return newPath(fe, false, steps), nil
 		case tokSlashSlash:
 			p.next()
 			steps, err := p.parseRelativeSteps()
@@ -209,7 +209,7 @@ func (p *exprParser) parsePath() (Expr, error) {
 				return nil, err
 			}
 			steps = append([]*step{descOrSelfStep()}, steps...)
-			return &pathExpr{input: fe, steps: steps}, nil
+			return newPath(fe, false, steps), nil
 		}
 		return fe, nil
 	}
@@ -229,7 +229,7 @@ func (p *exprParser) parseLocationPath() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &pathExpr{absolute: true, steps: steps}, nil
+			return newPath(nil, true, steps), nil
 		}
 		return &pathExpr{absolute: true}, nil
 	case tokSlashSlash:
@@ -239,13 +239,13 @@ func (p *exprParser) parseLocationPath() (Expr, error) {
 			return nil, err
 		}
 		steps = append([]*step{descOrSelfStep()}, steps...)
-		return &pathExpr{absolute: true, steps: steps}, nil
+		return newPath(nil, true, steps), nil
 	}
 	steps, err := p.parseRelativeSteps()
 	if err != nil {
 		return nil, err
 	}
-	return &pathExpr{steps: steps}, nil
+	return newPath(nil, false, steps), nil
 }
 
 func (p *exprParser) startsStep() bool {

@@ -120,6 +120,12 @@ func exprToPatternAlt(src string, e Expr) (*patternAlt, error) {
 			}
 			nextAnc = true
 			continue
+		case axisDescendant:
+			// The expression parser fuses '//name' into descendant::name
+			// (see fuse.go); in the pattern grammar that pair is a child
+			// step behind a '//' gap.
+			alt.steps = append(alt.steps, &patStep{test: s.test, preds: s.preds, anc: true})
+			nextAnc = false
 		case axisChild, axisAttribute:
 			ps := &patStep{attr: s.axis == axisAttribute, test: s.test, preds: s.preds, anc: nextAnc}
 			nextAnc = false

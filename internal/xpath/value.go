@@ -21,8 +21,9 @@ type Value interface {
 	xpathValue()
 }
 
-// NodeSet is an unordered collection of nodes. Evaluation results are kept
-// in document order without duplicates.
+// NodeSet is a collection of nodes in document order, without duplicates.
+// Every evaluation result upholds this invariant (unions and multi-step
+// paths merge through xmldom.SortDocOrder).
 type NodeSet []*xmldom.Node
 
 // Boolean is the XPath boolean type.

@@ -174,6 +174,11 @@ type ValidationError struct {
 	Path string // instance path of the offending node
 	Line int
 	Msg  string
+
+	// ord is the offending node's document-order stamp on frozen
+	// documents (0 otherwise); the validator uses it to report identity-
+	// constraint violations in document order deterministically.
+	ord uint64
 }
 
 func (e ValidationError) Error() string {

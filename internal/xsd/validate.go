@@ -2,6 +2,7 @@ package xsd
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -13,6 +14,8 @@ import (
 type ValidateOptions struct {
 	// ApplyDefaults writes schema-supplied attribute defaults into the
 	// instance (the infoset contribution a validating parser makes).
+	// Because it mutates the document it must not be used on a frozen
+	// (xmldom.Freeze) tree — validate an Editable() copy instead.
 	ApplyDefaults bool
 	// MaxErrors stops validation after this many violations (0 = all).
 	MaxErrors int
@@ -74,6 +77,7 @@ func (v *validator) errf(n *xmldom.Node, format string, args ...interface{}) {
 	if n != nil {
 		e.Path = n.Path()
 		e.Line = n.Line
+		e.ord = n.DocOrder()
 	}
 	v.errs = append(v.errs, e)
 	if v.opts.MaxErrors > 0 && len(v.errs) >= v.opts.MaxErrors {
@@ -91,10 +95,18 @@ func (v *validator) validateElement(elem *xmldom.Node, decl *ElementDecl) {
 	case decl.Complex != nil:
 		v.validateComplexElement(elem, decl.Complex)
 	}
-	if !v.opts.SkipIdentityConstraints {
+	if !v.opts.SkipIdentityConstraints && len(decl.Constraints) > 0 {
+		start := len(v.errs)
 		for _, ic := range decl.Constraints {
 			v.checkConstraintScope(elem, decl, ic)
 		}
+		// On frozen documents, report this element's identity-constraint
+		// violations in document order of the offending nodes rather than
+		// constraint-declaration order; the sort is stable so unfrozen
+		// documents (ord 0 everywhere) keep the original order.
+		sort.SliceStable(v.errs[start:], func(i, j int) bool {
+			return v.errs[start+i].ord < v.errs[start+j].ord
+		})
 	}
 }
 

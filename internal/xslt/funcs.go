@@ -52,6 +52,19 @@ func (e *engine) fnGenerateID(ctx *xpath.Context, args []xpath.Value) (xpath.Val
 	default:
 		return nil, fmt.Errorf("xslt: generate-id() takes at most one argument")
 	}
+	// Frozen nodes get a pure (document, stamp) id: "d<doc>n<ord>".
+	// Documents are numbered per engine in first-seen order, so output is
+	// deterministic across runs and nothing is stored per node. Unfrozen
+	// nodes keep the per-engine sequence ("idn<seq>"); the two prefixes
+	// cannot collide.
+	if ix := n.Index(); ix != nil {
+		num, ok := e.docNums[ix]
+		if !ok {
+			num = len(e.docNums) + 1
+			e.docNums[ix] = num
+		}
+		return xpath.String(fmt.Sprintf("d%dn%d", num, n.DocOrder())), nil
+	}
 	if id, ok := e.genIDs[n]; ok {
 		return xpath.String(id), nil
 	}

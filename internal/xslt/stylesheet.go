@@ -77,9 +77,10 @@ type keyDecl struct {
 	use   xpath.Expr
 }
 
-// Stylesheet is a compiled XSLT stylesheet, safe for repeated (but not
-// concurrent) use; create one Stylesheet per goroutine or guard with a
-// mutex when sharing.
+// Stylesheet is a compiled XSLT stylesheet. Once compiled it is
+// read-only: all per-run state lives in the transformation engine, so a
+// single Stylesheet is safe for concurrent Transform calls (the source
+// document must likewise be shareable — frozen, or never mutated).
 type Stylesheet struct {
 	templates map[string][]*Template // per mode, sorted best-first
 	named     map[string]*Template

@@ -81,10 +81,14 @@ type xctx struct {
 }
 
 type engine struct {
-	sheet    *Stylesheet
-	result   *Result
-	genIDs   map[*xmldom.Node]string
-	genSeq   int
+	sheet  *Stylesheet
+	result *Result
+	genIDs map[*xmldom.Node]string
+	genSeq int
+	// docNums numbers frozen documents in first-seen order so that
+	// generate-id() on frozen nodes is a pure function of (document,
+	// stamp) — deterministic across runs, no per-node map growth.
+	docNums  map[*xmldom.DocIndex]int
 	keyIdx   map[*xmldom.Node]map[string]map[string][]*xmldom.Node
 	funcs    map[string]xpath.Function
 	docCache map[string]*xmldom.Node
@@ -94,15 +98,19 @@ type engine struct {
 // Transform applies the stylesheet to a source document. params provides
 // values for global xsl:param declarations. The source tree is not
 // modified (whitespace stripping, when requested by the stylesheet,
-// operates on a clone).
+// operates on a clone), so a frozen (xmldom.Freeze) source document and
+// a compiled Stylesheet may be shared by concurrent Transform calls —
+// all per-run state lives in the engine.
 func (s *Stylesheet) Transform(source *xmldom.Node, params map[string]xpath.Value) (*Result, error) {
 	if source.Type != xmldom.DocumentNode {
 		root := xmldom.NewDocument()
 		root.AppendChild(source.Clone())
+		xmldom.Freeze(root) // engine-owned wrapper: index it for stamp ordering
 		source = root
 	} else if len(s.strip) > 0 {
 		source = source.Clone()
 		s.stripSourceSpace(source)
+		xmldom.Freeze(source) // engine-owned clone, read-only from here on
 	}
 	e := &engine{
 		sheet: s,
@@ -112,6 +120,7 @@ func (s *Stylesheet) Transform(source *xmldom.Node, params map[string]xpath.Valu
 			Output:    s.output,
 		},
 		genIDs:   map[*xmldom.Node]string{},
+		docNums:  map[*xmldom.DocIndex]int{},
 		keyIdx:   map[*xmldom.Node]map[string]map[string][]*xmldom.Node{},
 		docCache: map[string]*xmldom.Node{},
 	}
