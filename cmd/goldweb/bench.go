@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"goldweb/internal/core"
+	"goldweb/internal/htmlgen"
+	"goldweb/internal/workload"
+	"goldweb/internal/xsd"
+)
+
+// benchCase is one measured pipeline stage.
+type benchCase struct {
+	Name string
+	Run  func(b *testing.B)
+}
+
+// benchResult is the JSON record for one case.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Cases     []benchResult `json:"cases"`
+}
+
+// benchCases covers the three pipelines the evaluation tracks: the XSLT
+// transformation (single and multi page), the publication fan-out, and
+// schema validation with identity constraints.
+func benchCases() []benchCase {
+	var cases []benchCase
+	for _, spec := range []workload.ModelSpec{
+		{Facts: 2, Dims: 4, Depth: 2},
+		{Facts: 4, Dims: 8, Depth: 2},
+	} {
+		m := workload.GenModel(spec)
+		for _, mode := range []htmlgen.Mode{htmlgen.SinglePage, htmlgen.MultiPage} {
+			mode, m, spec := mode, m, spec
+			cases = append(cases, benchCase{
+				Name: fmt.Sprintf("publish/%s/%s", mode, spec),
+				Run: func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := htmlgen.Publish(m, htmlgen.Options{Mode: mode}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				},
+			})
+		}
+	}
+	schema := core.MustSchema()
+	for _, spec := range []workload.ModelSpec{
+		{Facts: 4, Dims: 8, Depth: 2},
+		{Facts: 8, Dims: 16, Depth: 3},
+	} {
+		doc := workload.GenModel(spec).ToXML()
+		spec := spec
+		cases = append(cases, benchCase{
+			Name: "validate/" + spec.String(),
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if errs := schema.Validate(doc, xsd.ValidateOptions{}); len(errs) != 0 {
+						b.Fatal(errs[0])
+					}
+				}
+			},
+		})
+	}
+	return cases
+}
+
+// cmdBench measures the evaluation pipelines with testing.Benchmark and
+// prints (or writes) a JSON report — the machine-readable counterpart of
+// EXPERIMENTS.md, regenerated per release and diffed in CI.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	outPath := fs.String("o", "", "write the report to a file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	report := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, c := range benchCases() {
+		r := testing.Benchmark(c.Run)
+		report.Cases = append(report.Cases, benchResult{
+			Name:        c.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		if !*jsonOut && *outPath == "" {
+			fmt.Printf("%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+				c.Name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		}
+	}
+	if !*jsonOut && *outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, data, 0o644)
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}

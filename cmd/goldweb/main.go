@@ -68,6 +68,8 @@ func main() {
 		err = cmdCWM(args)
 	case "report":
 		err = cmdReport(args)
+	case "bench":
+		err = cmdBench(args)
 	case "transform":
 		err = cmdTransform(args)
 	case "help", "-h", "--help":
@@ -98,6 +100,7 @@ func usage() {
   goldweb check-schema <schema.xsd>        XML Schema quality checker
   goldweb transform <doc.xml> <sheet.xsl>  generic XSLT processor
   goldweb report                           regenerate the evaluation series
+  goldweb bench [-json] [-o out.json]      measure the evaluation pipelines
   goldweb cwm <model.xml>                  CWM OLAP interchange export`)
 }
 

@@ -140,13 +140,61 @@ func (s *Site) TotalBytes() int {
 // transformation runs on the indexed fast paths; pass Editable() first
 // if the tree must stay mutable afterwards.
 func PublishDocument(doc *xmldom.Node, opts Options) (*Site, error) {
+	work, sheet, params, css, err := preparePublication(doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Streaming path: the transform renders every page straight to bytes
+	// (no intermediate result DOM), so there is nothing left to fan out —
+	// Options.Workers still parallelizes PublishPerFact and the DOM
+	// reference path below.
+	res, err := sheet.TransformToBuffers(work, params)
+	if err != nil {
+		return nil, err
+	}
+	site := &Site{
+		Pages:    make(map[string][]byte, len(res.DocumentOrder)+2),
+		Messages: res.Messages,
+	}
+	site.Pages[IndexName] = res.Main
+	site.Order = append(site.Order, IndexName)
+	for _, href := range res.DocumentOrder {
+		site.Pages[href] = res.Documents[href]
+		site.Order = append(site.Order, href)
+	}
+	addCSS(site, opts, css)
+	return site, nil
+}
+
+// publishDocumentDOM is the tree-building reference path: transform to a
+// result DOM, then serialize the pages over the worker pool. Kept as the
+// oracle the streamed path is byte-identity-tested against.
+func publishDocumentDOM(doc *xmldom.Node, opts Options) (*Site, error) {
+	work, sheet, params, css, err := preparePublication(doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sheet.Transform(work, params)
+	if err != nil {
+		return nil, err
+	}
+	site := &Site{Pages: map[string][]byte{}, Messages: res.Messages}
+	serializePages(site, res, opts.Workers)
+	addCSS(site, opts, css)
+	return site, nil
+}
+
+// preparePublication validates and freezes the document and resolves the
+// stylesheet and its parameters — everything shared by the streamed and
+// DOM publication paths.
+func preparePublication(doc *xmldom.Node, opts Options) (*xmldom.Node, *xslt.Stylesheet, map[string]xpath.Value, string, error) {
 	work := doc
 	if !opts.SkipValidation {
 		if work.Frozen() {
 			work = doc.Editable()
 		}
 		if errs := core.ValidateDocument(work); len(errs) > 0 {
-			return nil, fmt.Errorf("htmlgen: document is invalid: %v (%d problems)", errs[0], len(errs))
+			return nil, nil, nil, "", fmt.Errorf("htmlgen: document is invalid: %v (%d problems)", errs[0], len(errs))
 		}
 	}
 	if !work.Frozen() {
@@ -160,7 +208,7 @@ func PublishDocument(doc *xmldom.Node, opts Options) (*Site, error) {
 		sheet, err = core.SinglePageStylesheet()
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, "", err
 	}
 	css := opts.CSSHref
 	if css == "" {
@@ -170,17 +218,14 @@ func PublishDocument(doc *xmldom.Node, opts Options) (*Site, error) {
 		"focus": xpath.String(opts.Focus),
 		"css":   xpath.String(css),
 	}
-	res, err := sheet.Transform(work, params)
-	if err != nil {
-		return nil, err
-	}
-	site := &Site{Pages: map[string][]byte{}, Messages: res.Messages}
-	serializePages(site, res, opts.Workers)
+	return work, sheet, params, css, nil
+}
+
+func addCSS(site *Site, opts Options, css string) {
 	if !opts.OmitCSS && css == "style.css" {
 		site.Pages["style.css"] = []byte(core.StyleCSS)
 		site.Order = append(site.Order, "style.css")
 	}
-	return site, nil
 }
 
 // serializePages renders the main document and every xsl:document output

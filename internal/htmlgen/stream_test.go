@@ -1,0 +1,106 @@
+package htmlgen
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"goldweb/internal/core"
+	"goldweb/internal/workload"
+	"goldweb/internal/xmldom"
+)
+
+// streamTestModels covers the shipped examples plus synthetic sweep sizes.
+func streamTestModels() map[string]*core.Model {
+	return map[string]*core.Model{
+		"sales":    core.SampleSales(),
+		"hospital": core.SampleHospital(),
+		"f1d2h1":   workload.GenModel(workload.ModelSpec{Facts: 1, Dims: 2, Depth: 1}),
+		"f2d4h2":   workload.GenModel(workload.ModelSpec{Facts: 2, Dims: 4, Depth: 2}),
+	}
+}
+
+func streamSitesEqual(t *testing.T, label string, want, got *Site) {
+	t.Helper()
+	if len(want.Order) != len(got.Order) {
+		t.Fatalf("%s: page order length %d != %d", label, len(got.Order), len(want.Order))
+	}
+	for i := range want.Order {
+		if want.Order[i] != got.Order[i] {
+			t.Fatalf("%s: page order[%d] = %q, want %q", label, i, got.Order[i], want.Order[i])
+		}
+	}
+	for name, w := range want.Pages {
+		g, ok := got.Pages[name]
+		if !ok {
+			t.Fatalf("%s: missing page %s", label, name)
+		}
+		if !bytes.Equal(w, g) {
+			i := 0
+			for i < len(w) && i < len(g) && w[i] == g[i] {
+				i++
+			}
+			lo, hi := max(0, i-60), i+60
+			t.Fatalf("%s: page %s differs at byte %d\n dom:    %q\n stream: %q",
+				label, name, i, w[lo:min(len(w), hi)], g[lo:min(len(g), hi)])
+		}
+	}
+	if len(got.Pages) != len(want.Pages) {
+		t.Fatalf("%s: page count %d != %d", label, len(got.Pages), len(want.Pages))
+	}
+	if fmt.Sprint(want.Messages) != fmt.Sprint(got.Messages) {
+		t.Fatalf("%s: messages differ: %v vs %v", label, want.Messages, got.Messages)
+	}
+}
+
+// TestStreamedPublicationByteIdentical proves the streaming emitter path
+// produces byte-identical sites to the DOM transform + serialize path for
+// every example model, both modes, at every worker count.
+func TestStreamedPublicationByteIdentical(t *testing.T) {
+	for name, m := range streamTestModels() {
+		doc := m.ToXML()
+		xmldom.Freeze(doc)
+		for _, mode := range []Mode{SinglePage, MultiPage} {
+			for workers := 1; workers <= 4; workers++ {
+				opts := Options{Mode: mode, Workers: workers}
+				want, err := publishDocumentDOM(doc, opts)
+				if err != nil {
+					t.Fatalf("%s/%v dom publish: %v", name, mode, err)
+				}
+				got, err := PublishDocument(doc, opts)
+				if err != nil {
+					t.Fatalf("%s/%v streamed publish: %v", name, mode, err)
+				}
+				streamSitesEqual(t, fmt.Sprintf("%s/mode=%v/workers=%d", name, mode, workers), want, got)
+			}
+		}
+	}
+}
+
+// TestStreamedPerFactFanOutByteIdentical checks the focused per-fact
+// publications (Fig. 5 fan-out) against the DOM path, at several worker
+// counts.
+func TestStreamedPerFactFanOutByteIdentical(t *testing.T) {
+	m := workload.GenModel(workload.ModelSpec{Facts: 3, Dims: 3, Depth: 2})
+	for _, workers := range []int{1, 4} {
+		sites, err := PublishPerFact(m, Options{Mode: MultiPage, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := m.ToXML()
+		xmldom.Freeze(doc)
+		for _, f := range m.Facts {
+			want, err := publishDocumentDOM(doc, Options{
+				Mode: MultiPage, Focus: f.ID, SkipValidation: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sites[f.ID]
+			if got == nil {
+				t.Fatalf("workers=%d: no site for fact %s", workers, f.ID)
+			}
+			streamSitesEqual(t, fmt.Sprintf("workers=%d/focus=%s", workers, f.ID), want, got)
+		}
+	}
+}

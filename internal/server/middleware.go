@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -78,7 +79,7 @@ func withTimeout(d time.Duration, next http.Handler) http.Handler {
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
 		r = r.WithContext(ctx)
-		bw := &bufferedResponse{header: make(http.Header), code: http.StatusOK}
+		bw := getBufferedResponse()
 		done := make(chan struct{})
 		panicked := make(chan any, 1)
 		go func() {
@@ -94,12 +95,34 @@ func withTimeout(d time.Duration, next http.Handler) http.Handler {
 		select {
 		case <-done:
 			bw.copyTo(w)
+			// Only the completed path may recycle the buffer: on timeout
+			// or panic the straggler goroutine may still be writing to it.
+			bufRespPool.Put(bw)
 		case rec := <-panicked:
 			panic(rec)
 		case <-ctx.Done():
 			http.Error(w, "request timed out", http.StatusGatewayTimeout)
 		}
 	})
+}
+
+// bufRespPool recycles response buffers across requests: a warm
+// cached-site hit reuses a previously grown body buffer instead of
+// allocating a fresh copy of the page per request.
+var bufRespPool = sync.Pool{
+	New: func() any { return &bufferedResponse{header: make(http.Header)} },
+}
+
+// getBufferedResponse returns a reset buffer from the pool. Resetting at
+// borrow time (rather than at Put) keeps the invariant local: whatever
+// state a recycled buffer carries, the next request starts clean.
+func getBufferedResponse() *bufferedResponse {
+	b := bufRespPool.Get().(*bufferedResponse)
+	b.code = http.StatusOK
+	b.wroteCode = false
+	clear(b.header)
+	b.body.Reset()
+	return b
 }
 
 // bufferedResponse captures a handler's full response so it can be

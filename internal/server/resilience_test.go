@@ -391,3 +391,53 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatal("server did not shut down within 5s")
 	}
 }
+
+// discardResponse is a ResponseWriter that throws everything away; the
+// header map is allocated once so warm-hit allocation counts measure the
+// server, not the test harness.
+type discardResponse struct{ h http.Header }
+
+func (d *discardResponse) Header() http.Header         { return d.h }
+func (d *discardResponse) WriteHeader(int)             {}
+func (d *discardResponse) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestWarmHitAllocations pins the per-request allocation budget of the
+// hot cached paths. The cache lookup itself must be allocation-free, and
+// a full handler pass over a warm page or a precomputed XML view must
+// stay within the small fixed cost of the middleware stack — a budget
+// that re-serializing the document (or copying the page into a fresh
+// response buffer) would blow immediately.
+func TestWarmHitAllocations(t *testing.T) {
+	srv := New(core.SampleSales())
+	// Warm every cache and the response-buffer pool.
+	if _, err := srv.site(htmlgen.MultiPage, ""); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := srv.site(htmlgen.MultiPage, ""); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("warm site() lookup: %.1f allocs/op, want 0", allocs)
+	}
+
+	h := srv.Handler()
+	for _, path := range []string{"/site/index.html", "/model.xml", "/cwm.xmi"} {
+		req, err := http.NewRequest(http.MethodGet, path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &discardResponse{h: make(http.Header)}
+		h.ServeHTTP(w, req) // warm-up: grow the pooled buffer
+		allocs := testing.AllocsPerRun(200, func() {
+			clear(w.h)
+			h.ServeHTTP(w, req)
+		})
+		// The timeout middleware's context/goroutine plumbing costs a
+		// handful of allocations per request; a page copy or document
+		// re-serialization costs hundreds.
+		if allocs > 40 {
+			t.Errorf("warm GET %s: %.1f allocs/op, want <= 40", path, allocs)
+		}
+	}
+}

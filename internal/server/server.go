@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"path"
@@ -52,6 +53,13 @@ type snapshot struct {
 	// focuses is the set of fact class ids that are valid ?focus= values;
 	// anything else is a 404 before it can touch the cache.
 	focuses map[string]bool
+	// Pre-rendered responses for the XML views, serialized once at swap
+	// time so request hits write cached bytes instead of re-serializing
+	// the document on every GET.
+	modelXML  []byte
+	prettyXML []byte
+	clientXML []byte
+	cwmXMI    []byte
 }
 
 // PublishFunc generates a presentation for a model. When unset the
@@ -148,11 +156,26 @@ func (s *Server) SetModel(m *core.Model) {
 		snap.pubErr = fmt.Errorf("document is invalid: %v (%d problems)", errs[0], len(errs))
 	}
 	xmldom.Freeze(snap.pubDoc)
+	snap.modelXML = []byte(xmldom.SerializeToString(snap.doc, xmldom.WriteOptions{}))
+	snap.prettyXML = []byte(xmldom.Pretty(snap.doc))
+	snap.clientXML = clientModelXML(snap.doc)
+	snap.cwmXMI = []byte(cwm.ExportString(m))
 	s.mu.Lock()
 	s.snap = snap
 	s.gen++
 	s.mu.Unlock()
 	s.cache.purge()
+}
+
+// clientModelXML serializes the document with the xml-stylesheet
+// processing instruction that points an XSLT-capable browser at
+// /client/single.xsl (the paper's §6 client-side future work).
+func clientModelXML(frozen *xmldom.Node) []byte {
+	doc := frozen.Editable()
+	pi := &xmldom.Node{Type: xmldom.PINode, Name: "xml-stylesheet",
+		Data: `type="text/xsl" href="/client/single.xsl"`}
+	doc.InsertBefore(pi, doc.DocumentElement())
+	return []byte(xmldom.SerializeToString(doc, xmldom.WriteOptions{}))
 }
 
 // snapshotAndGen returns the current published state.
@@ -293,17 +316,17 @@ func (s *Server) appMux() http.Handler {
 	})
 	mux.HandleFunc("/style.css", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/css; charset=utf-8")
-		fmt.Fprint(w, core.StyleCSS)
+		io.WriteString(w, core.StyleCSS)
 	})
 	mux.HandleFunc("/model.xml", func(w http.ResponseWriter, r *http.Request) {
 		snap, _ := s.snapshotAndGen()
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		fmt.Fprint(w, xmldom.SerializeToString(snap.doc, xmldom.WriteOptions{}))
+		w.Write(snap.modelXML)
 	})
 	mux.HandleFunc("/pretty", func(w http.ResponseWriter, r *http.Request) {
 		snap, _ := s.snapshotAndGen()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, xmldom.Pretty(snap.doc))
+		w.Write(snap.prettyXML)
 	})
 	// The paper's §6 future work: "when the browsers completely support
 	// XML and XSLT, the transformation will be able to be performed in the
@@ -313,25 +336,21 @@ func (s *Server) appMux() http.Handler {
 	// browser renders the model client-side.
 	mux.HandleFunc("/client/model.xml", func(w http.ResponseWriter, r *http.Request) {
 		snap, _ := s.snapshotAndGen()
-		doc := snap.doc.Editable()
-		pi := &xmldom.Node{Type: xmldom.PINode, Name: "xml-stylesheet",
-			Data: `type="text/xsl" href="/client/single.xsl"`}
-		doc.InsertBefore(pi, doc.DocumentElement())
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		fmt.Fprint(w, xmldom.SerializeToString(doc, xmldom.WriteOptions{}))
+		w.Write(snap.clientXML)
 	})
 	mux.HandleFunc("/client/single.xsl", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		fmt.Fprint(w, core.SingleXSL)
+		io.WriteString(w, core.SingleXSL)
 	})
 	mux.HandleFunc("/cwm.xmi", func(w http.ResponseWriter, r *http.Request) {
 		snap, _ := s.snapshotAndGen()
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		fmt.Fprint(w, cwm.ExportString(snap.model))
+		w.Write(snap.cwmXMI)
 	})
 	mux.HandleFunc("/schema.xsd", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		fmt.Fprint(w, core.SchemaXSD)
+		io.WriteString(w, core.SchemaXSD)
 	})
 	mux.HandleFunc("/validate", func(w http.ResponseWriter, r *http.Request) {
 		snap, _ := s.snapshotAndGen()

@@ -60,6 +60,22 @@ func lookupSym(name string) Sym {
 	return s
 }
 
+// LookupSym returns the symbol for name without interning it; 0 when the
+// name has never been interned. Useful for lookups keyed by Sym (e.g.
+// template dispatch) where an unknown name should miss rather than grow
+// the symbol table.
+func LookupSym(name string) Sym { return lookupSym(name) }
+
+// Sym returns n's interned name symbol when the node belongs to a frozen
+// tree, otherwise the symbol table lookup for its local name (0 when never
+// interned). Unlike NameSym it never interns.
+func (n *Node) Sym() Sym {
+	if n.sym != 0 {
+		return n.sym
+	}
+	return lookupSym(n.Name)
+}
+
 // Name returns the interned string for s.
 func (s Sym) Name() string {
 	symtab.RLock()

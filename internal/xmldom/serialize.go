@@ -217,22 +217,32 @@ func EscapeText(s string) string {
 	if !strings.ContainsAny(s, "&<>\r") {
 		return s
 	}
-	var b strings.Builder
-	for _, r := range s {
-		switch r {
+	return string(appendEscText(make([]byte, 0, len(s)+16), s))
+}
+
+// appendEscText appends s to dst with element-content escaping. Escaped
+// characters are all ASCII, so multi-byte runes pass through byte-wise.
+func appendEscText(dst []byte, s string) []byte {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var rep string
+		switch s[i] {
 		case '&':
-			b.WriteString("&amp;")
+			rep = "&amp;"
 		case '<':
-			b.WriteString("&lt;")
+			rep = "&lt;"
 		case '>':
-			b.WriteString("&gt;")
+			rep = "&gt;"
 		case '\r':
-			b.WriteString("&#13;")
+			rep = "&#13;"
 		default:
-			b.WriteRune(r)
+			continue
 		}
+		dst = append(dst, s[start:i]...)
+		dst = append(dst, rep...)
+		start = i + 1
 	}
-	return b.String()
+	return append(dst, s[start:]...)
 }
 
 // EscapeAttr escapes a string for use inside a double-quoted attribute.
@@ -240,28 +250,37 @@ func EscapeAttr(s string) string {
 	if !strings.ContainsAny(s, "&<>\"\t\n\r") {
 		return s
 	}
-	var b strings.Builder
-	for _, r := range s {
-		switch r {
+	return string(appendEscAttr(make([]byte, 0, len(s)+16), s))
+}
+
+// appendEscAttr appends s to dst with attribute-value escaping.
+func appendEscAttr(dst []byte, s string) []byte {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var rep string
+		switch s[i] {
 		case '&':
-			b.WriteString("&amp;")
+			rep = "&amp;"
 		case '<':
-			b.WriteString("&lt;")
+			rep = "&lt;"
 		case '>':
-			b.WriteString("&gt;")
+			rep = "&gt;"
 		case '"':
-			b.WriteString("&quot;")
+			rep = "&quot;"
 		case '\t':
-			b.WriteString("&#9;")
+			rep = "&#9;"
 		case '\n':
-			b.WriteString("&#10;")
+			rep = "&#10;"
 		case '\r':
-			b.WriteString("&#13;")
+			rep = "&#13;"
 		default:
-			b.WriteRune(r)
+			continue
 		}
+		dst = append(dst, s[start:i]...)
+		dst = append(dst, rep...)
+		start = i + 1
 	}
-	return b.String()
+	return append(dst, s[start:]...)
 }
 
 // Fprint writes a compact XML rendering of n to w; mainly a debugging aid.

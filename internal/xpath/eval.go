@@ -259,9 +259,14 @@ func (f *filterExpr) Eval(ctx *Context) (Value, error) {
 func applyPredicate(ctx *Context, nodes []*xmldom.Node, pred Expr) ([]*xmldom.Node, error) {
 	var out []*xmldom.Node
 	size := len(nodes)
+	// One reusable sub-context for the whole scan instead of a copy per
+	// node: predicate evaluation never retains the context it is given.
+	sub := *ctx
+	sub.Size = size
 	for i, n := range nodes {
-		sub := ctx.sub(n, i+1, size)
-		v, err := pred.Eval(sub)
+		sub.Node = n
+		sub.Position = i + 1
+		v, err := pred.Eval(&sub)
 		if err != nil {
 			return nil, err
 		}
@@ -304,6 +309,19 @@ func (p *pathExpr) Eval(ctx *Context) (Value, error) {
 	}
 	cur := start
 	for _, s := range p.steps {
+		if len(cur) == 1 && forwardAxis(s.axis) {
+			// Single context node on a forward axis: evalStep already
+			// yields document order with no duplicates, so the merge sort
+			// (and its per-node order keys on unfrozen trees) is skipped.
+			// The result may alias a frozen document's name index, which is
+			// safe because node-set values are treated as read-only.
+			sel, err := evalStep(ctx, cur[0], s)
+			if err != nil {
+				return nil, err
+			}
+			cur = sel
+			continue
+		}
 		var next []*xmldom.Node
 		for _, n := range cur {
 			sel, err := evalStep(ctx, n, s)
@@ -315,6 +333,16 @@ func (p *pathExpr) Eval(ctx *Context) (Value, error) {
 		cur = xmldom.SortDocOrder(next)
 	}
 	return NodeSet(cur), nil
+}
+
+// forwardAxis reports whether evalStep results along this axis come back in
+// document order and duplicate-free for a single context node.
+func forwardAxis(a axisType) bool {
+	switch a {
+	case axisAncestor, axisAncestorOrSelf, axisPreceding, axisPrecedingSibling:
+		return false
+	}
+	return true
 }
 
 // evalStep selects along one step from a single context node, applying the

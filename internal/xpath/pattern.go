@@ -350,3 +350,89 @@ func (s *patStep) matchesNode(ctx *Context, n *xmldom.Node) (bool, error) {
 	}
 	return false, nil
 }
+
+// MatchClass describes the node categories a pattern could possibly match,
+// derived from its terminal steps. It is a conservative prefilter for
+// template dispatch: a node outside every listed category can never match,
+// while listed categories still require a full Matches check.
+type MatchClass struct {
+	Elements bool
+	// ElemName, when non-empty, means only elements with this local name
+	// can match (namespace URIs are still checked by Matches). Empty with
+	// Elements=true means any element name. AttrName is the same for
+	// attributes.
+	ElemName string
+	Attrs    bool
+	AttrName string
+	Text     bool
+	Comment  bool
+	PI       bool
+	Document bool
+}
+
+// Class merges the classification of every alternative of p.
+func (p *Pattern) Class() MatchClass {
+	var c MatchClass
+	for _, alt := range p.alts {
+		ac := alt.class()
+		if ac.Elements {
+			if !c.Elements {
+				c.Elements, c.ElemName = true, ac.ElemName
+			} else if c.ElemName != ac.ElemName {
+				c.ElemName = ""
+			}
+		}
+		if ac.Attrs {
+			if !c.Attrs {
+				c.Attrs, c.AttrName = true, ac.AttrName
+			} else if c.AttrName != ac.AttrName {
+				c.AttrName = ""
+			}
+		}
+		c.Text = c.Text || ac.Text
+		c.Comment = c.Comment || ac.Comment
+		c.PI = c.PI || ac.PI
+		c.Document = c.Document || ac.Document
+	}
+	return c
+}
+
+func (alt *patternAlt) class() MatchClass {
+	if alt.rootOnly {
+		return MatchClass{Document: true}
+	}
+	if len(alt.steps) == 0 {
+		// Bare id('...'): matches elements carrying an id attribute.
+		return MatchClass{Elements: true}
+	}
+	s := alt.steps[len(alt.steps)-1]
+	if s.attr {
+		switch s.test.kind {
+		case testName:
+			return MatchClass{Attrs: true, AttrName: s.test.name}
+		case testAnyName, testNSWildcard, testNode:
+			return MatchClass{Attrs: true}
+		default:
+			// text()/comment()/pi() on the attribute axis match nothing.
+			return MatchClass{}
+		}
+	}
+	switch s.test.kind {
+	case testName:
+		return MatchClass{Elements: true, ElemName: s.test.name}
+	case testAnyName, testNSWildcard:
+		return MatchClass{Elements: true}
+	case testText:
+		return MatchClass{Text: true}
+	case testComment:
+		return MatchClass{Comment: true}
+	case testPI:
+		return MatchClass{PI: true}
+	case testNode:
+		// node() matches every principal-axis candidate, including the
+		// document node in this implementation's matcher.
+		return MatchClass{Elements: true, Text: true, Comment: true, PI: true, Document: true}
+	}
+	// Unknown test kind: be maximally conservative.
+	return MatchClass{Elements: true, Attrs: true, Text: true, Comment: true, PI: true, Document: true}
+}

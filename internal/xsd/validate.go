@@ -67,6 +67,9 @@ type validator struct {
 	ids    map[string]*xmldom.Node
 	idrefs []idref
 	full   bool // MaxErrors reached
+	// parts is scratch for identity-constraint field tuples, reused
+	// across every selected node of every constraint.
+	parts []string
 }
 
 func (v *validator) errf(n *xmldom.Node, format string, args ...interface{}) {
@@ -103,10 +106,14 @@ func (v *validator) validateElement(elem *xmldom.Node, decl *ElementDecl) {
 		// On frozen documents, report this element's identity-constraint
 		// violations in document order of the offending nodes rather than
 		// constraint-declaration order; the sort is stable so unfrozen
-		// documents (ord 0 everywhere) keep the original order.
-		sort.SliceStable(v.errs[start:], func(i, j int) bool {
-			return v.errs[start+i].ord < v.errs[start+j].ord
-		})
+		// documents (ord 0 everywhere) keep the original order. With zero
+		// or one new errors — the overwhelmingly common valid-document case
+		// — there is nothing to reorder.
+		if len(v.errs)-start > 1 {
+			sort.SliceStable(v.errs[start:], func(i, j int) bool {
+				return v.errs[start+i].ord < v.errs[start+j].ord
+			})
+		}
 	}
 }
 
@@ -539,11 +546,16 @@ func (v *validator) collectTuples(elem *xmldom.Node, ic *IdentityConstraint) ([]
 		return nil, nil
 	}
 	tuples := make([]string, len(selected))
+	// One context and one field-part buffer serve every selected node:
+	// field expressions do not retain the context past Eval.
+	fctx := xpath.NewContext(elem)
+	parts := v.parts[:0]
 	for i, n := range selected {
-		parts := make([]string, 0, len(ic.Fields))
+		parts = parts[:0]
 		complete := true
 		for _, f := range ic.Fields {
-			fv, err := f.Eval(xpath.NewContext(n))
+			fctx.Node = n
+			fv, err := f.Eval(fctx)
 			if err != nil {
 				v.errf(n, "%s %s: field failed: %v", ic.Kind, ic.Name, err)
 				complete = false
@@ -562,6 +574,7 @@ func (v *validator) collectTuples(elem *xmldom.Node, ic *IdentityConstraint) ([]
 			tuples[i] = strings.Join(parts, "\x1f")
 		}
 	}
+	v.parts = parts[:0]
 	return tuples, selected
 }
 

@@ -8,8 +8,10 @@ import (
 )
 
 // instruction is a compiled XSLT instruction or literal result node.
+// Output goes to an xmldom.Emitter, so the same compiled body can build a
+// result tree or stream straight to bytes.
 type instruction interface {
-	exec(e *engine, ctx *xctx, out *xmldom.Node) error
+	exec(e *engine, ctx *xctx, out xmldom.Emitter) error
 }
 
 // avt is a compiled attribute value template: literal text interleaved
@@ -71,8 +73,16 @@ func compileAVT(src string) (*avt, error) {
 }
 
 func (a *avt) eval(e *engine, ctx *xctx) (string, error) {
-	if len(a.parts) == 1 && a.parts[0].expr == nil {
-		return a.parts[0].lit, nil
+	if len(a.parts) == 1 {
+		if p := a.parts[0]; p.expr == nil {
+			return p.lit, nil
+		} else {
+			v, err := e.eval(p.expr, ctx)
+			if err != nil {
+				return "", err
+			}
+			return xpath.ToString(v), nil
+		}
 	}
 	var b strings.Builder
 	for _, p := range a.parts {
@@ -80,7 +90,7 @@ func (a *avt) eval(e *engine, ctx *xctx) (string, error) {
 			b.WriteString(p.lit)
 			continue
 		}
-		v, err := p.expr.Eval(e.xpathCtx(ctx))
+		v, err := e.eval(p.expr, ctx)
 		if err != nil {
 			return "", err
 		}

@@ -83,6 +83,9 @@ type keyDecl struct {
 // document must likewise be shareable — frozen, or never mutated).
 type Stylesheet struct {
 	templates map[string][]*Template // per mode, sorted best-first
+	// index buckets each mode's sorted rules by the node categories their
+	// match patterns can reach, so findTemplate scans only candidates.
+	index     map[string]*templateIndex
 	named     map[string]*Template
 	globals   []*compiledVar
 	keys      map[string]*keyDecl
@@ -163,7 +166,142 @@ func Compile(doc *xmldom.Node, opts CompileOptions) (*Stylesheet, error) {
 			return ts[i].order > ts[j].order
 		})
 	}
+	s.index = make(map[string]*templateIndex, len(s.templates))
+	for mode, ts := range s.templates {
+		s.index[mode] = buildTemplateIndex(ts)
+	}
 	return s, nil
+}
+
+// templateIndex is the per-mode dispatch index. Each bucket holds, in full
+// precedence order, every template whose pattern could match a node of
+// that category; elemByName/attrByName buckets merge the name-specific
+// rules with the any-name ("wildcard") rules, so a single bucket scan is a
+// complete search.
+type templateIndex struct {
+	elemByName map[xmldom.Sym][]*Template
+	elemAny    []*Template // element rules with no single-name restriction
+	attrByName map[xmldom.Sym][]*Template
+	attrAny    []*Template
+	text       []*Template
+	comment    []*Template
+	pi         []*Template
+	doc        []*Template
+}
+
+// candidates returns the complete precedence-ordered rule list that could
+// match n. Interning at index build time guarantees that a name missing
+// from the symbol table has no name-specific bucket, so falling back to
+// the any-name list is complete.
+func (ix *templateIndex) candidates(n *xmldom.Node) []*Template {
+	switch n.Type {
+	case xmldom.ElementNode:
+		if len(ix.elemByName) > 0 {
+			if s := n.Sym(); s != 0 {
+				if l, ok := ix.elemByName[s]; ok {
+					return l
+				}
+			}
+		}
+		return ix.elemAny
+	case xmldom.AttrNode:
+		if len(ix.attrByName) > 0 {
+			if s := n.Sym(); s != 0 {
+				if l, ok := ix.attrByName[s]; ok {
+					return l
+				}
+			}
+		}
+		return ix.attrAny
+	case xmldom.TextNode:
+		return ix.text
+	case xmldom.CommentNode:
+		return ix.comment
+	case xmldom.PINode:
+		return ix.pi
+	case xmldom.DocumentNode:
+		return ix.doc
+	}
+	return nil
+}
+
+// buildTemplateIndex buckets a precedence-sorted rule list by match class.
+func buildTemplateIndex(list []*Template) *templateIndex {
+	ix := &templateIndex{}
+	var elemNamed, attrNamed map[xmldom.Sym][]*Template
+	pos := make(map[*Template]int, len(list))
+	for i, t := range list {
+		pos[t] = i
+		c := t.Match.Class()
+		if c.Document {
+			ix.doc = append(ix.doc, t)
+		}
+		if c.Text {
+			ix.text = append(ix.text, t)
+		}
+		if c.Comment {
+			ix.comment = append(ix.comment, t)
+		}
+		if c.PI {
+			ix.pi = append(ix.pi, t)
+		}
+		if c.Elements {
+			if c.ElemName != "" {
+				if elemNamed == nil {
+					elemNamed = map[xmldom.Sym][]*Template{}
+				}
+				sym := xmldom.Intern(c.ElemName)
+				elemNamed[sym] = append(elemNamed[sym], t)
+			} else {
+				ix.elemAny = append(ix.elemAny, t)
+			}
+		}
+		if c.Attrs {
+			if c.AttrName != "" {
+				if attrNamed == nil {
+					attrNamed = map[xmldom.Sym][]*Template{}
+				}
+				sym := xmldom.Intern(c.AttrName)
+				attrNamed[sym] = append(attrNamed[sym], t)
+			} else {
+				ix.attrAny = append(ix.attrAny, t)
+			}
+		}
+	}
+	if elemNamed != nil {
+		ix.elemByName = make(map[xmldom.Sym][]*Template, len(elemNamed))
+		for sym, own := range elemNamed {
+			ix.elemByName[sym] = mergeByPos(own, ix.elemAny, pos)
+		}
+	}
+	if attrNamed != nil {
+		ix.attrByName = make(map[xmldom.Sym][]*Template, len(attrNamed))
+		for sym, own := range attrNamed {
+			ix.attrByName[sym] = mergeByPos(own, ix.attrAny, pos)
+		}
+	}
+	return ix
+}
+
+// mergeByPos merges two lists that are each ordered by original position
+// into one list in overall position (i.e. precedence) order.
+func mergeByPos(a, b []*Template, pos map[*Template]int) []*Template {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]*Template, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if pos[a[i]] < pos[b[j]] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // CompileString parses and compiles a stylesheet from XML text.

@@ -35,6 +35,18 @@ func (r *Result) DocBytes(href string) []byte {
 	return SerializeResult(doc, r.Output)
 }
 
+// BufferResult is the streamed counterpart of Result: every output document
+// rendered straight to bytes by the event-tape emitter, with no
+// intermediate result DOM. The rendering is byte-identical to serializing
+// the Result trees with MainBytes/DocBytes.
+type BufferResult struct {
+	Main          []byte
+	Documents     map[string][]byte
+	DocumentOrder []string
+	Output        OutputSpec
+	Messages      []string
+}
+
 // SerializeResult renders a result tree according to an output spec,
 // applying the XSLT 1.0 §16 html-method auto-detection when the method was
 // not declared explicitly.
@@ -46,6 +58,12 @@ func SerializeResult(doc *xmldom.Node, spec OutputSpec) []byte {
 			method = "html"
 		}
 	}
+	return []byte(xmldom.SerializeToString(doc, spec.writeOptions(method)))
+}
+
+// writeOptions maps an output spec (with the method already resolved) to
+// serializer options; shared by the DOM and streamed paths.
+func (spec OutputSpec) writeOptions(method string) xmldom.WriteOptions {
 	opts := xmldom.WriteOptions{
 		Method:        method,
 		OmitDecl:      spec.OmitDecl || method != "xml",
@@ -55,7 +73,20 @@ func SerializeResult(doc *xmldom.Node, spec OutputSpec) []byte {
 	if spec.Indent {
 		opts.Indent = "  "
 	}
-	return []byte(xmldom.SerializeToString(doc, opts))
+	return opts
+}
+
+// serializeEmitter renders a finished event tape per the output spec,
+// mirroring SerializeResult including method auto-detection.
+func serializeEmitter(be *xmldom.ByteEmitter, spec OutputSpec) []byte {
+	method := spec.Method
+	if !spec.MethodExplicit {
+		if name, uri, ok := be.RootElement(); ok &&
+			strings.EqualFold(name, "html") && uri == "" {
+			method = "html"
+		}
+	}
+	return be.Serialize(spec.writeOptions(method))
 }
 
 // TransformError reports a runtime transformation failure.
@@ -82,7 +113,7 @@ type xctx struct {
 
 type engine struct {
 	sheet  *Stylesheet
-	result *Result
+	stream bool // xsl:document sinks are ByteEmitters instead of trees
 	genIDs map[*xmldom.Node]string
 	genSeq int
 	// docNums numbers frozen documents in first-seen order so that
@@ -93,39 +124,53 @@ type engine struct {
 	funcs    map[string]xpath.Function
 	docCache map[string]*xmldom.Node
 	depth    int
+	messages []string
+	// xsl:document sinks, created on first use per href.
+	docEms   map[string]xmldom.Emitter
+	docTrees map[string]*xmldom.Node        // DOM mode
+	docBufs  map[string]*xmldom.ByteEmitter // streaming mode
+	docOrder []string
+	// ctxFree is a LIFO free list of xpath contexts: every expression
+	// evaluation borrows one instead of allocating (see eval). Safe because
+	// nothing retains the context past Eval, and recursion just nests
+	// borrow/return pairs.
+	ctxFree []*xpath.Context
 }
 
-// Transform applies the stylesheet to a source document. params provides
-// values for global xsl:param declarations. The source tree is not
-// modified (whitespace stripping, when requested by the stylesheet,
-// operates on a clone), so a frozen (xmldom.Freeze) source document and
-// a compiled Stylesheet may be shared by concurrent Transform calls —
-// all per-run state lives in the engine.
-func (s *Stylesheet) Transform(source *xmldom.Node, params map[string]xpath.Value) (*Result, error) {
-	if source.Type != xmldom.DocumentNode {
-		root := xmldom.NewDocument()
-		root.AppendChild(source.Clone())
-		xmldom.Freeze(root) // engine-owned wrapper: index it for stamp ordering
-		source = root
-	} else if len(s.strip) > 0 {
-		source = source.Clone()
-		s.stripSourceSpace(source)
-		xmldom.Freeze(source) // engine-owned clone, read-only from here on
-	}
+func newEngine(s *Stylesheet, stream bool) *engine {
 	e := &engine{
-		sheet: s,
-		result: &Result{
-			Main:      xmldom.NewDocument(),
-			Documents: map[string]*xmldom.Node{},
-			Output:    s.output,
-		},
+		sheet:    s,
+		stream:   stream,
 		genIDs:   map[*xmldom.Node]string{},
 		docNums:  map[*xmldom.DocIndex]int{},
 		keyIdx:   map[*xmldom.Node]map[string]map[string][]*xmldom.Node{},
 		docCache: map[string]*xmldom.Node{},
 	}
 	e.installFunctions()
+	return e
+}
 
+// prepSource wraps a non-document source in an engine-owned document and
+// applies xsl:strip-space (on a clone) when the stylesheet requests it.
+func (s *Stylesheet) prepSource(source *xmldom.Node) *xmldom.Node {
+	if source.Type != xmldom.DocumentNode {
+		root := xmldom.NewDocument()
+		root.AppendChild(source.Clone())
+		xmldom.Freeze(root) // engine-owned wrapper: index it for stamp ordering
+		return root
+	}
+	if len(s.strip) > 0 {
+		source = source.Clone()
+		s.stripSourceSpace(source)
+		xmldom.Freeze(source) // engine-owned clone, read-only from here on
+	}
+	return source
+}
+
+// run evaluates globals and applies the root template rule, writing the
+// principal output to out.
+func (e *engine) run(source *xmldom.Node, params map[string]xpath.Value, out xmldom.Emitter) error {
+	s := e.sheet
 	// Evaluate global variables and parameters in declaration order.
 	globals := map[string]xpath.Value{}
 	gctx := &xctx{node: source, pos: 1, size: 1, vars: globals}
@@ -138,7 +183,7 @@ func (s *Stylesheet) Transform(source *xmldom.Node, params map[string]xpath.Valu
 		}
 		v, err := e.evalVarValue(d.sel, d.body, gctx)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		globals[d.name] = v
 	}
@@ -151,19 +196,104 @@ func (s *Stylesheet) Transform(source *xmldom.Node, params map[string]xpath.Valu
 	}
 
 	ctx := &xctx{node: source, pos: 1, size: 1, vars: globals}
-	if err := e.applyTemplates([]*xmldom.Node{source}, ctx, "", nil, nil, e.result.Main); err != nil {
-		return nil, err
-	}
-	return e.result, nil
+	return e.applyTemplates([]*xmldom.Node{source}, ctx, "", nil, nil, out)
 }
 
-// TransformToBytes is Transform followed by MainBytes.
+// Transform applies the stylesheet to a source document. params provides
+// values for global xsl:param declarations. The source tree is not
+// modified (whitespace stripping, when requested by the stylesheet,
+// operates on a clone), so a frozen (xmldom.Freeze) source document and
+// a compiled Stylesheet may be shared by concurrent Transform calls —
+// all per-run state lives in the engine.
+func (s *Stylesheet) Transform(source *xmldom.Node, params map[string]xpath.Value) (*Result, error) {
+	source = s.prepSource(source)
+	e := newEngine(s, false)
+	main := xmldom.NewDocument()
+	if err := e.run(source, params, xmldom.NewTreeEmitter(main)); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Main:          main,
+		Documents:     e.docTrees,
+		DocumentOrder: e.docOrder,
+		Output:        s.output,
+		Messages:      e.messages,
+	}
+	if res.Documents == nil {
+		res.Documents = map[string]*xmldom.Node{}
+	}
+	return res, nil
+}
+
+// TransformToBuffers applies the stylesheet with the streaming emitter:
+// every output document (principal and xsl:document) is rendered directly
+// to bytes from the instruction stream, with no intermediate result DOM.
+func (s *Stylesheet) TransformToBuffers(source *xmldom.Node, params map[string]xpath.Value) (*BufferResult, error) {
+	source = s.prepSource(source)
+	e := newEngine(s, true)
+	be := xmldom.NewByteEmitter()
+	defer be.Release()
+	err := e.run(source, params, be)
+	if err != nil {
+		for _, b := range e.docBufs {
+			b.Release()
+		}
+		return nil, err
+	}
+	res := &BufferResult{
+		Main:          serializeEmitter(be, s.output),
+		DocumentOrder: e.docOrder,
+		Output:        s.output,
+		Messages:      e.messages,
+	}
+	if len(e.docBufs) > 0 {
+		res.Documents = make(map[string][]byte, len(e.docBufs))
+		for href, b := range e.docBufs {
+			res.Documents[href] = serializeEmitter(b, s.output)
+			b.Release()
+		}
+	}
+	return res, nil
+}
+
+// TransformToBytes renders the principal output document to bytes via the
+// streaming path.
 func (s *Stylesheet) TransformToBytes(source *xmldom.Node, params map[string]xpath.Value) ([]byte, error) {
-	r, err := s.Transform(source, params)
+	r, err := s.TransformToBuffers(source, params)
 	if err != nil {
 		return nil, err
 	}
-	return r.MainBytes(), nil
+	return r.Main, nil
+}
+
+// documentOut returns the output sink for an xsl:document href, creating
+// it on first use (repeated hrefs append to the same document).
+func (e *engine) documentOut(href string) xmldom.Emitter {
+	if em, ok := e.docEms[href]; ok {
+		return em
+	}
+	var em xmldom.Emitter
+	if e.stream {
+		be := xmldom.NewByteEmitter()
+		if e.docBufs == nil {
+			e.docBufs = map[string]*xmldom.ByteEmitter{}
+		}
+		e.docBufs[href] = be
+		em = be
+	} else {
+		doc := xmldom.NewDocument()
+		if e.docTrees == nil {
+			e.docTrees = map[string]*xmldom.Node{}
+		}
+		e.docTrees[href] = doc
+		em = xmldom.NewTreeEmitter(doc)
+	}
+	if e.docEms == nil {
+		e.docEms = map[string]xmldom.Emitter{}
+	}
+	e.docEms[href] = em
+	e.docOrder = append(e.docOrder, href)
+	return em
 }
 
 // stripSourceSpace removes whitespace-only text nodes under elements
@@ -188,10 +318,17 @@ func (s *Stylesheet) stripSourceSpace(n *xmldom.Node) {
 	}
 }
 
-// xpathCtx builds an XPath evaluation context mirroring the execution
-// context.
-func (e *engine) xpathCtx(ctx *xctx) *xpath.Context {
-	return &xpath.Context{
+// getCtx borrows an xpath context from the free list, initialized to
+// mirror the execution context.
+func (e *engine) getCtx(ctx *xctx) *xpath.Context {
+	var c *xpath.Context
+	if n := len(e.ctxFree); n > 0 {
+		c = e.ctxFree[n-1]
+		e.ctxFree = e.ctxFree[:n-1]
+	} else {
+		c = new(xpath.Context)
+	}
+	*c = xpath.Context{
 		Node:     ctx.node,
 		Position: ctx.pos,
 		Size:     ctx.size,
@@ -200,6 +337,62 @@ func (e *engine) xpathCtx(ctx *xctx) *xpath.Context {
 		NS:       e.sheet.exprNS,
 		Current:  ctx.node,
 	}
+	return c
+}
+
+func (e *engine) putCtx(c *xpath.Context) { e.ctxFree = append(e.ctxFree, c) }
+
+// eval evaluates an xpath expression in the execution context using a
+// pooled context. Nothing retains the context past Eval (engine extension
+// functions copy it), so returning it to the free list is safe.
+func (e *engine) eval(x xpath.Expr, ctx *xctx) (xpath.Value, error) {
+	c := e.getCtx(ctx)
+	v, err := x.Eval(c)
+	e.putCtx(c)
+	return v, err
+}
+
+// textSink collects the string value of a result-tree fragment without
+// materializing it: concatenated text event data, with comments, PIs and
+// attribute values excluded — exactly Node.StringValue of the equivalent
+// fragment document.
+type textSink struct {
+	b     strings.Builder
+	depth int
+}
+
+func (t *textSink) BeginElement(prefix, uri, name string) { t.depth++ }
+func (t *textSink) Attr(prefix, uri, name, value string) bool {
+	return t.depth > 0
+}
+func (t *textSink) EndElement() {
+	if t.depth > 0 {
+		t.depth--
+	}
+}
+func (t *textSink) Text(data string, raw bool) { t.b.WriteString(data) }
+func (t *textSink) Comment(data string)        {}
+func (t *textSink) PI(name, data string)       {}
+func (t *textSink) CopyTree(n *xmldom.Node) {
+	switch n.Type {
+	case xmldom.TextNode:
+		t.b.WriteString(n.Data)
+	case xmldom.ElementNode, xmldom.DocumentNode:
+		for _, c := range n.Children {
+			t.CopyTree(c)
+		}
+	}
+}
+func (t *textSink) OpenElement() bool { return t.depth > 0 }
+
+// fragString executes a body and returns the string value of the produced
+// fragment (used by xsl:attribute/comment/processing-instruction/message).
+func (e *engine) fragString(body []instruction, ctx *xctx) (string, error) {
+	var ts textSink
+	if err := e.executeBody(body, ctx, &ts); err != nil {
+		return "", err
+	}
+	return ts.b.String(), nil
 }
 
 // evalVarValue computes the value of a variable/param: either its select
@@ -209,13 +402,13 @@ func (e *engine) xpathCtx(ctx *xctx) *xpath.Context {
 // exsl:node-set extension).
 func (e *engine) evalVarValue(sel xpath.Expr, body []instruction, ctx *xctx) (xpath.Value, error) {
 	if sel != nil {
-		return sel.Eval(e.xpathCtx(ctx))
+		return e.eval(sel, ctx)
 	}
 	if len(body) == 0 {
 		return xpath.String(""), nil
 	}
 	frag := xmldom.NewDocument()
-	if err := e.executeBody(body, ctx, frag); err != nil {
+	if err := e.executeBody(body, ctx, xmldom.NewTreeEmitter(frag)); err != nil {
 		return nil, err
 	}
 	return xpath.NodeSet{frag}, nil
@@ -224,7 +417,7 @@ func (e *engine) evalVarValue(sel xpath.Expr, body []instruction, ctx *xctx) (xp
 // executeBody runs a compiled instruction sequence. Variable declarations
 // create a copy-on-write scope so bindings are visible only to following
 // siblings and their descendants.
-func (e *engine) executeBody(body []instruction, ctx *xctx, out *xmldom.Node) error {
+func (e *engine) executeBody(body []instruction, ctx *xctx, out xmldom.Emitter) error {
 	e.depth++
 	defer func() { e.depth-- }()
 	if e.depth > maxDepth {
@@ -266,10 +459,29 @@ func copyVars(m map[string]xpath.Value) map[string]xpath.Value {
 
 // findTemplate returns the highest-precedence template matching node in
 // the given mode whose import precedence is strictly below maxPrec
-// (pass maxInt for an unrestricted search).
+// (pass maxInt for an unrestricted search). The dispatch index narrows the
+// scan to templates whose match class covers the node's kind and name; the
+// candidate lists preserve the full precedence order.
 func (e *engine) findTemplate(node *xmldom.Node, mode string, ctx *xctx, maxPrec int) (*Template, error) {
-	list := e.sheet.templates[mode]
-	pctx := e.xpathCtx(ctx)
+	ix := e.sheet.index[mode]
+	if ix == nil {
+		return nil, nil
+	}
+	return e.matchFirst(ix.candidates(node), node, ctx, maxPrec)
+}
+
+// findTemplateLinear is the reference implementation scanning every rule
+// of the mode; the dispatch index must agree with it (see the equivalence
+// property test).
+func (e *engine) findTemplateLinear(node *xmldom.Node, mode string, ctx *xctx, maxPrec int) (*Template, error) {
+	return e.matchFirst(e.sheet.templates[mode], node, ctx, maxPrec)
+}
+
+func (e *engine) matchFirst(list []*Template, node *xmldom.Node, ctx *xctx, maxPrec int) (*Template, error) {
+	if len(list) == 0 {
+		return nil, nil
+	}
+	pctx := e.getCtx(ctx)
 	pctx.Node = node
 	for _, t := range list {
 		if t.importPrec >= maxPrec {
@@ -277,19 +489,22 @@ func (e *engine) findTemplate(node *xmldom.Node, mode string, ctx *xctx, maxPrec
 		}
 		ok, err := t.Match.Matches(pctx, node)
 		if err != nil {
+			e.putCtx(pctx)
 			return nil, err
 		}
 		if ok {
+			e.putCtx(pctx)
 			return t, nil
 		}
 	}
+	e.putCtx(pctx)
 	return nil, nil
 }
 
 // applyTemplates processes each node of list with its best-matching
 // template. sorts reorder the list; params become template parameters.
 func (e *engine) applyTemplates(list []*xmldom.Node, ctx *xctx, mode string,
-	sorts []sortKey, params []withParam, out *xmldom.Node) error {
+	sorts []sortKey, params []withParam, out xmldom.Emitter) error {
 	var err error
 	if len(sorts) > 0 {
 		list, err = e.sortNodes(list, sorts, ctx)
@@ -301,7 +516,9 @@ func (e *engine) applyTemplates(list []*xmldom.Node, ctx *xctx, mode string,
 	if err != nil {
 		return err
 	}
-	size := len(list)
+	// One reusable sub-context for the scan; invokeTemplate copies it
+	// before the body runs, so per-iteration mutation is safe.
+	sub := xctx{size: len(list), vars: ctx.vars, mode: mode}
 	for i, n := range list {
 		t, err := e.findTemplate(n, mode, ctx, maxInt)
 		if err != nil {
@@ -310,8 +527,9 @@ func (e *engine) applyTemplates(list []*xmldom.Node, ctx *xctx, mode string,
 		if t == nil {
 			continue // no rule at all (should not happen: built-ins exist)
 		}
-		sub := &xctx{node: n, pos: i + 1, size: size, vars: ctx.vars, mode: mode}
-		if err := e.invokeTemplate(t, sub, passed, out); err != nil {
+		sub.node = n
+		sub.pos = i + 1
+		if err := e.invokeTemplate(t, &sub, passed, out); err != nil {
 			return err
 		}
 	}
@@ -322,7 +540,7 @@ const maxInt = int(^uint(0) >> 1)
 
 // invokeTemplate binds parameters and runs a template body, recording the
 // template's import precedence for xsl:apply-imports.
-func (e *engine) invokeTemplate(t *Template, ctx *xctx, passed map[string]xpath.Value, out *xmldom.Node) error {
+func (e *engine) invokeTemplate(t *Template, ctx *xctx, passed map[string]xpath.Value, out xmldom.Emitter) error {
 	cp := *ctx
 	cp.curPrec = t.importPrec
 	if len(t.params) > 0 || len(passed) > 0 {
@@ -342,7 +560,7 @@ func (e *engine) invokeTemplate(t *Template, ctx *xctx, passed map[string]xpath.
 	return e.executeBody(t.body, &cp, out)
 }
 
-func (ins *iApplyImports) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+func (ins *iApplyImports) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	t, err := e.findTemplate(ctx.node, ctx.mode, ctx, ctx.curPrec)
 	if err != nil {
 		return err
@@ -368,10 +586,10 @@ func (e *engine) evalWithParams(params []withParam, ctx *xctx) (map[string]xpath
 	return out, nil
 }
 
-// applyAttrSets executes the named xsl:attribute-sets onto elem, merged
-// sets first so directly-declared attributes win. seen guards against
-// circular use-attribute-sets references.
-func (e *engine) applyAttrSets(names []string, ctx *xctx, elem *xmldom.Node, seen map[string]bool) error {
+// applyAttrSets executes the named xsl:attribute-sets onto the open
+// element of out, merged sets first so directly-declared attributes win.
+// seen guards against circular use-attribute-sets references.
+func (e *engine) applyAttrSets(names []string, ctx *xctx, out xmldom.Emitter, seen map[string]bool) error {
 	if len(names) == 0 {
 		return nil
 	}
@@ -387,10 +605,10 @@ func (e *engine) applyAttrSets(names []string, ctx *xctx, elem *xmldom.Node, see
 			return &TransformError{Msg: "circular use-attribute-sets through " + name}
 		}
 		seen[name] = true
-		if err := e.applyAttrSets(set.uses, ctx, elem, seen); err != nil {
+		if err := e.applyAttrSets(set.uses, ctx, out, seen); err != nil {
 			return err
 		}
-		if err := e.executeBody(set.body, ctx, elem); err != nil {
+		if err := e.executeBody(set.body, ctx, out); err != nil {
 			return err
 		}
 		seen[name] = false
@@ -400,13 +618,9 @@ func (e *engine) applyAttrSets(names []string, ctx *xctx, elem *xmldom.Node, see
 
 // sortNodes orders a node list by the given sort keys.
 func (e *engine) sortNodes(list []*xmldom.Node, sorts []sortKey, ctx *xctx) ([]*xmldom.Node, error) {
-	type entry struct {
-		n    *xmldom.Node
-		keys []string
-		nums []float64
-	}
-	numeric := make([]bool, len(sorts))
-	descending := make([]bool, len(sorts))
+	nk := len(sorts)
+	numeric := make([]bool, nk)
+	descending := make([]bool, nk)
 	for i, k := range sorts {
 		if k.dataType != nil {
 			v, err := k.dataType.eval(e, ctx)
@@ -423,39 +637,41 @@ func (e *engine) sortNodes(list []*xmldom.Node, sorts []sortKey, ctx *xctx) ([]*
 			descending[i] = v == "descending"
 		}
 	}
-	entries := make([]entry, len(list))
-	size := len(list)
+	// Flat backing arrays: keys/nums for node i, key j live at i*nk+j.
+	keys := make([]string, len(list)*nk)
+	nums := make([]float64, len(list)*nk)
+	order := make([]int, len(list))
+	sub := xctx{size: len(list), vars: ctx.vars, mode: ctx.mode}
 	for i, n := range list {
-		ent := entry{n: n}
-		sub := &xctx{node: n, pos: i + 1, size: size, vars: ctx.vars, mode: ctx.mode}
+		order[i] = i
+		sub.node = n
+		sub.pos = i + 1
 		for j, k := range sorts {
-			v, err := k.sel.Eval(e.xpathCtx(sub))
+			v, err := e.eval(k.sel, &sub)
 			if err != nil {
 				return nil, err
 			}
 			if numeric[j] {
-				ent.nums = append(ent.nums, xpath.ToNumber(v))
-				ent.keys = append(ent.keys, "")
+				nums[i*nk+j] = xpath.ToNumber(v)
 			} else {
-				ent.keys = append(ent.keys, xpath.ToString(v))
-				ent.nums = append(ent.nums, 0)
+				keys[i*nk+j] = xpath.ToString(v)
 			}
 		}
-		entries[i] = ent
 	}
-	sort.SliceStable(entries, func(a, b int) bool {
-		for j := range sorts {
+	sort.SliceStable(order, func(x, y int) bool {
+		a, b := order[x], order[y]
+		for j := 0; j < nk; j++ {
 			var cmp int
 			if numeric[j] {
-				x, y := entries[a].nums[j], entries[b].nums[j]
+				u, w := nums[a*nk+j], nums[b*nk+j]
 				switch {
-				case x < y:
+				case u < w:
 					cmp = -1
-				case x > y:
+				case u > w:
 					cmp = 1
 				}
 			} else {
-				cmp = strings.Compare(entries[a].keys[j], entries[b].keys[j])
+				cmp = strings.Compare(keys[a*nk+j], keys[b*nk+j])
 			}
 			if cmp == 0 {
 				continue
@@ -467,30 +683,28 @@ func (e *engine) sortNodes(list []*xmldom.Node, sorts []sortKey, ctx *xctx) ([]*
 		}
 		return false
 	})
-	out := make([]*xmldom.Node, len(entries))
-	for i, ent := range entries {
-		out[i] = ent.n
+	out := make([]*xmldom.Node, len(list))
+	for i, idx := range order {
+		out[i] = list[idx]
 	}
 	return out, nil
 }
 
 // ---- instruction implementations ----
 
-func (ins *iLiteralText) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
-	out.AddText(ins.data)
+func (ins *iLiteralText) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
+	out.Text(ins.data, false)
 	return nil
 }
 
-func (ins *iText) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
-	t := out.AddText(ins.data)
-	t.Raw = ins.disableEsc
+func (ins *iText) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
+	out.Text(ins.data, ins.disableEsc)
 	return nil
 }
 
-func (ins *iLiteralElement) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
-	elem := &xmldom.Node{Type: xmldom.ElementNode, Name: ins.name, Prefix: ins.prefix, URI: ins.uri}
-	out.AppendChild(elem)
-	if err := e.applyAttrSets(ins.useSets, ctx, elem, nil); err != nil {
+func (ins *iLiteralElement) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
+	out.BeginElement(ins.prefix, ins.uri, ins.name)
+	if err := e.applyAttrSets(ins.useSets, ctx, out, nil); err != nil {
 		return err
 	}
 	for _, a := range ins.attrs {
@@ -498,13 +712,15 @@ func (ins *iLiteralElement) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
 		if err != nil {
 			return err
 		}
-		elem.SetAttrNS(a.prefix, a.uri, a.name, v)
+		out.Attr(a.prefix, a.uri, a.name, v)
 	}
-	return e.executeBody(ins.body, ctx, elem)
+	err := e.executeBody(ins.body, ctx, out)
+	out.EndElement()
+	return err
 }
 
-func (ins *iValueOf) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
-	v, err := ins.sel.Eval(e.xpathCtx(ctx))
+func (ins *iValueOf) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
+	v, err := e.eval(ins.sel, ctx)
 	if err != nil {
 		return err
 	}
@@ -512,15 +728,14 @@ func (ins *iValueOf) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
 	if s == "" {
 		return nil
 	}
-	t := out.AddText(s)
-	t.Raw = ins.disableEsc
+	out.Text(s, ins.disableEsc)
 	return nil
 }
 
-func (ins *iApplyTemplates) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+func (ins *iApplyTemplates) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	var list []*xmldom.Node
 	if ins.sel != nil {
-		v, err := ins.sel.Eval(e.xpathCtx(ctx))
+		v, err := e.eval(ins.sel, ctx)
 		if err != nil {
 			return err
 		}
@@ -530,12 +745,12 @@ func (ins *iApplyTemplates) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
 		}
 		list = ns
 	} else {
-		list = append(list, ctx.node.Children...)
+		list = ctx.node.Children
 	}
 	return e.applyTemplates(list, ctx, ins.mode, ins.sorts, ins.params, out)
 }
 
-func (ins *iCallTemplate) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+func (ins *iCallTemplate) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	t := e.sheet.named[ins.name]
 	if t == nil {
 		return &TransformError{Msg: "call-template: no template named " + ins.name}
@@ -547,8 +762,8 @@ func (ins *iCallTemplate) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
 	return e.invokeTemplate(t, ctx, passed, out)
 }
 
-func (ins *iForEach) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
-	v, err := ins.sel.Eval(e.xpathCtx(ctx))
+func (ins *iForEach) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
+	v, err := e.eval(ins.sel, ctx)
 	if err != nil {
 		return err
 	}
@@ -563,17 +778,20 @@ func (ins *iForEach) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
 			return err
 		}
 	}
-	size := len(list)
+	// Reusable sub-context: executeBody copies it before binding variables,
+	// and instructions only read it during their own execution.
+	sub := xctx{size: len(list), vars: ctx.vars, mode: ctx.mode}
 	for i, n := range list {
-		sub := &xctx{node: n, pos: i + 1, size: size, vars: ctx.vars, mode: ctx.mode}
-		if err := e.executeBody(ins.body, sub, out); err != nil {
+		sub.node = n
+		sub.pos = i + 1
+		if err := e.executeBody(ins.body, &sub, out); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (ins *iElement) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+func (ins *iElement) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	name, err := ins.name.eval(e, ctx)
 	if err != nil {
 		return err
@@ -586,24 +804,25 @@ func (ins *iElement) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
 	if prefix != "" {
 		uri = e.sheet.exprNS[prefix]
 	}
-	elem := &xmldom.Node{Type: xmldom.ElementNode, Name: local, Prefix: prefix, URI: uri}
-	out.AppendChild(elem)
-	if err := e.applyAttrSets(ins.useSets, ctx, elem, nil); err != nil {
+	out.BeginElement(prefix, uri, local)
+	if err := e.applyAttrSets(ins.useSets, ctx, out, nil); err != nil {
 		return err
 	}
-	return e.executeBody(ins.body, ctx, elem)
+	err = e.executeBody(ins.body, ctx, out)
+	out.EndElement()
+	return err
 }
 
-func (ins *iAttribute) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
-	if out.Type != xmldom.ElementNode {
+func (ins *iAttribute) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
+	if !out.OpenElement() {
 		return &TransformError{Msg: "xsl:attribute outside an element"}
 	}
 	name, err := ins.name.eval(e, ctx)
 	if err != nil {
 		return err
 	}
-	frag := xmldom.NewDocument()
-	if err := e.executeBody(ins.body, ctx, frag); err != nil {
+	sv, err := e.fragString(ins.body, ctx)
+	if err != nil {
 		return err
 	}
 	prefix, local := "", name
@@ -614,85 +833,86 @@ func (ins *iAttribute) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
 	if prefix != "" {
 		uri = e.sheet.exprNS[prefix]
 	}
-	out.SetAttrNS(prefix, uri, local, frag.StringValue())
+	if !out.Attr(prefix, uri, local, sv) {
+		return &TransformError{Msg: "xsl:attribute outside an element"}
+	}
 	return nil
 }
 
-func (ins *iComment) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
-	frag := xmldom.NewDocument()
-	if err := e.executeBody(ins.body, ctx, frag); err != nil {
+func (ins *iComment) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
+	sv, err := e.fragString(ins.body, ctx)
+	if err != nil {
 		return err
 	}
-	out.AppendChild(&xmldom.Node{Type: xmldom.CommentNode, Data: frag.StringValue()})
+	out.Comment(sv)
 	return nil
 }
 
-func (ins *iPI) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+func (ins *iPI) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	name, err := ins.name.eval(e, ctx)
 	if err != nil {
 		return err
 	}
-	frag := xmldom.NewDocument()
-	if err := e.executeBody(ins.body, ctx, frag); err != nil {
+	sv, err := e.fragString(ins.body, ctx)
+	if err != nil {
 		return err
 	}
-	out.AppendChild(&xmldom.Node{Type: xmldom.PINode, Name: name, Data: frag.StringValue()})
+	out.PI(name, sv)
 	return nil
 }
 
-func (ins *iCopy) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+func (ins *iCopy) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	n := ctx.node
 	switch n.Type {
 	case xmldom.ElementNode:
-		elem := &xmldom.Node{Type: xmldom.ElementNode, Name: n.Name, Prefix: n.Prefix, URI: n.URI}
-		out.AppendChild(elem)
-		if err := e.applyAttrSets(ins.useSets, ctx, elem, nil); err != nil {
+		out.BeginElement(n.Prefix, n.URI, n.Name)
+		if err := e.applyAttrSets(ins.useSets, ctx, out, nil); err != nil {
 			return err
 		}
-		return e.executeBody(ins.body, ctx, elem)
+		err := e.executeBody(ins.body, ctx, out)
+		out.EndElement()
+		return err
 	case xmldom.TextNode:
-		out.AddText(n.Data)
+		out.Text(n.Data, false)
 	case xmldom.AttrNode:
-		if out.Type == xmldom.ElementNode {
-			out.SetAttrNS(n.Prefix, n.URI, n.Name, n.Data)
-		}
-	case xmldom.CommentNode, xmldom.PINode:
-		out.AppendChild(n.Clone())
+		out.Attr(n.Prefix, n.URI, n.Name, n.Data) // ignored outside an element
+	case xmldom.CommentNode:
+		out.Comment(n.Data)
+	case xmldom.PINode:
+		out.PI(n.Name, n.Data)
 	case xmldom.DocumentNode:
 		return e.executeBody(ins.body, ctx, out)
 	}
 	return nil
 }
 
-func (ins *iCopyOf) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
-	v, err := ins.sel.Eval(e.xpathCtx(ctx))
+func (ins *iCopyOf) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
+	v, err := e.eval(ins.sel, ctx)
 	if err != nil {
 		return err
 	}
 	ns, ok := v.(xpath.NodeSet)
 	if !ok {
-		out.AddText(xpath.ToString(v))
+		out.Text(xpath.ToString(v), false)
 		return nil
 	}
 	for _, n := range ns {
 		switch n.Type {
 		case xmldom.DocumentNode:
 			for _, c := range n.Children {
-				out.AppendChild(c.Clone())
+				out.CopyTree(c)
 			}
 		case xmldom.AttrNode:
-			if out.Type == xmldom.ElementNode {
-				out.SetAttrNS(n.Prefix, n.URI, n.Name, n.Data)
-			}
+			out.Attr(n.Prefix, n.URI, n.Name, n.Data) // ignored outside an element
 		default:
-			out.AppendChild(n.Clone())
+			out.CopyTree(n)
 		}
 	}
 	return nil
 }
 
-func (ins *iIf) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
-	v, err := ins.test.Eval(e.xpathCtx(ctx))
+func (ins *iIf) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
+	v, err := e.eval(ins.test, ctx)
 	if err != nil {
 		return err
 	}
@@ -702,9 +922,9 @@ func (ins *iIf) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
 	return nil
 }
 
-func (ins *iChoose) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+func (ins *iChoose) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	for _, w := range ins.whens {
-		v, err := w.test.Eval(e.xpathCtx(ctx))
+		v, err := e.eval(w.test, ctx)
 		if err != nil {
 			return err
 		}
@@ -718,42 +938,35 @@ func (ins *iChoose) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
 	return nil
 }
 
-func (ins *iVariable) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+func (ins *iVariable) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	// Handled inline by executeBody; reaching here is a bug.
 	return &TransformError{Msg: "internal: variable executed outside a body"}
 }
 
-func (ins *iMessage) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
-	frag := xmldom.NewDocument()
-	if err := e.executeBody(ins.body, ctx, frag); err != nil {
+func (ins *iMessage) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
+	msg, err := e.fragString(ins.body, ctx)
+	if err != nil {
 		return err
 	}
-	msg := frag.StringValue()
-	e.result.Messages = append(e.result.Messages, msg)
+	e.messages = append(e.messages, msg)
 	if ins.terminate {
 		return &TransformError{Msg: "terminated by xsl:message: " + msg}
 	}
 	return nil
 }
 
-func (ins *iDocument) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+func (ins *iDocument) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	href, err := ins.href.eval(e, ctx)
 	if err != nil {
 		return err
 	}
-	doc, exists := e.result.Documents[href]
-	if !exists {
-		doc = xmldom.NewDocument()
-		e.result.Documents[href] = doc
-		e.result.DocumentOrder = append(e.result.DocumentOrder, href)
-	}
-	return e.executeBody(ins.body, ctx, doc)
+	return e.executeBody(ins.body, ctx, e.documentOut(href))
 }
 
-func (ins *iNumber) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
+func (ins *iNumber) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	var n int
 	if ins.value != nil {
-		v, err := ins.value.Eval(e.xpathCtx(ctx))
+		v, err := e.eval(ins.value, ctx)
 		if err != nil {
 			return err
 		}
@@ -774,7 +987,7 @@ func (ins *iNumber) exec(e *engine, ctx *xctx, out *xmldom.Node) error {
 			}
 		}
 	}
-	out.AddText(formatCounter(n, ins.format))
+	out.Text(formatCounter(n, ins.format), false)
 	return nil
 }
 
