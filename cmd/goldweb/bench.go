@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"goldweb/internal/analysis"
 	"goldweb/internal/core"
 	"goldweb/internal/htmlgen"
 	"goldweb/internal/workload"
@@ -83,6 +84,25 @@ func benchCases() []benchCase {
 			},
 		})
 	}
+	// The static analyzer runs over both built-in stylesheets plus the
+	// sales sample — the same work `goldweb lint` does with no args.
+	singleSrc := []byte(core.SingleXSL)
+	multiSrc := []byte(core.MultiXSL)
+	salesSrc := []byte(core.SampleSales().XMLString())
+	cases = append(cases, benchCase{
+		Name: "lint/builtins",
+		Run: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := len(analysis.LintStylesheet("single.xsl", singleSrc, schema)) +
+					len(analysis.LintStylesheet("multi.xsl", multiSrc, schema)) +
+					len(analysis.LintModelSource("sales.xml", salesSrc, schema))
+				if n != 0 {
+					b.Fatalf("%d findings on the clean corpus", n)
+				}
+			}
+		},
+	})
 	return cases
 }
 

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"goldweb/internal/analysis"
+	"goldweb/internal/core"
+	"goldweb/internal/xsd"
+)
+
+// cmdLint statically checks stylesheets (*.xsl) and model documents
+// (*.xml) against the GOLD XML Schema. With no arguments it lints the
+// two built-in stylesheets and both sample models — the shipped corpus
+// must always be clean. Directories are walked recursively.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	schema, err := core.Schema()
+	if err != nil {
+		return fmt.Errorf("loading built-in schema: %w", err)
+	}
+	var diags []analysis.Diagnostic
+	if fs.NArg() == 0 {
+		diags = lintBuiltins(schema)
+	} else {
+		files, err := collectLintFiles(fs.Args())
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("no .xsl or .xml files found under %s", strings.Join(fs.Args(), ", "))
+		}
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			if strings.HasSuffix(f, ".xsl") || strings.HasSuffix(f, ".xslt") {
+				diags = append(diags, analysis.LintStylesheet(f, src, schema)...)
+			} else {
+				diags = append(diags, analysis.LintModelSource(f, src, schema)...)
+			}
+		}
+	}
+	analysis.Sort(diags)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) == 0 {
+			fmt.Println("ok: no findings")
+		}
+	}
+	if analysis.HasErrors(diags) {
+		return fmt.Errorf("%d findings (with errors)", len(diags))
+	}
+	return nil
+}
+
+func lintBuiltins(schema *xsd.Schema) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	diags = append(diags, analysis.LintStylesheet("builtin:single.xsl", []byte(core.SingleXSL), schema)...)
+	diags = append(diags, analysis.LintStylesheet("builtin:multi.xsl", []byte(core.MultiXSL), schema)...)
+	diags = append(diags, analysis.LintModelSource("sample:sales.xml", []byte(core.SampleSales().XMLString()), schema)...)
+	diags = append(diags, analysis.LintModelSource("sample:hospital.xml", []byte(core.SampleHospital().XMLString()), schema)...)
+	return diags
+}
+
+func collectLintFiles(paths []string) ([]string, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				return nil
+			}
+			switch filepath.Ext(path) {
+			case ".xsl", ".xslt", ".xml":
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+// lintGate runs the model linter before serving and applies the -lint
+// policy: "strict" refuses to start on error-severity findings, "warn"
+// prints findings and continues, "off" skips the check.
+func lintGate(policy string, name string, src []byte) error {
+	switch policy {
+	case "off":
+		return nil
+	case "strict", "warn":
+	default:
+		return fmt.Errorf("bad -lint %q (want strict, warn or off)", policy)
+	}
+	schema, err := core.Schema()
+	if err != nil {
+		return fmt.Errorf("loading built-in schema: %w", err)
+	}
+	diags := analysis.LintModelSource(name, src, schema)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, "lint:", d)
+	}
+	if policy == "strict" && analysis.HasErrors(diags) {
+		return fmt.Errorf("refusing to serve: %d lint findings (run with -lint=warn to override)", len(diags))
+	}
+	return nil
+}

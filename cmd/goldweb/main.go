@@ -14,6 +14,7 @@
 //	goldweb schema-tree [-attrs]             the schema as a tree (Fig. 2)
 //	goldweb check-schema <schema.xsd>        XML Schema quality checker
 //	goldweb transform <doc.xml> <sheet.xsl>  generic XSLT 1.0/1.1 processor
+//	goldweb lint [-json] [path ...]          schema-aware static analysis
 package main
 
 import (
@@ -72,6 +73,8 @@ func main() {
 		err = cmdBench(args)
 	case "transform":
 		err = cmdTransform(args)
+	case "lint":
+		err = cmdLint(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -92,13 +95,15 @@ func usage() {
   goldweb validate [-dtd] <model.xml>      schema (or legacy DTD) validation
   goldweb pretty <model.xml>               pretty-print (browser raw view)
   goldweb publish -o <dir> <model.xml>     generate the HTML presentation
-  goldweb serve [-addr :8080] [-timeout 30s] [-max-inflight 64] [-cache-size 64] <model.xml>
+  goldweb serve [-addr :8080] [-timeout 30s] [-max-inflight 64] [-cache-size 64] [-lint strict|warn|off] <model.xml>
                                            server-side XSLT over HTTP
   goldweb export [-style ...] <model.xml>  relational DDL export
   goldweb schema                           print the canonical XML Schema
   goldweb schema-tree [-attrs]             the schema as a tree (Fig. 2)
   goldweb check-schema <schema.xsd>        XML Schema quality checker
   goldweb transform <doc.xml> <sheet.xsl>  generic XSLT processor
+  goldweb lint [-json] [path ...]          schema-aware static analysis of
+                                           stylesheets and model documents
   goldweb report                           regenerate the evaluation series
   goldweb bench [-json] [-o out.json]      measure the evaluation pipelines
   goldweb cwm <model.xml>                  CWM OLAP interchange export`)
@@ -264,18 +269,30 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout (0 disables)")
 	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "max concurrent requests; excess sheds with 503 (0 disables)")
 	cacheSize := fs.Int("cache-size", server.DefaultCacheSize, "max cached presentations (LRU)")
+	lintPolicy := fs.String("lint", "warn", "pre-serve static analysis: strict (errors refuse to start), warn, off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var m *core.Model
 	var err error
+	var lintName string
+	var lintSrc []byte
 	if fs.NArg() == 0 {
 		m = core.SampleSales()
+		lintName, lintSrc = "sample:sales.xml", []byte(m.XMLString())
 	} else {
+		lintName = fs.Arg(0)
+		lintSrc, err = os.ReadFile(lintName)
+		if err != nil {
+			return err
+		}
 		m, _, err = loadModelFile(fs.Arg(0))
 		if err != nil {
 			return err
 		}
+	}
+	if err := lintGate(*lintPolicy, lintName, lintSrc); err != nil {
+		return err
 	}
 	srv := server.New(m,
 		server.WithRequestTimeout(*timeout),

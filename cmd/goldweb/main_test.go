@@ -298,3 +298,65 @@ func TestCmdValidateDTDMode(t *testing.T) {
 		t.Error("DTD mode should reject undeclared elements")
 	}
 }
+
+func TestCmdLintBuiltinsClean(t *testing.T) {
+	out, err := capture(t, func() error { return cmdLint(nil) })
+	if err != nil {
+		t.Fatalf("built-in corpus must lint clean: %v (%s)", err, out)
+	}
+	if !strings.Contains(out, "ok: no findings") {
+		t.Errorf("out: %s", out)
+	}
+}
+
+func TestCmdLintFlagsBrokenStylesheet(t *testing.T) {
+	path := withFile(t, "bad.xsl", `<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:template match="widget"/>
+</xsl:stylesheet>`)
+	out, err := capture(t, func() error { return cmdLint([]string{path}) })
+	if err == nil {
+		t.Fatal("error-severity finding must make lint fail")
+	}
+	if !strings.Contains(out, "GW101") || !strings.Contains(out, "widget") {
+		t.Errorf("out: %s", out)
+	}
+	// JSON mode emits a machine-readable array with positions.
+	out, err = capture(t, func() error { return cmdLint([]string{"-json", path}) })
+	if err == nil {
+		t.Fatal("JSON mode must still fail on errors")
+	}
+	if !strings.Contains(out, `"code": "GW101"`) || !strings.Contains(out, `"line": 3`) {
+		t.Errorf("json out: %s", out)
+	}
+}
+
+func TestCmdLintWalksDirectories(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "m.xml"), []byte(core.SampleSales().XMLString()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return cmdLint([]string{dir}) })
+	if err != nil {
+		t.Fatalf("clean dir: %v (%s)", err, out)
+	}
+	if err := cmdLint([]string{filepath.Join(dir, "missing")}); err == nil {
+		t.Error("missing path should fail")
+	}
+}
+
+func TestLintGatePolicies(t *testing.T) {
+	broken := []byte(strings.Replace(core.SampleSales().XMLString(), `dimclass="d1"`, `dimclass="zz"`, 1))
+	if err := lintGate("strict", "bad.xml", broken); err == nil {
+		t.Error("strict must refuse a broken model")
+	}
+	if err := lintGate("warn", "bad.xml", broken); err != nil {
+		t.Errorf("warn must continue: %v", err)
+	}
+	if err := lintGate("off", "bad.xml", broken); err != nil {
+		t.Errorf("off must skip: %v", err)
+	}
+	if err := lintGate("bogus", "bad.xml", broken); err == nil {
+		t.Error("unknown policy must fail")
+	}
+}

@@ -1,0 +1,27 @@
+// Command models regenerates the committed model documents that CI
+// lints (`goldweb lint examples/models`): one XML file per example
+// program, written next to this file.
+//
+//	go run ./examples/models
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+)
+
+func main() {
+	dir := "examples/models"
+	if _, err := os.Stat("gen.go"); err == nil {
+		dir = "." // invoked from inside the directory
+	}
+	for name, src := range modelSources() {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}

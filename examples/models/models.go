@@ -1,0 +1,53 @@
+package main
+
+import (
+	"log"
+
+	"goldweb"
+)
+
+// modelSources returns the XML for each example program's model, keyed
+// by output file name. webportal and interchange run off the same two
+// sample models; the corpus mirrors what each program actually serves.
+func modelSources() map[string]string {
+	return map[string]string{
+		"quickstart.xml":  goldweb.PrettyXML(coffeeModel()),
+		"salesdw.xml":     goldweb.PrettyXML(goldweb.SampleSales()),
+		"hospital.xml":    goldweb.PrettyXML(goldweb.SampleHospital()),
+		"webportal.xml":   goldweb.PrettyXML(goldweb.SampleSales()),
+		"interchange.xml": goldweb.PrettyXML(goldweb.SampleHospital()),
+	}
+}
+
+// coffeeModel rebuilds the quickstart example's espresso-bar model (the
+// example itself is a main package, so the builder calls are mirrored
+// here; keep the two in sync).
+func coffeeModel() *goldweb.Model {
+	b := goldweb.NewModel("Coffee Sales").
+		Describe("Espresso bar sales, built in the quickstart example.")
+
+	timeDim := b.TimeDimension("Time").
+		Key("day_id", "OID").
+		Descriptor("day_date", "Date")
+	timeDim.Level("Month").
+		Key("month_id", "OID").
+		Descriptor("month_name", "String")
+	timeDim.Rollup("Month")
+
+	b.Dimension("Drink").
+		Key("drink_id", "OID").
+		Descriptor("drink_name", "String").
+		Attr("size", "String")
+
+	sales := b.Fact("Sales").
+		Aggregates("Time").
+		Aggregates("Drink")
+	sales.Measure("cups", "Integer").Describe("Cups sold.")
+	sales.Measure("amount", "Currency").Describe("Revenue.")
+
+	m, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}

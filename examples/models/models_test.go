@@ -1,0 +1,21 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// The committed corpus must match what the generator produces: a model
+// change without `go run ./examples/models` fails here, so CI always
+// lints current documents.
+func TestCommittedModelsAreCurrent(t *testing.T) {
+	for name, want := range modelSources() {
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s: %v (run `go run ./examples/models`)", name, err)
+		}
+		if string(got) != want {
+			t.Errorf("%s is stale: run `go run ./examples/models`", name)
+		}
+	}
+}

@@ -22,6 +22,7 @@
 package goldweb
 
 import (
+	"goldweb/internal/analysis"
 	"goldweb/internal/core"
 	"goldweb/internal/cwm"
 	"goldweb/internal/htmlgen"
@@ -73,6 +74,40 @@ const (
 	SinglePage = htmlgen.SinglePage
 	MultiPage  = htmlgen.MultiPage
 )
+
+// Static analysis types.
+type (
+	// Diagnostic is one positioned finding from the linter.
+	Diagnostic = analysis.Diagnostic
+	// DiagSeverity classifies a Diagnostic (error, warning, info).
+	DiagSeverity = analysis.Severity
+)
+
+// Diagnostic severities.
+const (
+	SevError   = analysis.SevError
+	SevWarning = analysis.SevWarning
+	SevInfo    = analysis.SevInfo
+)
+
+// LintStylesheet statically checks an XSLT stylesheet against the GOLD
+// XML Schema: every XPath pattern, select and attribute value template
+// is cross-checked against the schema's content model, and unreachable
+// templates, unused declarations and dangling references are reported.
+// The name is used only for diagnostic positions.
+func LintStylesheet(name string, src []byte) []Diagnostic {
+	return analysis.LintStylesheet(name, src, core.MustSchema())
+}
+
+// LintModel statically checks a model document: structural validation
+// against the XML Schema plus re-evaluation of its key/keyref identity
+// constraints with enriched, positioned messages.
+func LintModel(name string, src []byte) []Diagnostic {
+	return analysis.LintModelSource(name, src, core.MustSchema())
+}
+
+// DiagnosticsHaveErrors reports whether any finding is error-severity.
+func DiagnosticsHaveErrors(diags []Diagnostic) bool { return analysis.HasErrors(diags) }
 
 // NewModel starts building a model (the CASE tool's programmatic face).
 func NewModel(name string) *ModelBuilder { return core.NewModel(name) }

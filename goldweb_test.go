@@ -119,3 +119,19 @@ func TestFacadeExportCWM(t *testing.T) {
 		t.Errorf("cwm: %.120s", out)
 	}
 }
+
+func TestFacadeLint(t *testing.T) {
+	if diags := LintModel("sales.xml", []byte(ModelXML(SampleSales()))); len(diags) != 0 {
+		t.Errorf("clean model: %v", diags)
+	}
+	diags := LintStylesheet("bad.xsl", []byte(`<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:template match="widget"/>
+</xsl:stylesheet>`))
+	if !DiagnosticsHaveErrors(diags) {
+		t.Fatalf("expected error-severity findings, got %v", diags)
+	}
+	if diags[0].Severity != SevError || diags[0].Code != "GW101" {
+		t.Errorf("finding: %+v", diags[0])
+	}
+}

@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"goldweb/internal/xpath"
+)
+
+// ctxSet approximates the set of nodes an expression context may hold.
+// It tracks element names precisely (against the content graph) and the
+// other node categories as booleans; unknown means tracking gave up, so
+// only whole-schema facts may be checked against it. The linter's policy
+// is conservative: a diagnostic is emitted only when the approximation
+// proves a step empty for every possible context node.
+type ctxSet struct {
+	unknown bool
+	doc     bool
+	attr    bool
+	text    bool
+	elems   map[string]bool
+}
+
+func unknownCtx() ctxSet { return ctxSet{unknown: true} }
+func docCtx() ctxSet     { return ctxSet{doc: true} }
+
+func elemCtx(names map[string]bool) ctxSet {
+	out := ctxSet{elems: map[string]bool{}}
+	for n := range names {
+		out.elems[n] = true
+	}
+	return out
+}
+
+func (c ctxSet) clone() ctxSet {
+	out := c
+	out.elems = map[string]bool{}
+	for n := range c.elems {
+		out.elems[n] = true
+	}
+	return out
+}
+
+// empty reports whether the context provably holds no nodes.
+func (c ctxSet) empty() bool {
+	return !c.unknown && !c.doc && !c.attr && !c.text && len(c.elems) == 0
+}
+
+func (c ctxSet) union(o ctxSet) ctxSet {
+	out := c.clone()
+	out.unknown = out.unknown || o.unknown
+	out.doc = out.doc || o.doc
+	out.attr = out.attr || o.attr
+	out.text = out.text || o.text
+	for n := range o.elems {
+		out.elems[n] = true
+	}
+	return out
+}
+
+// covers reports whether c is a superset of o (used by the named-template
+// entry-context fixpoint to detect convergence).
+func (c ctxSet) covers(o ctxSet) bool {
+	if c.unknown {
+		return true
+	}
+	if o.unknown || (o.doc && !c.doc) || (o.attr && !c.attr) || (o.text && !c.text) {
+		return false
+	}
+	for n := range o.elems {
+		if !c.elems[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// describe renders the context for diagnostics: "'a' or 'b'",
+// "the document root", …
+func (c ctxSet) describe() string {
+	var parts []string
+	if len(c.elems) > 0 {
+		names := make([]string, 0, len(c.elems))
+		for n := range c.elems {
+			names = append(names, "'"+n+"'")
+		}
+		sort.Strings(names)
+		parts = append(parts, strings.Join(names, " or "))
+	}
+	if c.doc {
+		parts = append(parts, "the document root")
+	}
+	if c.attr {
+		parts = append(parts, "an attribute")
+	}
+	if c.text {
+		parts = append(parts, "a text node")
+	}
+	if len(parts) == 0 {
+		return "an empty context"
+	}
+	return strings.Join(parts, " or ")
+}
+
+// evalStep applies one location step to a context approximation,
+// emitting GW102/GW103/GW104 when the schema proves the step empty.
+// After flagging it returns the unknown context so one root cause does
+// not cascade into a diagnostic per following step.
+func (l *ssLint) evalStep(in ctxSet, st xpath.StepInfo, at pos) ctxSet {
+	g := l.g
+	if in.unknown {
+		// Only whole-schema facts are checkable.
+		switch {
+		case st.Axis == xpath.AxisAttribute && st.Test == xpath.TestName:
+			if !g.AttrAnywhere(st.Name) {
+				l.flag(at, SevError, CodeBadAttribute,
+					"no element in the schema declares attribute '%s'", st.Name)
+			}
+			return ctxSet{attr: true}
+		case st.Test == xpath.TestName && elementAxis(st.Axis):
+			if !g.HasElement(st.Name) {
+				l.flag(at, SevError, CodeBadStep,
+					"no element '%s' is declared in the schema", st.Name)
+			}
+			return elemCtx(map[string]bool{st.Name: true})
+		case st.Test == xpath.TestText:
+			return ctxSet{text: true}
+		}
+		return unknownCtx()
+	}
+	if in.empty() {
+		return unknownCtx()
+	}
+
+	switch st.Axis {
+	case xpath.AxisChild:
+		kids := map[string]bool{}
+		textOK := false
+		for e := range in.elems {
+			for c := range g.Children(e) {
+				kids[c] = true
+			}
+			if g.TextAllowed(e) {
+				textOK = true
+			}
+		}
+		if in.doc {
+			for r := range g.Roots() {
+				kids[r] = true
+			}
+		}
+		return l.applyElemTest(in, st, at, kids, textOK, "child")
+
+	case xpath.AxisAttribute:
+		switch st.Test {
+		case xpath.TestName:
+			ok := false
+			for e := range in.elems {
+				if g.HasAttr(e, st.Name) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				l.flag(at, SevError, CodeBadAttribute,
+					"attribute '%s' is not declared on %s", st.Name, in.describe())
+				return unknownCtx()
+			}
+			return ctxSet{attr: true}
+		default:
+			return ctxSet{attr: true}
+		}
+
+	case xpath.AxisDescendant, xpath.AxisDescendantOrSelf:
+		uni := map[string]bool{}
+		for e := range in.elems {
+			for d := range g.Descendants(e) {
+				uni[d] = true
+			}
+			if st.Axis == xpath.AxisDescendantOrSelf {
+				uni[e] = true
+			}
+		}
+		if in.doc {
+			for r := range g.Roots() {
+				uni[r] = true
+				for d := range g.Descendants(r) {
+					uni[d] = true
+				}
+			}
+		}
+		textOK := in.text && st.Axis == xpath.AxisDescendantOrSelf
+		for e := range uni {
+			if g.TextAllowed(e) {
+				textOK = true
+			}
+		}
+		return l.applyElemTest(in, st, at, uni, textOK, "descendant")
+
+	case xpath.AxisParent, xpath.AxisAncestor, xpath.AxisAncestorOrSelf:
+		if in.attr || in.text {
+			// Attribute/text owners are untracked.
+			return unknownCtx()
+		}
+		uni := map[string]bool{}
+		isDoc := false
+		for e := range in.elems {
+			if st.Axis == xpath.AxisParent {
+				for p := range g.Parents(e) {
+					uni[p] = true
+				}
+			} else {
+				for a := range g.Ancestors(e) {
+					uni[a] = true
+				}
+				if st.Axis == xpath.AxisAncestorOrSelf {
+					uni[e] = true
+				}
+			}
+			if g.Roots()[e] {
+				isDoc = true // the document node is the root's parent
+			}
+			for a := range g.Ancestors(e) {
+				if g.Roots()[a] {
+					isDoc = true
+				}
+			}
+		}
+		out := l.applyElemTest(in, st, at, uni, false, "ancestor")
+		if isDoc && (st.Test == xpath.TestNode || st.Test == xpath.TestAnyName) {
+			out.doc = st.Test == xpath.TestNode
+		}
+		return out
+
+	case xpath.AxisFollowingSibling, xpath.AxisPrecedingSibling:
+		uni := map[string]bool{}
+		textOK := false
+		for e := range in.elems {
+			for p := range g.Parents(e) {
+				for c := range g.Children(p) {
+					uni[c] = true
+				}
+				if g.TextAllowed(p) {
+					textOK = true
+				}
+			}
+		}
+		if in.attr || in.text {
+			return unknownCtx()
+		}
+		return l.applyElemTest(in, st, at, uni, textOK, "sibling")
+
+	case xpath.AxisSelf:
+		switch st.Test {
+		case xpath.TestName:
+			if !in.elems[st.Name] {
+				l.flag(at, SevError, CodeBadStep,
+					"self::%s can never match %s", st.Name, in.describe())
+				return unknownCtx()
+			}
+			return elemCtx(map[string]bool{st.Name: true})
+		case xpath.TestAnyName:
+			return elemCtx(in.elems)
+		case xpath.TestText:
+			return ctxSet{text: in.text}
+		case xpath.TestNode:
+			return in
+		}
+		return unknownCtx()
+	}
+	// following / preceding: too coarse to track.
+	return unknownCtx()
+}
+
+// applyElemTest filters a candidate element-name universe by the step's
+// node test, flagging when the result is provably empty.
+func (l *ssLint) applyElemTest(in ctxSet, st xpath.StepInfo, at pos, uni map[string]bool, textOK bool, rel string) ctxSet {
+	switch st.Test {
+	case xpath.TestName:
+		if !uni[st.Name] {
+			if !l.g.HasElement(st.Name) {
+				l.flag(at, SevError, CodeBadStep,
+					"no element '%s' is declared in the schema", st.Name)
+			} else {
+				l.flag(at, SevError, CodeBadStep,
+					"element '%s' is never %s of %s", st.Name, article(rel), in.describe())
+			}
+			return unknownCtx()
+		}
+		return elemCtx(map[string]bool{st.Name: true})
+	case xpath.TestAnyName, xpath.TestNSWildcard:
+		if len(uni) == 0 {
+			l.flag(at, SevError, CodeBadStep,
+				"%s has no %s elements", in.describe(), rel)
+			return unknownCtx()
+		}
+		return elemCtx(uni)
+	case xpath.TestText:
+		if !textOK {
+			l.flag(at, SevWarning, CodeNoText,
+				"%s has no text content", in.describe())
+			return unknownCtx()
+		}
+		return ctxSet{text: true}
+	case xpath.TestNode:
+		out := elemCtx(uni)
+		out.text = true
+		if in.doc {
+			// children of the document include comments/PIs; keep broad.
+			out.unknown = false
+		}
+		return out
+	}
+	// comment() / processing-instruction(): not modeled by the schema.
+	return unknownCtx()
+}
+
+// elementAxis reports whether the axis selects elements for a name test.
+func elementAxis(a xpath.Axis) bool {
+	return a != xpath.AxisAttribute
+}
+
+// article prefixes a relation noun with its indefinite article.
+func article(rel string) string {
+	if strings.HasPrefix(rel, "a") {
+		return "an " + rel
+	}
+	return "a " + rel
+}

@@ -1,0 +1,120 @@
+// Package analysis statically cross-checks XSLT stylesheets and model
+// documents against the GOLD XML Schema. Where the xsd package answers
+// "is this instance valid?" at publication time, this package answers
+// "can this transformation ever work?" before publication: it derives a
+// content-model reachability graph from the schema and walks every XPath
+// pattern, select expression and attribute value template of a compiled
+// stylesheet, flagging steps that are unsatisfiable under the schema,
+// template rules shadowed by earlier rules, dead declarations, and
+// references to keys or templates that do not exist.
+//
+// All diagnostics are positioned (file:line:col) and carry a stable code
+// (GW1xx path reachability, GW2xx dead code, GW3xx references, GW4xx
+// model documents) so tooling can filter or gate on them; the severity
+// policy is documented in DESIGN.md §7.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic.
+type Severity uint8
+
+// Severities, most severe first.
+const (
+	SevError Severity = iota
+	SevWarning
+	SevInfo
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	case SevInfo:
+		return "info"
+	}
+	return "?"
+}
+
+// MarshalText implements encoding.TextMarshaler for JSON output.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// Diagnostic codes. The ranges group related checks: GW0xx input
+// failures, GW1xx schema reachability, GW2xx dead stylesheet code,
+// GW3xx dangling references, GW4xx model-document findings.
+const (
+	CodeCompileError   = "GW001" // stylesheet does not parse or compile
+	CodeBadPattern     = "GW101" // match pattern unsatisfiable under the schema
+	CodeBadStep        = "GW102" // element step can never select a node
+	CodeBadAttribute   = "GW103" // attribute step names an impossible attribute
+	CodeNoText         = "GW104" // text() step on elements with no text content
+	CodeShadowedRule   = "GW201" // template rule fully shadowed by an earlier rule
+	CodeUnusedTemplate = "GW202" // named template never called
+	CodeUnusedVariable = "GW203" // variable never referenced
+	CodeUnusedParam    = "GW204" // parameter never referenced
+	CodeUnusedMode     = "GW205" // mode has rules but no apply-templates uses it
+	CodeUnknownKey     = "GW301" // key() references an undeclared xsl:key
+	CodeUnknownRef     = "GW302" // call-template / use-attribute-sets target missing
+	CodeUnknownFunc    = "GW303" // call to a function the engine does not provide
+	CodeModelInvalid   = "GW401" // model document fails schema validation
+	CodeBrokenKeyref   = "GW402" // IDREF value outside the governing key's scope
+)
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line,omitempty"`
+	Col      int      `json:"col,omitempty"`
+	Severity Severity `json:"severity"`
+	Code     string   `json:"code"`
+	Msg      string   `json:"message"`
+}
+
+// String renders the diagnostic in the one-line file:line:col form shared
+// with xslt.CompileError positions.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	b.WriteString(d.File)
+	if d.Line > 0 {
+		fmt.Fprintf(&b, ":%d:%d", d.Line, d.Col)
+	}
+	fmt.Fprintf(&b, ": %s %s: %s", d.Severity, d.Code, d.Msg)
+	return b.String()
+}
+
+// Sort orders diagnostics by file, position, code and message so output
+// is deterministic across runs.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// HasErrors reports whether any diagnostic is error severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}

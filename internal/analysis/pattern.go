@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"goldweb/internal/xpath"
+)
+
+// checkPattern verifies each alternative of a match pattern is
+// satisfiable under the schema (GW101) and returns the context class the
+// pattern can match — the element names, attribute/text/root categories
+// a rule with this pattern may fire on.
+func (l *ssLint) checkPattern(pat *xpath.Pattern, at pos, sc *scope) ctxSet {
+	var out ctxSet
+	for i, alt := range pat.Info() {
+		c := l.checkPatternAlt(alt, at, sc)
+		if i == 0 {
+			out = c
+		} else {
+			out = out.union(c)
+		}
+	}
+	return out
+}
+
+func (l *ssLint) checkPatternAlt(alt xpath.PatternAltInfo, at pos, sc *scope) ctxSet {
+	g := l.g
+	if alt.RootOnly {
+		return docCtx()
+	}
+	if alt.ID != "" && len(alt.Steps) == 0 {
+		return elemCtx(g.IDElements())
+	}
+	if len(alt.Steps) == 0 {
+		return unknownCtx()
+	}
+
+	// Candidate element set per step. For attribute and text() steps the
+	// set holds the possible *owner* elements; match semantics then link
+	// the owner directly (or via ancestors, for '//') to the previous
+	// step instead of through a parent edge.
+	last := len(alt.Steps) - 1
+	sets := make([]map[string]bool, len(alt.Steps))
+	resolvable := true
+	for i, st := range alt.Steps {
+		switch {
+		case st.Attr:
+			if st.Test != xpath.TestName {
+				sets[i] = l.allElems()
+				continue
+			}
+			owners := map[string]bool{}
+			for _, e := range g.ElementNames() {
+				if g.HasAttr(e, st.Name) {
+					owners[e] = true
+				}
+			}
+			if len(owners) == 0 {
+				l.flag(at, SevError, CodeBadPattern,
+					"pattern can never match: no element declares attribute '%s'", st.Name)
+				return unknownCtx()
+			}
+			sets[i] = owners
+		case st.Test == xpath.TestName:
+			if !g.HasElement(st.Name) {
+				l.flag(at, SevError, CodeBadPattern,
+					"pattern can never match: no element '%s' is declared in the schema", st.Name)
+				return unknownCtx()
+			}
+			sets[i] = map[string]bool{st.Name: true}
+		case st.Test == xpath.TestAnyName || st.Test == xpath.TestNSWildcard:
+			sets[i] = l.allElems()
+		case st.Test == xpath.TestText:
+			owners := map[string]bool{}
+			for _, e := range g.ElementNames() {
+				if g.TextAllowed(e) {
+					owners[e] = true
+				}
+			}
+			sets[i] = owners
+		default:
+			// comment() / processing-instruction() / node(): the schema
+			// says nothing; give up on this alternative.
+			resolvable = false
+		}
+		if !resolvable {
+			break
+		}
+	}
+
+	if resolvable {
+		// Link steps right-to-left: each step's candidates must have the
+		// previous step's candidates as parent ('/') or ancestor ('//').
+		cur := sets[last]
+		for i := last; i >= 1; i-- {
+			st := alt.Steps[i]
+			allowed := map[string]bool{}
+			if st.Attr || st.Test == xpath.TestText {
+				for c := range cur {
+					allowed[c] = true
+					if st.Anc {
+						for a := range g.Ancestors(c) {
+							allowed[a] = true
+						}
+					}
+				}
+			} else {
+				for c := range cur {
+					if st.Anc {
+						for a := range g.Ancestors(c) {
+							allowed[a] = true
+						}
+					} else {
+						for p := range g.Parents(c) {
+							allowed[p] = true
+						}
+					}
+				}
+			}
+			next := map[string]bool{}
+			for e := range sets[i-1] {
+				if allowed[e] {
+					next[e] = true
+				}
+			}
+			if len(next) == 0 {
+				rel := "a parent"
+				if st.Anc {
+					rel = "an ancestor"
+				}
+				l.flag(at, SevError, CodeBadPattern,
+					"pattern can never match: %s is never %s of %s",
+					describeSet(sets[i-1]), rel, describeSet(cur))
+				return unknownCtx()
+			}
+			cur = next
+		}
+		if alt.Absolute && alt.ID == "" && !alt.Steps[0].Anc {
+			rootOK := false
+			for e := range cur {
+				if g.Roots()[e] {
+					rootOK = true
+					break
+				}
+			}
+			if !rootOK {
+				l.flag(at, SevError, CodeBadPattern,
+					"pattern can never match: %s is not a global (document root) element", describeSet(cur))
+				return unknownCtx()
+			}
+		}
+	}
+
+	// Walk predicate expressions with each step's candidate context.
+	for i, st := range alt.Steps {
+		if len(st.Preds) == 0 {
+			continue
+		}
+		var c ctxSet
+		switch {
+		case st.Attr:
+			c = ctxSet{attr: true}
+		case st.Test == xpath.TestText:
+			c = ctxSet{text: true}
+		case sets[i] != nil:
+			c = elemCtx(sets[i])
+		default:
+			c = unknownCtx()
+		}
+		for _, p := range st.Preds {
+			l.evalExpr(p, c, c, at, sc)
+		}
+	}
+
+	// The alternative's match class comes from its final step.
+	st := alt.Steps[last]
+	switch {
+	case st.Attr:
+		return ctxSet{attr: true}
+	case st.Test == xpath.TestText:
+		return ctxSet{text: true}
+	case sets[last] != nil:
+		return elemCtx(sets[last])
+	}
+	return unknownCtx()
+}
+
+func (l *ssLint) allElems() map[string]bool {
+	out := map[string]bool{}
+	for _, e := range l.g.ElementNames() {
+		out[e] = true
+	}
+	return out
+}
+
+func describeSet(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, "'"+n+"'")
+	}
+	sort.Strings(names)
+	return strings.Join(names, " or ")
+}

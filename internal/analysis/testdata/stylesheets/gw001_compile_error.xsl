@@ -1,0 +1,6 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:template match="goldmodel">
+    <xsl:value-of select="dimclasses/dimclass["/>
+  </xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,10 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:template match="goldmodel">
+    <xsl:apply-templates/>
+  </xsl:template>
+  <!-- no such element anywhere in the schema -->
+  <xsl:template match="widget"/>
+  <!-- both elements exist, but a factclass never contains a dimclass -->
+  <xsl:template match="factclass/dimclass"/>
+</xsl:stylesheet>

@@ -1,0 +1,7 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:template match="goldmodel">
+    <!-- dimclass is two levels down: goldmodel/dimclasses/dimclass -->
+    <xsl:value-of select="dimclass/@name"/>
+  </xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,7 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:template match="dimclass">
+    <!-- dimclass has no 'units' attribute -->
+    <xsl:value-of select="@units"/>
+  </xsl:template>
+</xsl:stylesheet>

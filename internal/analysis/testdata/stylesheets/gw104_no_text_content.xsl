@@ -1,0 +1,7 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:template match="dimclass">
+    <!-- dimclass carries everything in attributes; it never has text -->
+    <xsl:value-of select="text()"/>
+  </xsl:template>
+</xsl:stylesheet>

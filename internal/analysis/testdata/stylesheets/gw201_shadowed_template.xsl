@@ -1,0 +1,11 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <!-- same pattern, same priority: XSLT 1.0 lets the later rule win,
+       so this one can never fire -->
+  <xsl:template match="dimclass">
+    <p>first</p>
+  </xsl:template>
+  <xsl:template match="dimclass">
+    <p>second</p>
+  </xsl:template>
+</xsl:stylesheet>

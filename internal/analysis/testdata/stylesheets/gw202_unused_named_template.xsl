@@ -1,0 +1,9 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:template match="goldmodel">
+    <xsl:apply-templates/>
+  </xsl:template>
+  <xsl:template name="orphan-helper">
+    <hr/>
+  </xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,7 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:template match="goldmodel">
+    <xsl:variable name="title" select="@name"/>
+    <h1>static heading</h1>
+  </xsl:template>
+</xsl:stylesheet>

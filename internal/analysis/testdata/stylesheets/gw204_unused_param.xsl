@@ -1,0 +1,7 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:param name="theme" select="'plain'"/>
+  <xsl:template match="goldmodel">
+    <xsl:apply-templates/>
+  </xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,10 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:template match="goldmodel">
+    <xsl:apply-templates/>
+  </xsl:template>
+  <!-- no apply-templates ever names mode="sidebar" -->
+  <xsl:template match="dimclass" mode="sidebar">
+    <li/>
+  </xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,9 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:key name="dim-by-id" match="dimclass" use="@id"/>
+  <xsl:template match="goldmodel">
+    <!-- the key is declared as 'dim-by-id', not 'dims' -->
+    <xsl:value-of select="key('dims', 'dc1')/@name"/>
+    <xsl:value-of select="key('dim-by-id', 'dc1')/@name"/>
+  </xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,8 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:attribute-set name="cell"/>
+  <xsl:template match="goldmodel">
+    <xsl:call-template name="render-header"/>
+    <td xsl:use-attribute-sets="cells"/>
+  </xsl:template>
+</xsl:stylesheet>

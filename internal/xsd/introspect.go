@@ -1,0 +1,28 @@
+package xsd
+
+// Read-only accessors used by internal/analysis to reason about the
+// schema without reaching into unexported validator state.
+
+// IsID reports whether values of the type are DTD-style IDs (the type
+// restricts xsd:ID).
+func (st *SimpleType) IsID() bool {
+	return st != nil && st.rootKind() == btID
+}
+
+// IsIDRef reports whether values of the type reference IDs (the type
+// restricts xsd:IDREF or xsd:IDREFS).
+func (st *SimpleType) IsIDRef() bool {
+	if st == nil {
+		return false
+	}
+	k := st.rootKind()
+	return k == btIDREF || k == btIDREFS
+}
+
+// SelectorSource returns the XPath text of the constraint's selector.
+func (ic *IdentityConstraint) SelectorSource() string { return ic.selectorSrc }
+
+// FieldSources returns the XPath texts of the constraint's fields.
+func (ic *IdentityConstraint) FieldSources() []string {
+	return append([]string(nil), ic.fieldSrcs...)
+}

@@ -34,12 +34,32 @@ type Loader func(href string) (*xmldom.Node, error)
 // CompileError reports a problem in a stylesheet.
 type CompileError struct {
 	Element *xmldom.Node
-	Msg     string
+	// Line and Col locate the problem in the stylesheet source (1-based).
+	// When zero they are derived from Element, so diagnostics and lint
+	// findings share one file:line:col position format.
+	Line, Col int
+	Msg       string
+}
+
+// Position returns the 1-based source position of the error, falling
+// back to the offending element's recorded position.
+func (e *CompileError) Position() (line, col int) {
+	if e.Line > 0 {
+		return e.Line, e.Col
+	}
+	if e.Element != nil {
+		return e.Element.Line, e.Element.Col
+	}
+	return 0, 0
 }
 
 func (e *CompileError) Error() string {
+	line, col := e.Position()
 	if e.Element != nil {
-		return fmt.Sprintf("xslt: %s (at %s, line %d)", e.Msg, e.Element.Path(), e.Element.Line)
+		return fmt.Sprintf("xslt: %s (at %s, line %d, col %d)", e.Msg, e.Element.Path(), line, col)
+	}
+	if line > 0 {
+		return fmt.Sprintf("xslt: %s (line %d, col %d)", e.Msg, line, col)
 	}
 	return "xslt: " + e.Msg
 }
@@ -69,12 +89,14 @@ type Template struct {
 	body       []instruction
 	importPrec int
 	order      int
+	src        *xmldom.Node // declaring xsl:template element; nil for built-in rules
 }
 
 type keyDecl struct {
 	name  string
 	match *xpath.Pattern
 	use   xpath.Expr
+	src   *xmldom.Node // declaring xsl:key element
 }
 
 // Stylesheet is a compiled XSLT stylesheet. Once compiled it is
@@ -520,7 +542,7 @@ func (s *Stylesheet) compileKey(c *xmldom.Node) error {
 	if err != nil {
 		return &CompileError{Element: c, Msg: err.Error()}
 	}
-	s.keys[name] = &keyDecl{name: name, match: pat, use: useExpr}
+	s.keys[name] = &keyDecl{name: name, match: pat, use: useExpr, src: c}
 	return nil
 }
 
@@ -546,7 +568,7 @@ func (s *Stylesheet) compileTemplate(c *xmldom.Node, importPrec int) error {
 	if err != nil {
 		return err
 	}
-	base := &Template{Name: name, Mode: mode, params: params, body: body, importPrec: importPrec}
+	base := &Template{Name: name, Mode: mode, params: params, body: body, importPrec: importPrec, src: c}
 	if name != "" {
 		if _, dup := s.named[name]; dup {
 			return &CompileError{Element: c, Msg: "duplicate template name " + name}

@@ -1,0 +1,123 @@
+// Package clean exercises every release and hand-off shape poolcheck
+// must accept without findings.
+package clean
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func use(any) {}
+
+// Deferred release satisfies every exit.
+func Deferred(fail bool) int {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	if fail {
+		return 0
+	}
+	return len(*b)
+}
+
+// Deferred release inside a func literal.
+func DeferredLit() {
+	b := bufPool.Get()
+	defer func() { bufPool.Put(b) }()
+	use(b)
+}
+
+// Explicit release on every branch.
+func AllPaths(fail bool) int {
+	b := bufPool.Get().(*[]byte)
+	if fail {
+		bufPool.Put(b)
+		return 0
+	}
+	n := len(*b)
+	bufPool.Put(b)
+	return n
+}
+
+// Returning the value transfers ownership to the caller.
+func Handoff() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	return b
+}
+
+// Storing the value in a longer-lived structure transfers ownership.
+var registry = map[string]*[]byte{}
+
+func Store(key string) {
+	b := bufPool.Get().(*[]byte)
+	registry[key] = b
+}
+
+// A goroutine capturing the value owns it now.
+func Background(done chan struct{}) {
+	b := bufPool.Get()
+	go func() {
+		use(b)
+		bufPool.Put(b)
+		close(done)
+	}()
+}
+
+type conn struct{}
+
+var free []*conn
+
+func getConn() *conn {
+	if n := len(free); n > 0 {
+		c := free[n-1]
+		free = free[:n-1]
+		return c
+	}
+	return new(conn)
+}
+
+func putConn(c *conn) { free = append(free, c) }
+
+// Free-list pair used correctly.
+func Paired() {
+	c := getConn()
+	use(c)
+	putConn(c)
+}
+
+type Emitter struct{ buf []byte }
+
+func NewEmitter() *Emitter { return &Emitter{} }
+
+func (e *Emitter) Release() { e.buf = e.buf[:0] }
+
+// Constructor + Release used correctly, including across a loop.
+func Render(parts []string) {
+	e := NewEmitter()
+	for _, p := range parts {
+		_ = p
+		use(e)
+	}
+	e.Release()
+}
+
+// Switch releasing in every arm, including default.
+func Switched(mode int) {
+	b := bufPool.Get()
+	switch mode {
+	case 0:
+		bufPool.Put(b)
+	default:
+		bufPool.Put(b)
+	}
+}
+
+// A select where one arm recycles and the others abandon to a goroutine
+// that still holds the value (mirrors a timeout middleware).
+func WithTimeout(done, timeout chan struct{}) {
+	b := bufPool.Get()
+	go func() { use(b) }()
+	select {
+	case <-done:
+		bufPool.Put(b)
+	case <-timeout:
+	}
+}

@@ -1,0 +1,3 @@
+module poolchecktest
+
+go 1.22

@@ -1,0 +1,73 @@
+// Package leak seeds pooled-value leaks that poolcheck must flag.
+package leak
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func use(any) {}
+
+// EarlyReturn leaks on the failure path: the early return skips Put.
+func EarlyReturn(fail bool) int {
+	b := bufPool.Get().(*[]byte)
+	if fail {
+		return 0 // want: return without releasing "b"
+	}
+	bufPool.Put(b)
+	return len(*b)
+}
+
+// NeverReleased leaks on every path: no Put at all.
+func NeverReleased() {
+	b := bufPool.Get()
+	use(b)
+} // want: falls off scope without release
+
+type conn struct{}
+
+var free []*conn
+
+func getConn() *conn {
+	if n := len(free); n > 0 {
+		c := free[n-1]
+		free = free[:n-1]
+		return c
+	}
+	return new(conn)
+}
+
+func putConn(c *conn) { free = append(free, c) }
+
+// LeakyGet leaks the free-list conn on the early return.
+func LeakyGet(n int) {
+	c := getConn()
+	if n > 0 {
+		use(c)
+		return // want: return without releasing "c"
+	}
+	putConn(c)
+}
+
+// Emitter follows the constructor + Release convention.
+type Emitter struct{ buf []byte }
+
+func NewEmitter() *Emitter { return &Emitter{} }
+
+func (e *Emitter) Release() { e.buf = e.buf[:0] }
+
+// LeakyEmitter never calls Release.
+func LeakyEmitter() {
+	e := NewEmitter()
+	use(e)
+} // want: falls off scope without release
+
+// SwitchLeak releases in only one switch arm.
+func SwitchLeak(mode int) {
+	b := bufPool.Get()
+	switch mode {
+	case 0:
+		bufPool.Put(b)
+	case 1:
+		use(b) // want: this arm falls through without release
+	}
+}
