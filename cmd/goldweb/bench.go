@@ -13,6 +13,7 @@ import (
 	"goldweb/internal/core"
 	"goldweb/internal/htmlgen"
 	"goldweb/internal/workload"
+	"goldweb/internal/xpath"
 	"goldweb/internal/xsd"
 )
 
@@ -80,6 +81,70 @@ func benchCases() []benchCase {
 					if errs := schema.Validate(doc, xsd.ValidateOptions{}); len(errs) != 0 {
 						b.Fatal(errs[0])
 					}
+				}
+			},
+		})
+	}
+	// Structure-only validation isolates the identity-constraint cost:
+	// the delta against the full validate case above is the key/keyref
+	// tuple collection the compiled selector/field IR performs.
+	{
+		doc := workload.GenModel(workload.ModelSpec{Facts: 8, Dims: 16, Depth: 3}).ToXML()
+		cases = append(cases, benchCase{
+			Name: "validate/structure-only/f8d16h3",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if errs := schema.Validate(doc, xsd.ValidateOptions{SkipIdentityConstraints: true}); len(errs) != 0 {
+						b.Fatal(errs[0])
+					}
+				}
+			},
+		})
+	}
+	// Compiled-vs-reference expression microbenches: the same XPath run
+	// through the planned IR evaluator and through the legacy AST
+	// interpreter it is differentially pinned against. The document is
+	// frozen so the planner's indexed descendant scans apply.
+	xdoc := workload.GenModel(workload.ModelSpec{Facts: 4, Dims: 8, Depth: 2}).ToXML()
+	xdoc.Freeze()
+	for _, src := range []string{
+		"//dimclass",
+		"goldmodel/dimclasses/dimclass",
+		"//dimatt[@id]",
+		"count(//dimclass)",
+		"dimclasses/dimclass[3]",
+	} {
+		c, err := xpath.Compile(src)
+		if err != nil {
+			panic(err)
+		}
+		c, src := c, src
+		cases = append(cases, benchCase{
+			Name: "xpath/compiled/" + src,
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ctx := xpath.GetContext()
+					ctx.Node, ctx.Position, ctx.Size = xdoc, 1, 1
+					if _, err := c.Eval(ctx); err != nil {
+						b.Fatal(err)
+					}
+					xpath.PutContext(ctx)
+				}
+			},
+		})
+		cases = append(cases, benchCase{
+			Name: "xpath/reference/" + src,
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ctx := xpath.GetContext()
+					ctx.Node, ctx.Position, ctx.Size = xdoc, 1, 1
+					if _, err := c.EvalReference(ctx); err != nil {
+						b.Fatal(err)
+					}
+					xpath.PutContext(ctx)
 				}
 			},
 		})

@@ -102,6 +102,55 @@ func (c ctxSet) describe() string {
 	return strings.Join(parts, " or ")
 }
 
+// childElems returns the element-name image of the child axis over a
+// context — the names reachable as children of its elements, plus the
+// root elements when the context holds the document node — and whether
+// any context element allows text children. It is the single child
+// transition shared by the expression walker and the pattern checker.
+func (l *ssLint) childElems(in ctxSet) (kids map[string]bool, textOK bool) {
+	g := l.g
+	kids = map[string]bool{}
+	for e := range in.elems {
+		for c := range g.Children(e) {
+			kids[c] = true
+		}
+		if g.TextAllowed(e) {
+			textOK = true
+		}
+	}
+	if in.doc {
+		for r := range g.Roots() {
+			kids[r] = true
+		}
+	}
+	return kids, textOK
+}
+
+// descElems returns the descendant (or descendant-or-self) image of a
+// context's elements, including everything below the roots when the
+// context holds the document node.
+func (l *ssLint) descElems(in ctxSet, orSelf bool) map[string]bool {
+	g := l.g
+	uni := map[string]bool{}
+	for e := range in.elems {
+		for d := range g.Descendants(e) {
+			uni[d] = true
+		}
+		if orSelf {
+			uni[e] = true
+		}
+	}
+	if in.doc {
+		for r := range g.Roots() {
+			uni[r] = true
+			for d := range g.Descendants(r) {
+				uni[d] = true
+			}
+		}
+	}
+	return uni
+}
+
 // evalStep applies one location step to a context approximation,
 // emitting GW102/GW103/GW104 when the schema proves the step empty.
 // After flagging it returns the unknown context so one root cause does
@@ -134,21 +183,7 @@ func (l *ssLint) evalStep(in ctxSet, st xpath.StepInfo, at pos) ctxSet {
 
 	switch st.Axis {
 	case xpath.AxisChild:
-		kids := map[string]bool{}
-		textOK := false
-		for e := range in.elems {
-			for c := range g.Children(e) {
-				kids[c] = true
-			}
-			if g.TextAllowed(e) {
-				textOK = true
-			}
-		}
-		if in.doc {
-			for r := range g.Roots() {
-				kids[r] = true
-			}
-		}
+		kids, textOK := l.childElems(in)
 		return l.applyElemTest(in, st, at, kids, textOK, "child")
 
 	case xpath.AxisAttribute:
@@ -172,23 +207,7 @@ func (l *ssLint) evalStep(in ctxSet, st xpath.StepInfo, at pos) ctxSet {
 		}
 
 	case xpath.AxisDescendant, xpath.AxisDescendantOrSelf:
-		uni := map[string]bool{}
-		for e := range in.elems {
-			for d := range g.Descendants(e) {
-				uni[d] = true
-			}
-			if st.Axis == xpath.AxisDescendantOrSelf {
-				uni[e] = true
-			}
-		}
-		if in.doc {
-			for r := range g.Roots() {
-				uni[r] = true
-				for d := range g.Descendants(r) {
-					uni[d] = true
-				}
-			}
-		}
+		uni := l.descElems(in, st.Axis == xpath.AxisDescendantOrSelf)
 		textOK := in.text && st.Axis == xpath.AxisDescendantOrSelf
 		for e := range uni {
 			if g.TextAllowed(e) {

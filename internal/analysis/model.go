@@ -170,16 +170,15 @@ func checkScope(file string, elem *xmldom.Node, ics []*xsd.IdentityConstraint) [
 // elem, returning one joined field tuple per selected node ("" when a
 // field is absent).
 func constraintTuples(elem *xmldom.Node, ic *xsd.IdentityConstraint) ([]string, []*xmldom.Node) {
-	val, err := ic.Selector.Eval(xpath.NewContext(elem))
+	ctx := xpath.GetContext()
+	defer xpath.PutContext(ctx)
+	ctx.Node, ctx.Position, ctx.Size = elem, 1, 1
+	selected, err := ic.Selector.EvalNodes(ctx)
 	if err != nil {
 		return nil, nil
 	}
-	selected, ok := val.(xpath.NodeSet)
-	if !ok {
-		return nil, nil
-	}
 	tuples := make([]string, len(selected))
-	fctx := xpath.NewContext(elem)
+	fctx := ctx
 	for i, n := range selected {
 		var parts []string
 		complete := true

@@ -24,6 +24,12 @@ func (l *ssLint) checkPattern(pat *xpath.Pattern, at pos, sc *scope) ctxSet {
 	return out
 }
 
+// checkPatternAlt propagates a candidate element set forward through the
+// alternative's steps, root-side to leaf-side, reusing the child and
+// descendant transitions of the expression walker (childElems/descElems)
+// for the '/' and '//' links. The set an earlier step survives with
+// narrows the sets of every later step, so the returned match context is
+// the refined final-step set rather than the raw node-test universe.
 func (l *ssLint) checkPatternAlt(alt xpath.PatternAltInfo, at pos, sc *scope) ctxSet {
 	g := l.g
 	if alt.RootOnly {
@@ -36,123 +42,81 @@ func (l *ssLint) checkPatternAlt(alt xpath.PatternAltInfo, at pos, sc *scope) ct
 		return unknownCtx()
 	}
 
-	// Candidate element set per step. For attribute and text() steps the
-	// set holds the possible *owner* elements; match semantics then link
-	// the owner directly (or via ancestors, for '//') to the previous
-	// step instead of through a parent edge.
+	// Per-step refined candidate sets; nil once a step the schema cannot
+	// model (comment(), processing-instruction(), node()) is crossed.
 	last := len(alt.Steps) - 1
 	sets := make([]map[string]bool, len(alt.Steps))
-	resolvable := true
+	var cur map[string]bool
 	for i, st := range alt.Steps {
-		switch {
-		case st.Attr:
-			if st.Test != xpath.TestName {
-				sets[i] = l.allElems()
-				continue
-			}
-			owners := map[string]bool{}
-			for _, e := range g.ElementNames() {
-				if g.HasAttr(e, st.Name) {
-					owners[e] = true
-				}
-			}
-			if len(owners) == 0 {
-				l.flag(at, SevError, CodeBadPattern,
-					"pattern can never match: no element declares attribute '%s'", st.Name)
-				return unknownCtx()
-			}
-			sets[i] = owners
-		case st.Test == xpath.TestName:
-			if !g.HasElement(st.Name) {
-				l.flag(at, SevError, CodeBadPattern,
-					"pattern can never match: no element '%s' is declared in the schema", st.Name)
-				return unknownCtx()
-			}
-			sets[i] = map[string]bool{st.Name: true}
-		case st.Test == xpath.TestAnyName || st.Test == xpath.TestNSWildcard:
-			sets[i] = l.allElems()
-		case st.Test == xpath.TestText:
-			owners := map[string]bool{}
-			for _, e := range g.ElementNames() {
-				if g.TextAllowed(e) {
-					owners[e] = true
-				}
-			}
-			sets[i] = owners
-		default:
-			// comment() / processing-instruction() / node(): the schema
-			// says nothing; give up on this alternative.
-			resolvable = false
+		cands, resolvable, failed := l.patternStepCandidates(st, at)
+		if failed {
+			return unknownCtx()
 		}
 		if !resolvable {
 			break
 		}
-	}
-
-	if resolvable {
-		// Link steps right-to-left: each step's candidates must have the
-		// previous step's candidates as parent ('/') or ancestor ('//').
-		cur := sets[last]
-		for i := last; i >= 1; i-- {
-			st := alt.Steps[i]
-			allowed := map[string]bool{}
-			if st.Attr || st.Test == xpath.TestText {
-				for c := range cur {
-					allowed[c] = true
-					if st.Anc {
-						for a := range g.Ancestors(c) {
-							allowed[a] = true
-						}
+		if i == 0 {
+			if alt.Absolute && alt.ID == "" && !st.Anc {
+				rootOK := false
+				for e := range cands {
+					if g.Roots()[e] {
+						rootOK = true
+						break
 					}
 				}
-			} else {
-				for c := range cur {
-					if st.Anc {
-						for a := range g.Ancestors(c) {
-							allowed[a] = true
-						}
-					} else {
-						for p := range g.Parents(c) {
-							allowed[p] = true
-						}
-					}
+				if !rootOK {
+					l.flag(at, SevError, CodeBadPattern,
+						"pattern can never match: %s is not a global (document root) element", describeSet(cands))
+					return unknownCtx()
 				}
 			}
-			next := map[string]bool{}
-			for e := range sets[i-1] {
-				if allowed[e] {
-					next[e] = true
-				}
-			}
-			if len(next) == 0 {
-				rel := "a parent"
-				if st.Anc {
-					rel = "an ancestor"
-				}
-				l.flag(at, SevError, CodeBadPattern,
-					"pattern can never match: %s is never %s of %s",
-					describeSet(sets[i-1]), rel, describeSet(cur))
-				return unknownCtx()
-			}
-			cur = next
+			cur = cands
+			sets[0] = cur
+			continue
 		}
-		if alt.Absolute && alt.ID == "" && !alt.Steps[0].Anc {
-			rootOK := false
+		// Link to the previous step's refined set: '/' requires a parent
+		// in it, '//' an ancestor. Attribute and text() tests sit on
+		// their owner element, so the owner links directly (or via
+		// ancestors, for '//') instead of through a child edge.
+		in := elemCtx(cur)
+		var allowed map[string]bool
+		switch {
+		case st.Attr || st.Test == xpath.TestText:
+			allowed = map[string]bool{}
 			for e := range cur {
-				if g.Roots()[e] {
-					rootOK = true
-					break
+				allowed[e] = true
+			}
+			if st.Anc {
+				for e := range l.descElems(in, false) {
+					allowed[e] = true
 				}
 			}
-			if !rootOK {
-				l.flag(at, SevError, CodeBadPattern,
-					"pattern can never match: %s is not a global (document root) element", describeSet(cur))
-				return unknownCtx()
+		case st.Anc:
+			allowed = l.descElems(in, false)
+		default:
+			allowed, _ = l.childElems(in)
+		}
+		next := map[string]bool{}
+		for e := range cands {
+			if allowed[e] {
+				next[e] = true
 			}
 		}
+		if len(next) == 0 {
+			rel := "a parent"
+			if st.Anc {
+				rel = "an ancestor"
+			}
+			l.flag(at, SevError, CodeBadPattern,
+				"pattern can never match: %s is never %s of %s",
+				describeSet(cur), rel, describeSet(cands))
+			return unknownCtx()
+		}
+		cur = next
+		sets[i] = cur
 	}
 
-	// Walk predicate expressions with each step's candidate context.
+	// Walk predicate expressions with each step's refined context.
 	for i, st := range alt.Steps {
 		if len(st.Preds) == 0 {
 			continue
@@ -184,6 +148,51 @@ func (l *ssLint) checkPatternAlt(alt xpath.PatternAltInfo, at pos, sc *scope) ct
 		return elemCtx(sets[last])
 	}
 	return unknownCtx()
+}
+
+// patternStepCandidates returns the schema-permitted element set for one
+// pattern step before linking: the named element, every element, or the
+// owner elements of an attribute or text() test. failed reports a
+// schema-wide impossibility (already flagged as GW101); resolvable is
+// false for node tests the schema says nothing about.
+func (l *ssLint) patternStepCandidates(st xpath.PatternStepInfo, at pos) (cands map[string]bool, resolvable, failed bool) {
+	g := l.g
+	switch {
+	case st.Attr:
+		if st.Test != xpath.TestName {
+			return l.allElems(), true, false
+		}
+		owners := map[string]bool{}
+		for _, e := range g.ElementNames() {
+			if g.HasAttr(e, st.Name) {
+				owners[e] = true
+			}
+		}
+		if len(owners) == 0 {
+			l.flag(at, SevError, CodeBadPattern,
+				"pattern can never match: no element declares attribute '%s'", st.Name)
+			return nil, true, true
+		}
+		return owners, true, false
+	case st.Test == xpath.TestName:
+		if !g.HasElement(st.Name) {
+			l.flag(at, SevError, CodeBadPattern,
+				"pattern can never match: no element '%s' is declared in the schema", st.Name)
+			return nil, true, true
+		}
+		return map[string]bool{st.Name: true}, true, false
+	case st.Test == xpath.TestAnyName || st.Test == xpath.TestNSWildcard:
+		return l.allElems(), true, false
+	case st.Test == xpath.TestText:
+		owners := map[string]bool{}
+		for _, e := range g.ElementNames() {
+			if g.TextAllowed(e) {
+				owners[e] = true
+			}
+		}
+		return owners, true, false
+	}
+	return nil, false, false
 }
 
 func (l *ssLint) allElems() map[string]bool {

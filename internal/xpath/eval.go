@@ -307,21 +307,11 @@ func (p *pathExpr) Eval(ctx *Context) (Value, error) {
 		}
 		start = []*xmldom.Node{ctx.Node}
 	}
+	// No per-eval strategy detection here: the reference interpreter
+	// always gathers and sorts. The compiled IR (vm.go) carries the
+	// planner's precomputed forward-axis and name-index decisions.
 	cur := start
 	for _, s := range p.steps {
-		if len(cur) == 1 && forwardAxis(s.axis) {
-			// Single context node on a forward axis: evalStep already
-			// yields document order with no duplicates, so the merge sort
-			// (and its per-node order keys on unfrozen trees) is skipped.
-			// The result may alias a frozen document's name index, which is
-			// safe because node-set values are treated as read-only.
-			sel, err := evalStep(ctx, cur[0], s)
-			if err != nil {
-				return nil, err
-			}
-			cur = sel
-			continue
-		}
 		var next []*xmldom.Node
 		for _, n := range cur {
 			sel, err := evalStep(ctx, n, s)
@@ -348,19 +338,16 @@ func forwardAxis(a axisType) bool {
 // evalStep selects along one step from a single context node, applying the
 // step's predicates with proximity positions in axis order.
 func evalStep(ctx *Context, n *xmldom.Node, s *step) ([]*xmldom.Node, error) {
-	matched, fast := indexedStep(n, s)
-	if !fast {
-		candidates := axisNodes(n, s.axis)
-		// Filter by node test first.
-		matched = candidates[:0:0]
-		for _, c := range candidates {
-			ok, err := matchTest(ctx, c, s.axis, s.test)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				matched = append(matched, c)
-			}
+	candidates := axisNodes(n, s.axis)
+	// Filter by node test first.
+	matched := candidates[:0:0]
+	for _, c := range candidates {
+		ok, err := matchTest(ctx, c, s.axis, s.test)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			matched = append(matched, c)
 		}
 	}
 	var err error
@@ -371,38 +358,6 @@ func evalStep(ctx *Context, n *xmldom.Node, s *step) ([]*xmldom.Node, error) {
 		}
 	}
 	return matched, nil
-}
-
-// indexedStep answers descendant name tests straight from a frozen
-// document's name index (ok=false → take the walking path). Only the
-// unprefixed form is eligible: an unprefixed test selects no-namespace
-// elements, which the final URI filter enforces since the index matches
-// by local name alone. The result slice may alias the index, which is
-// safe because every caller treats step results as read-only.
-func indexedStep(n *xmldom.Node, s *step) ([]*xmldom.Node, bool) {
-	if s.axis != axisDescendant && s.axis != axisDescendantOrSelf {
-		return nil, false
-	}
-	if s.test.kind != testName || s.test.prefix != "" {
-		return nil, false
-	}
-	list, ok := n.IndexedDescendants(s.test.name, s.axis == axisDescendantOrSelf)
-	if !ok {
-		return nil, false
-	}
-	for i, c := range list {
-		if c.URI != "" {
-			out := make([]*xmldom.Node, i, len(list))
-			copy(out, list[:i])
-			for _, d := range list[i:] {
-				if d.URI == "" {
-					out = append(out, d)
-				}
-			}
-			return out, true
-		}
-	}
-	return list, true
 }
 
 // axisNodes returns the nodes on the given axis from n, in axis order

@@ -95,8 +95,14 @@ func fnID(ctx *Context, args []Value) (Value, error) {
 	if err := argc("id", args, 1, 1); err != nil {
 		return nil, err
 	}
+	return idLookup(ctx, args[0]), nil
+}
+
+// idLookup is the body of id() after arity checking, shared with the IR
+// evaluator's dedicated id-map opcode.
+func idLookup(ctx *Context, arg Value) NodeSet {
 	var ids []string
-	switch v := args[0].(type) {
+	switch v := arg.(type) {
 	case NodeSet:
 		for _, n := range v {
 			ids = append(ids, strings.Fields(n.StringValue())...)
@@ -110,7 +116,7 @@ func fnID(ctx *Context, args []Value) (Value, error) {
 	}
 	var out []*xmldom.Node
 	if ctx.Node == nil {
-		return NodeSet(nil), nil
+		return NodeSet(nil)
 	}
 	root := ctx.Node.Root()
 	if ix := root.Index(); ix != nil {
@@ -122,14 +128,14 @@ func fnID(ctx *Context, args []Value) (Value, error) {
 				out = append(out, e)
 			}
 		}
-		return NodeSet(xmldom.SortDocOrder(out)), nil
+		return NodeSet(xmldom.SortDocOrder(out))
 	}
 	for _, e := range root.DescendantElements("") {
 		if want[e.AttrValue("id")] && e.HasAttr("id") {
 			out = append(out, e)
 		}
 	}
-	return NodeSet(xmldom.SortDocOrder(out)), nil
+	return NodeSet(xmldom.SortDocOrder(out))
 }
 
 func singleNode(ctx *Context, args []Value) (*xmldom.Node, error) {

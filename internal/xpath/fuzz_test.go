@@ -1,0 +1,77 @@
+package xpath_test
+
+import (
+	"testing"
+
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xpath"
+)
+
+var fuzzSeeds = []string{
+	"a/b/c", "//dimclass[@id='d1']", "*[position() = last()]",
+	"count(//*) + 1", "concat('a', 'b', $v)", "@* | node()",
+	"self::node()/..", "(//*)[2]", "id('k')/child::*",
+	"string-length(normalize-space(.))", "1 div 0", "-(-1)",
+	"a[b[c[d]]]", "x | y | z", "not(true()) or false()",
+	"10 mod 3 = 1", "substring('hello', 2, 3)", "ancestor-or-self::*[1]",
+	"'unterminated", "a[", "1 +", "((((", "$", "a::b", "/@/",
+}
+
+// FuzzParse checks the compiler front end never panics, reports
+// syntax errors with offsets inside the expression, and produces a
+// printable plan for everything it accepts.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := xpath.Compile(src)
+		if err != nil {
+			if se, ok := err.(*xpath.SyntaxError); ok {
+				if se.Pos < 0 || se.Pos > len(src) {
+					t.Fatalf("syntax error offset %d outside %q", se.Pos, src)
+				}
+			}
+			return
+		}
+		if c.Plan() == "" {
+			t.Fatalf("compiled %q has an empty plan", src)
+		}
+		if c.String() != src {
+			t.Fatalf("String() = %q, want %q", c.String(), src)
+		}
+	})
+}
+
+const fuzzDoc = `<root id="r"><a id="a1"><b>one</b><b>two</b></a><a id="a2"><c>three</c></a><d/></root>`
+
+// FuzzIRvsReference cross-checks the IR evaluator against the legacy AST
+// interpreter on arbitrary expressions over a small fixed document.
+func FuzzIRvsReference(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	doc := xmldom.MustParseString(fuzzDoc)
+	vars := map[string]xpath.Value{"v": xpath.String("3")}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 512 {
+			return
+		}
+		c, err := xpath.Compile(src)
+		if err != nil {
+			return
+		}
+		for _, n := range []*xmldom.Node{doc, doc.Children[0]} {
+			ctx := &xpath.Context{Node: n, Position: 1, Size: 1, Vars: vars, Current: n}
+			got, gotErr := c.Eval(ctx)
+			ref := &xpath.Context{Node: n, Position: 1, Size: 1, Vars: vars, Current: n}
+			want, wantErr := c.EvalReference(ref)
+			if (gotErr != nil) != (wantErr != nil) {
+				t.Fatalf("%q: IR err=%v, reference err=%v", src, gotErr, wantErr)
+			}
+			if gotErr == nil && !sameValue(got, want) {
+				t.Fatalf("%q:\n  IR:        %#v\n  reference: %#v\n  plan:\n%s", src, got, want, c.Plan())
+			}
+		}
+	})
+}

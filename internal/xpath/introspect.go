@@ -69,11 +69,21 @@ func stepInfo(s *step) StepInfo {
 	}
 }
 
+// unwrap exposes the normalized AST behind a fully compiled expression,
+// so analysis tools see the same canonical form the planner consumed
+// (fused descendant steps, folded constants) rather than the raw parse.
+func unwrap(e Expr) Expr {
+	if c, ok := e.(*Compiled); ok {
+		return c.norm
+	}
+	return e
+}
+
 // PathInfo reports whether e is a location path and, if so, returns its
 // optional input expression (the filter a relative path hangs off, e.g.
 // id('x')/a), whether it is absolute, and its steps.
 func PathInfo(e Expr) (input Expr, absolute bool, steps []StepInfo, ok bool) {
-	p, isPath := e.(*pathExpr)
+	p, isPath := unwrap(e).(*pathExpr)
 	if !isPath {
 		return nil, false, nil, false
 	}
@@ -87,7 +97,7 @@ func PathInfo(e Expr) (input Expr, absolute bool, steps []StepInfo, ok bool) {
 // FilterInfo reports whether e is a predicated primary expression
 // (PrimaryExpr Predicate+) and returns its parts.
 func FilterInfo(e Expr) (primary Expr, preds []Expr, ok bool) {
-	f, isFilter := e.(*filterExpr)
+	f, isFilter := unwrap(e).(*filterExpr)
 	if !isFilter {
 		return nil, nil, false
 	}
@@ -97,7 +107,7 @@ func FilterInfo(e Expr) (primary Expr, preds []Expr, ok bool) {
 // CallInfo reports whether e is a function call and returns its name and
 // argument expressions.
 func CallInfo(e Expr) (name string, args []Expr, ok bool) {
-	c, isCall := e.(*callExpr)
+	c, isCall := unwrap(e).(*callExpr)
 	if !isCall {
 		return "", nil, false
 	}
@@ -106,7 +116,7 @@ func CallInfo(e Expr) (name string, args []Expr, ok bool) {
 
 // VarName reports whether e is a variable reference and returns its name.
 func VarName(e Expr) (string, bool) {
-	v, isVar := e.(varExpr)
+	v, isVar := unwrap(e).(varExpr)
 	if !isVar {
 		return "", false
 	}
@@ -115,7 +125,7 @@ func VarName(e Expr) (string, bool) {
 
 // LiteralValue reports whether e is a string literal and returns it.
 func LiteralValue(e Expr) (string, bool) {
-	l, isLit := e.(literalExpr)
+	l, isLit := unwrap(e).(literalExpr)
 	if !isLit {
 		return "", false
 	}
@@ -127,7 +137,7 @@ func LiteralValue(e Expr) (string, bool) {
 // and the operand of unary minus. It returns nil for leaves and for the
 // kinds covered by the dedicated accessors.
 func Subexprs(e Expr) []Expr {
-	switch v := e.(type) {
+	switch v := unwrap(e).(type) {
 	case *unionExpr:
 		return v.parts
 	case *binaryExpr:
@@ -159,6 +169,9 @@ type PatternAltInfo struct {
 	IDPath   bool   // id('...')/further/steps
 	Priority float64
 	Steps    []PatternStepInfo
+	// Class is the compile-time node classification of this alternative,
+	// shared by template dispatch and the static analyzer.
+	Class MatchClass
 }
 
 // Info returns the read-only alternatives of a compiled pattern.
@@ -171,6 +184,7 @@ func (p *Pattern) Info() []PatternAltInfo {
 			ID:       a.idValue,
 			IDPath:   a.idHasPath,
 			Priority: a.priority,
+			Class:    a.cls,
 		}
 		for _, s := range a.steps {
 			ai.Steps = append(ai.Steps, PatternStepInfo{

@@ -5,8 +5,21 @@ import (
 	"strings"
 )
 
-// Compile parses an XPath 1.0 expression into an evaluable Expr.
-func Compile(src string) (Expr, error) {
+// Compile runs the full compilation pipeline on an XPath 1.0
+// expression: parse, normalize, infer the static result type, and plan
+// an instruction program for the IR evaluator. The returned Compiled
+// satisfies Expr, so it drops into every place the raw AST used to go.
+func Compile(src string) (*Compiled, error) {
+	ast, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return finishCompile(src, ast), nil
+}
+
+// parse produces the raw AST, which doubles as the reference
+// interpreter's input.
+func parse(src string) (Expr, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
@@ -24,7 +37,7 @@ func Compile(src string) (Expr, error) {
 
 // MustCompile is Compile but panics on error; for expressions known at
 // build time.
-func MustCompile(src string) Expr {
+func MustCompile(src string) *Compiled {
 	e, err := Compile(src)
 	if err != nil {
 		panic(err)
@@ -32,10 +45,22 @@ func MustCompile(src string) Expr {
 	return e
 }
 
+// maxExprDepth bounds expression nesting so hostile inputs fail with a
+// syntax error instead of exhausting the goroutine stack.
+const maxExprDepth = 200
+
 type exprParser struct {
-	src  string
-	toks []token
-	pos  int
+	src   string
+	toks  []token
+	pos   int
+	depth int
+}
+
+// newPath builds a path expression verbatim. Axis canonicalization
+// (fusing the `//` step pairs) happens in the normalize pass, not at
+// parse time, so the reference AST mirrors the source exactly.
+func newPath(input Expr, absolute bool, steps []*step) Expr {
+	return &pathExpr{input: input, absolute: absolute, steps: steps}
 }
 
 func (p *exprParser) peek() token  { return p.toks[p.pos] }
@@ -67,7 +92,14 @@ func (p *exprParser) expect(kind tokKind, what string) (token, error) {
 }
 
 // parseExpr := OrExpr
-func (p *exprParser) parseExpr() (Expr, error) { return p.parseOr() }
+func (p *exprParser) parseExpr() (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxExprDepth {
+		return nil, p.errf("expression too deeply nested")
+	}
+	return p.parseOr()
+}
 
 func (p *exprParser) parseBinaryChain(sub func() (Expr, error), ops ...tokKind) (Expr, error) {
 	l, err := sub()

@@ -23,6 +23,7 @@ type patternAlt struct {
 	priority  float64
 	idValue   string // non-empty for id('...') patterns
 	idHasPath bool
+	cls       MatchClass // computed once at compile time
 }
 
 // patStep is one step; sep describes how it connects to the previous
@@ -60,9 +61,23 @@ func CompilePattern(src string) (*Pattern, error) {
 		if err != nil {
 			return nil, err
 		}
+		alt.cls = alt.class()
 		pat.alts = append(pat.alts, alt)
 	}
 	return pat, nil
+}
+
+// compiledPreds runs pattern predicates through the full compilation
+// pipeline so that matching evaluates planned IR, not raw AST.
+func compiledPreds(preds []Expr) []Expr {
+	if len(preds) == 0 {
+		return nil
+	}
+	out := make([]Expr, len(preds))
+	for i, p := range preds {
+		out[i] = finishCompile(p.String(), p)
+	}
+	return out
 }
 
 // MustCompilePattern is CompilePattern but panics on error.
@@ -121,13 +136,15 @@ func exprToPatternAlt(src string, e Expr) (*patternAlt, error) {
 			nextAnc = true
 			continue
 		case axisDescendant:
-			// The expression parser fuses '//name' into descendant::name
-			// (see fuse.go); in the pattern grammar that pair is a child
-			// step behind a '//' gap.
-			alt.steps = append(alt.steps, &patStep{test: s.test, preds: s.preds, anc: true})
+			// A pre-fused descendant::name step (the normalize pass fuses
+			// '//name' pairs); in the pattern grammar that is a child step
+			// behind a '//' gap. The raw parse AST used here keeps the
+			// descendant-or-self pairs, so this branch only fires for
+			// explicitly spelled descendant axes.
+			alt.steps = append(alt.steps, &patStep{test: s.test, preds: compiledPreds(s.preds), anc: true})
 			nextAnc = false
 		case axisChild, axisAttribute:
-			ps := &patStep{attr: s.axis == axisAttribute, test: s.test, preds: s.preds, anc: nextAnc}
+			ps := &patStep{attr: s.axis == axisAttribute, test: s.test, preds: compiledPreds(s.preds), anc: nextAnc}
 			nextAnc = false
 			alt.steps = append(alt.steps, ps)
 		default:
@@ -370,11 +387,12 @@ type MatchClass struct {
 	Document bool
 }
 
-// Class merges the classification of every alternative of p.
+// Class merges the classification of every alternative of p. The
+// per-alternative classes are computed once at compile time.
 func (p *Pattern) Class() MatchClass {
 	var c MatchClass
 	for _, alt := range p.alts {
-		ac := alt.class()
+		ac := alt.cls
 		if ac.Elements {
 			if !c.Elements {
 				c.Elements, c.ElemName = true, ac.ElemName

@@ -1,0 +1,78 @@
+package xpath_test
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"goldweb/internal/xpath"
+)
+
+var updatePlans = flag.Bool("update", false, "rewrite the golden plan file")
+
+// planExprs are representative expressions from the builtin single- and
+// multi-page stylesheets plus the planner's decision corners: indexed
+// descendant scans, positional constants, position-free predicates,
+// constant folding and type inference.
+var planExprs = []string{
+	// From the builtin stylesheets.
+	"goldmodel/dimclasses/dimclass",
+	"//dimclass[@id = current()/@dimclass]",
+	"dimatts/dimatt",
+	"key('dim-by-id', @dimclass)",
+	"count(dimclasses/dimclass)",
+	"@name",
+	"concat($base, '-', position(), '.html')",
+	"not(@virtual = 'yes')",
+	// Planner decision corners.
+	"//dimclass",
+	"descendant::dimatt",
+	"/goldmodel",
+	"dimclass[1]",
+	"dimclass[last()]",
+	"dimclass[@id]",
+	"dimclass[position() = 2]",
+	"*[2 + 3]",
+	"true() and @x",
+	"@x or false()",
+	"1 + 2 * 3",
+	"string-length(@name) > 0",
+	"a | b | c",
+	"../following-sibling::*[1]",
+	"self::node()[not(@hidden)]",
+}
+
+const planGolden = "testdata/plans.want"
+
+// TestPlanGolden pins the planner's chosen plan (stringified IR) for the
+// corpus above. Regenerate with: go test ./internal/xpath -run PlanGolden -update
+func TestPlanGolden(t *testing.T) {
+	var b strings.Builder
+	for _, src := range planExprs {
+		c, err := xpath.Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		b.WriteString("=== " + src + "\n")
+		b.WriteString(c.Plan())
+		b.WriteString("\n")
+	}
+	got := b.String()
+	if *updatePlans {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(planGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(planGolden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run PlanGolden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("planned IR changed (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,90 @@
+package xpath
+
+// Static type inference: the second stage of the compilation pipeline.
+// XPath 1.0 has exactly four value types, so the lattice is flat —
+// TUnknown above the four concrete types — and inference is a single
+// bottom-up pass over the normalized AST. The planner uses the result
+// to pick unboxed evaluation entry points (EvalBool and friends) and to
+// recognize numeric predicates; consumers can query it via
+// Compiled.Type.
+
+// StaticType is the statically inferred result type of an expression.
+type StaticType uint8
+
+const (
+	// TUnknown means the type depends on runtime values (variables,
+	// extension functions).
+	TUnknown StaticType = iota
+	TNodeSet
+	TBool
+	TNumber
+	TString
+)
+
+func (t StaticType) String() string {
+	switch t {
+	case TNodeSet:
+		return "node-set"
+	case TBool:
+		return "boolean"
+	case TNumber:
+		return "number"
+	case TString:
+		return "string"
+	}
+	return "unknown"
+}
+
+// callResultTypes maps function names to their result types. It covers
+// the core library plus the XSLT engine functions registered through
+// Context.Funcs (key, current, document, ...), mirroring the whitelist
+// stance of staticallyNonNumeric: a name is taken to mean the standard
+// function.
+var callResultTypes = map[string]StaticType{
+	// node-set producing
+	"id": TNodeSet, "key": TNodeSet, "current": TNodeSet, "document": TNodeSet,
+	// numbers
+	"last": TNumber, "position": TNumber, "count": TNumber,
+	"string-length": TNumber, "number": TNumber, "sum": TNumber,
+	"floor": TNumber, "ceiling": TNumber, "round": TNumber,
+	// strings
+	"string": TString, "concat": TString, "substring-before": TString,
+	"substring-after": TString, "substring": TString, "normalize-space": TString,
+	"translate": TString, "local-name": TString, "namespace-uri": TString,
+	"name": TString, "generate-id": TString, "format-number": TString,
+	"system-property": TString, "unparsed-entity-uri": TString,
+	// booleans
+	"boolean": TBool, "not": TBool, "true": TBool, "false": TBool,
+	"lang": TBool, "starts-with": TBool, "contains": TBool,
+	"element-available": TBool, "function-available": TBool,
+}
+
+// inferType computes the static result type of a normalized expression.
+func inferType(e Expr) StaticType {
+	switch v := e.(type) {
+	case *pathExpr, *unionExpr, *filterExpr:
+		return TNodeSet
+	case literalExpr:
+		return TString
+	case numberExpr:
+		return TNumber
+	case boolExpr:
+		return TBool
+	case varExpr:
+		return TUnknown
+	case *negExpr:
+		return TNumber
+	case *binaryExpr:
+		switch v.op {
+		case tokAnd, tokOr, tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+			return TBool
+		}
+		return TNumber
+	case *callExpr:
+		if t, ok := callResultTypes[v.name]; ok {
+			return t
+		}
+		return TUnknown
+	}
+	return TUnknown
+}

@@ -1,0 +1,23 @@
+package xsd_test
+
+import (
+	"testing"
+
+	"goldweb/internal/core"
+	"goldweb/internal/workload"
+	"goldweb/internal/xsd"
+)
+
+// BenchmarkValidateIdentity isolates identity-constraint checking — the
+// key/keyref/unique tuple collection driven by the compiled selector and
+// field expressions.
+func BenchmarkValidateIdentity(b *testing.B) {
+	schema := core.MustSchema()
+	doc := workload.GenModel(workload.ModelSpec{Facts: 8, Dims: 16, Depth: 3}).ToXML()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if errs := schema.Validate(doc, xsd.ValidateOptions{}); len(errs) != 0 {
+			b.Fatal(errs[0])
+		}
+	}
+}

@@ -148,8 +148,8 @@ type IdentityConstraint struct {
 	Kind     ConstraintKind
 	Name     string
 	Refer    string // for keyref: the referred key/unique name
-	Selector xpath.Expr
-	Fields   []xpath.Expr
+	Selector *xpath.Compiled
+	Fields   []*xpath.Compiled
 
 	selectorSrc string
 	fieldSrcs   []string

@@ -534,21 +534,18 @@ func (v *validator) checkConstraintScope(elem *xmldom.Node, decl *ElementDecl, i
 // returns one encoded tuple per selected node (empty string when a field
 // is absent).
 func (v *validator) collectTuples(elem *xmldom.Node, ic *IdentityConstraint) ([]string, []*xmldom.Node) {
-	ctx := xpath.NewContext(elem)
-	val, err := ic.Selector.Eval(ctx)
+	ctx := xpath.GetContext()
+	defer xpath.PutContext(ctx)
+	ctx.Node, ctx.Position, ctx.Size = elem, 1, 1
+	selected, err := ic.Selector.EvalNodes(ctx)
 	if err != nil {
 		v.errf(elem, "%s %s: selector %q failed: %v", ic.Kind, ic.Name, ic.selectorSrc, err)
-		return nil, nil
-	}
-	selected, ok := val.(xpath.NodeSet)
-	if !ok {
-		v.errf(elem, "%s %s: selector %q does not select nodes", ic.Kind, ic.Name, ic.selectorSrc)
 		return nil, nil
 	}
 	tuples := make([]string, len(selected))
 	// One context and one field-part buffer serve every selected node:
 	// field expressions do not retain the context past Eval.
-	fctx := xpath.NewContext(elem)
+	fctx := ctx
 	parts := v.parts[:0]
 	for i, n := range selected {
 		parts = parts[:0]

@@ -150,7 +150,7 @@ func (s *Stylesheet) compileElement(n *xmldom.Node) (instruction, error) {
 		if v := n.AttrValue("value"); v != "" {
 			e, err := xpath.Compile(v)
 			if err != nil {
-				return nil, &CompileError{Element: n, Msg: err.Error()}
+				return nil, exprError(n, "value", err)
 			}
 			ins.value = e
 		}
@@ -166,14 +166,75 @@ func (s *Stylesheet) compileElement(n *xmldom.Node) (instruction, error) {
 	return nil, &CompileError{Element: n, Msg: "unknown instruction xsl:" + n.Name}
 }
 
-func (s *Stylesheet) requiredExpr(n *xmldom.Node, attr string) (xpath.Expr, error) {
+// attrValuePos maps a byte offset inside an attribute's value to an
+// absolute line/col position in the stylesheet source. The value starts
+// right after `name="`; offsets past embedded newlines advance the line.
+// Entity references in the raw source can shift true columns slightly;
+// the mapping is exact for the plain attribute values stylesheets use.
+func attrValuePos(a *xmldom.Node, off int) (line, col int) {
+	if a == nil || a.Line == 0 {
+		return 0, 0
+	}
+	qlen := len(a.Name)
+	if a.Prefix != "" {
+		qlen += len(a.Prefix) + 1
+	}
+	line, col = a.Line, a.Col+qlen+2
+	if off > len(a.Data) {
+		off = len(a.Data)
+	}
+	for i := 0; i < off; i++ {
+		if a.Data[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// findAttr locates the attribute node holding the expression, so the
+// error can point into its value.
+func findAttr(n *xmldom.Node, attr string) *xmldom.Node {
+	for _, a := range n.Attr {
+		if a.Name == attr && a.URI == "" {
+			return a
+		}
+	}
+	return nil
+}
+
+// exprError converts an expression or AVT compile failure into a
+// CompileError positioned at the failing offset inside the attribute
+// value, instead of merely at the owning element.
+func exprError(n *xmldom.Node, attr string, err error) *CompileError {
+	return exprErrorAt(n, findAttr(n, attr), err)
+}
+
+// exprErrorAt is exprError for callers that already hold the attribute
+// node (literal result element AVTs, where names can be prefixed).
+func exprErrorAt(n, a *xmldom.Node, err error) *CompileError {
+	off := 0
+	switch t := err.(type) {
+	case *xpath.SyntaxError:
+		off = t.Pos
+	case *avtError:
+		off = t.Off
+		err = t.Err
+	}
+	line, col := attrValuePos(a, off)
+	return &CompileError{Element: n, Line: line, Col: col, Msg: err.Error()}
+}
+
+func (s *Stylesheet) requiredExpr(n *xmldom.Node, attr string) (*xpath.Compiled, error) {
 	src := n.AttrValue(attr)
 	if src == "" {
 		return nil, &CompileError{Element: n, Msg: "xsl:" + n.Name + " requires " + attr}
 	}
 	e, err := xpath.Compile(src)
 	if err != nil {
-		return nil, &CompileError{Element: n, Msg: err.Error()}
+		return nil, exprError(n, attr, err)
 	}
 	return e, nil
 }
@@ -185,7 +246,7 @@ func (s *Stylesheet) requiredAVT(n *xmldom.Node, attr string) (*avt, error) {
 	}
 	a, err := compileAVT(src)
 	if err != nil {
-		return nil, &CompileError{Element: n, Msg: err.Error()}
+		return nil, exprError(n, attr, err)
 	}
 	return a, nil
 }
@@ -218,7 +279,7 @@ func (s *Stylesheet) compileLiteral(n *xmldom.Node) (instruction, error) {
 		}
 		val, err := compileAVT(a.Data)
 		if err != nil {
-			return nil, &CompileError{Element: n, Msg: err.Error()}
+			return nil, exprErrorAt(n, a, err)
 		}
 		lit.attrs = append(lit.attrs, literalAttr{name: a.Name, prefix: a.Prefix, uri: a.URI, value: val})
 	}
@@ -236,7 +297,7 @@ func (s *Stylesheet) compileApplyTemplates(n *xmldom.Node) (instruction, error) 
 	if sel := n.AttrValue("select"); sel != "" {
 		e, err := xpath.Compile(sel)
 		if err != nil {
-			return nil, &CompileError{Element: n, Msg: err.Error()}
+			return nil, exprError(n, "select", err)
 		}
 		ins.sel = e
 	}
@@ -311,19 +372,19 @@ func (s *Stylesheet) compileSort(n *xmldom.Node) (sortKey, error) {
 	}
 	e, err := xpath.Compile(sel)
 	if err != nil {
-		return k, &CompileError{Element: n, Msg: err.Error()}
+		return k, exprError(n, "select", err)
 	}
 	k.sel = e
 	if v := n.AttrValue("data-type"); v != "" {
 		k.dataType, err = compileAVT(v)
 		if err != nil {
-			return k, &CompileError{Element: n, Msg: err.Error()}
+			return k, exprError(n, "data-type", err)
 		}
 	}
 	if v := n.AttrValue("order"); v != "" {
 		k.order, err = compileAVT(v)
 		if err != nil {
-			return k, &CompileError{Element: n, Msg: err.Error()}
+			return k, exprError(n, "order", err)
 		}
 	}
 	return k, nil
@@ -337,7 +398,7 @@ func (s *Stylesheet) compileWithParam(n *xmldom.Node) (withParam, error) {
 	if sel := n.AttrValue("select"); sel != "" {
 		e, err := xpath.Compile(sel)
 		if err != nil {
-			return p, &CompileError{Element: n, Msg: err.Error()}
+			return p, exprError(n, "select", err)
 		}
 		p.sel = e
 		return p, nil
@@ -401,7 +462,7 @@ func (s *Stylesheet) compileVarDecl(c *xmldom.Node) (*compiledVar, error) {
 		}
 		e, err := xpath.Compile(sel)
 		if err != nil {
-			return nil, &CompileError{Element: c, Msg: err.Error()}
+			return nil, exprError(c, "select", err)
 		}
 		d.sel = e
 		return d, nil

@@ -1,6 +1,7 @@
 package xslt
 
 import (
+	"fmt"
 	"strings"
 
 	"goldweb/internal/xmldom"
@@ -22,8 +23,19 @@ type avt struct {
 
 type avtPart struct {
 	lit  string
-	expr xpath.Expr
+	expr *xpath.Compiled
 }
+
+// avtError wraps an expression error from inside an attribute value
+// template with the absolute byte offset of the failure in the
+// attribute value, so compile-time diagnostics can point at the exact
+// column of the broken {expr} part.
+type avtError struct {
+	Off int
+	Err error
+}
+
+func (e *avtError) Error() string { return e.Err.Error() }
 
 // compileAVT parses an attribute value template. "{{" and "}}" escape the
 // braces.
@@ -41,12 +53,16 @@ func compileAVT(src string) (*avt, error) {
 			}
 			end := strings.IndexByte(src[i+1:], '}')
 			if end < 0 {
-				return nil, &CompileError{Msg: "unterminated { in attribute value template " + src}
+				return nil, &avtError{Off: i, Err: fmt.Errorf("unterminated { in attribute value template %s", src)}
 			}
 			exprSrc := src[i+1 : i+1+end]
 			e, err := xpath.Compile(exprSrc)
 			if err != nil {
-				return nil, err
+				off := i + 1
+				if se, ok := err.(*xpath.SyntaxError); ok {
+					off += se.Pos
+				}
+				return nil, &avtError{Off: off, Err: err}
 			}
 			if lit.Len() > 0 {
 				a.parts = append(a.parts, avtPart{lit: lit.String()})
@@ -60,7 +76,7 @@ func compileAVT(src string) (*avt, error) {
 				i += 2
 				continue
 			}
-			return nil, &CompileError{Msg: "unmatched } in attribute value template " + src}
+			return nil, &avtError{Off: i, Err: fmt.Errorf("unmatched } in attribute value template %s", src)}
 		default:
 			lit.WriteByte(c)
 			i++
@@ -77,11 +93,7 @@ func (a *avt) eval(e *engine, ctx *xctx) (string, error) {
 		if p := a.parts[0]; p.expr == nil {
 			return p.lit, nil
 		} else {
-			v, err := e.eval(p.expr, ctx)
-			if err != nil {
-				return "", err
-			}
-			return xpath.ToString(v), nil
+			return e.evalString(p.expr, ctx)
 		}
 	}
 	var b strings.Builder
@@ -90,18 +102,18 @@ func (a *avt) eval(e *engine, ctx *xctx) (string, error) {
 			b.WriteString(p.lit)
 			continue
 		}
-		v, err := e.eval(p.expr, ctx)
+		s, err := e.evalString(p.expr, ctx)
 		if err != nil {
 			return "", err
 		}
-		b.WriteString(xpath.ToString(v))
+		b.WriteString(s)
 	}
 	return b.String(), nil
 }
 
 // sortKey is a compiled xsl:sort.
 type sortKey struct {
-	sel      xpath.Expr
+	sel      *xpath.Compiled
 	dataType *avt // "text" (default) or "number"
 	order    *avt // "ascending" (default) or "descending"
 }
@@ -109,14 +121,14 @@ type sortKey struct {
 // withParam is a compiled xsl:with-param.
 type withParam struct {
 	name string
-	sel  xpath.Expr
+	sel  *xpath.Compiled
 	body []instruction
 }
 
 // compiledVar is a compiled xsl:variable/xsl:param.
 type compiledVar struct {
 	name    string
-	sel     xpath.Expr
+	sel     *xpath.Compiled
 	body    []instruction
 	isParam bool
 }
@@ -138,7 +150,7 @@ type literalAttr struct {
 }
 
 type iApplyTemplates struct {
-	sel    xpath.Expr // nil → child::node()
+	sel    *xpath.Compiled // nil → child::node()
 	mode   string
 	sorts  []sortKey
 	params []withParam
@@ -151,13 +163,13 @@ type iCallTemplate struct {
 }
 
 type iForEach struct {
-	sel   xpath.Expr
+	sel   *xpath.Compiled
 	sorts []sortKey
 	body  []instruction
 }
 
 type iValueOf struct {
-	sel        xpath.Expr
+	sel        *xpath.Compiled
 	disableEsc bool
 }
 
@@ -189,10 +201,10 @@ type iCopy struct {
 	body    []instruction
 }
 
-type iCopyOf struct{ sel xpath.Expr }
+type iCopyOf struct{ sel *xpath.Compiled }
 
 type iIf struct {
-	test xpath.Expr
+	test *xpath.Compiled
 	body []instruction
 }
 
@@ -202,7 +214,7 @@ type iChoose struct {
 }
 
 type chooseWhen struct {
-	test xpath.Expr
+	test *xpath.Compiled
 	body []instruction
 }
 
@@ -221,6 +233,6 @@ type iDocument struct {
 type iApplyImports struct{}
 
 type iNumber struct {
-	value  xpath.Expr // nil → count position
+	value  *xpath.Compiled // nil → count position
 	format string
 }

@@ -115,7 +115,13 @@ type GlobalDecl struct {
 func (s *Stylesheet) Globals() []GlobalDecl {
 	out := make([]GlobalDecl, 0, len(s.globals))
 	for _, d := range s.globals {
-		out = append(out, GlobalDecl{Name: d.name, IsParam: d.isParam, Select: d.sel})
+		g := GlobalDecl{Name: d.name, IsParam: d.isParam}
+		if d.sel != nil {
+			// Assign only non-nil selects: a typed-nil *Compiled inside the
+			// interface would defeat callers' == nil checks.
+			g.Select = d.sel
+		}
+		out = append(out, g)
 	}
 	return out
 }

@@ -95,7 +95,7 @@ type Template struct {
 type keyDecl struct {
 	name  string
 	match *xpath.Pattern
-	use   xpath.Expr
+	use   *xpath.Compiled
 	src   *xmldom.Node // declaring xsl:key element
 }
 
@@ -536,11 +536,11 @@ func (s *Stylesheet) compileKey(c *xmldom.Node) error {
 	}
 	pat, err := xpath.CompilePattern(match)
 	if err != nil {
-		return &CompileError{Element: c, Msg: err.Error()}
+		return exprError(c, "match", err)
 	}
 	useExpr, err := xpath.Compile(use)
 	if err != nil {
-		return &CompileError{Element: c, Msg: err.Error()}
+		return exprError(c, "use", err)
 	}
 	s.keys[name] = &keyDecl{name: name, match: pat, use: useExpr, src: c}
 	return nil
@@ -580,7 +580,7 @@ func (s *Stylesheet) compileTemplate(c *xmldom.Node, importPrec int) error {
 	}
 	pat, err := xpath.CompilePattern(match)
 	if err != nil {
-		return &CompileError{Element: c, Msg: err.Error()}
+		return exprError(c, "match", err)
 	}
 	explicitPrio := c.AttrValue("priority")
 	// A union pattern behaves as separate rules, one per alternative, each

@@ -130,11 +130,6 @@ type engine struct {
 	docTrees map[string]*xmldom.Node        // DOM mode
 	docBufs  map[string]*xmldom.ByteEmitter // streaming mode
 	docOrder []string
-	// ctxFree is a LIFO free list of xpath contexts: every expression
-	// evaluation borrows one instead of allocating (see eval). Safe because
-	// nothing retains the context past Eval, and recursion just nests
-	// borrow/return pairs.
-	ctxFree []*xpath.Context
 }
 
 func newEngine(s *Stylesheet, stream bool) *engine {
@@ -318,16 +313,11 @@ func (s *Stylesheet) stripSourceSpace(n *xmldom.Node) {
 	}
 }
 
-// getCtx borrows an xpath context from the free list, initialized to
-// mirror the execution context.
+// getCtx borrows a pooled xpath context (shared with the xsd validator
+// through xpath.GetContext, so one frame type carries all variable
+// binding plumbing), initialized to mirror the execution context.
 func (e *engine) getCtx(ctx *xctx) *xpath.Context {
-	var c *xpath.Context
-	if n := len(e.ctxFree); n > 0 {
-		c = e.ctxFree[n-1]
-		e.ctxFree = e.ctxFree[:n-1]
-	} else {
-		c = new(xpath.Context)
-	}
+	c := xpath.GetContext()
 	*c = xpath.Context{
 		Node:     ctx.node,
 		Position: ctx.pos,
@@ -340,14 +330,46 @@ func (e *engine) getCtx(ctx *xctx) *xpath.Context {
 	return c
 }
 
-func (e *engine) putCtx(c *xpath.Context) { e.ctxFree = append(e.ctxFree, c) }
+func (e *engine) putCtx(c *xpath.Context) { xpath.PutContext(c) }
 
 // eval evaluates an xpath expression in the execution context using a
 // pooled context. Nothing retains the context past Eval (engine extension
-// functions copy it), so returning it to the free list is safe.
+// functions copy it), so returning it to the pool is safe.
 func (e *engine) eval(x xpath.Expr, ctx *xctx) (xpath.Value, error) {
 	c := e.getCtx(ctx)
 	v, err := x.Eval(c)
+	e.putCtx(c)
+	return v, err
+}
+
+// The typed helpers below use the compiled expression's unboxed entry
+// points: scalar results (test conditions, value-of strings, sort keys)
+// never round-trip through an xpath.Value interface.
+
+func (e *engine) evalBool(x *xpath.Compiled, ctx *xctx) (bool, error) {
+	c := e.getCtx(ctx)
+	v, err := x.EvalBool(c)
+	e.putCtx(c)
+	return v, err
+}
+
+func (e *engine) evalString(x *xpath.Compiled, ctx *xctx) (string, error) {
+	c := e.getCtx(ctx)
+	v, err := x.EvalString(c)
+	e.putCtx(c)
+	return v, err
+}
+
+func (e *engine) evalNumber(x *xpath.Compiled, ctx *xctx) (float64, error) {
+	c := e.getCtx(ctx)
+	v, err := x.EvalNumber(c)
+	e.putCtx(c)
+	return v, err
+}
+
+func (e *engine) evalNodes(x *xpath.Compiled, ctx *xctx) (xpath.NodeSet, error) {
+	c := e.getCtx(ctx)
+	v, err := x.EvalNodes(c)
 	e.putCtx(c)
 	return v, err
 }
@@ -400,7 +422,7 @@ func (e *engine) fragString(body []instruction, ctx *xctx) (string, error) {
 // node-set containing a synthetic document node, which this processor
 // also allows to be used where node-sets are expected, like the common
 // exsl:node-set extension).
-func (e *engine) evalVarValue(sel xpath.Expr, body []instruction, ctx *xctx) (xpath.Value, error) {
+func (e *engine) evalVarValue(sel *xpath.Compiled, body []instruction, ctx *xctx) (xpath.Value, error) {
 	if sel != nil {
 		return e.eval(sel, ctx)
 	}
@@ -647,14 +669,18 @@ func (e *engine) sortNodes(list []*xmldom.Node, sorts []sortKey, ctx *xctx) ([]*
 		sub.node = n
 		sub.pos = i + 1
 		for j, k := range sorts {
-			v, err := e.eval(k.sel, &sub)
-			if err != nil {
-				return nil, err
-			}
 			if numeric[j] {
-				nums[i*nk+j] = xpath.ToNumber(v)
+				f, err := e.evalNumber(k.sel, &sub)
+				if err != nil {
+					return nil, err
+				}
+				nums[i*nk+j] = f
 			} else {
-				keys[i*nk+j] = xpath.ToString(v)
+				s, err := e.evalString(k.sel, &sub)
+				if err != nil {
+					return nil, err
+				}
+				keys[i*nk+j] = s
 			}
 		}
 	}
@@ -720,11 +746,10 @@ func (ins *iLiteralElement) exec(e *engine, ctx *xctx, out xmldom.Emitter) error
 }
 
 func (ins *iValueOf) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
-	v, err := e.eval(ins.sel, ctx)
+	s, err := e.evalString(ins.sel, ctx)
 	if err != nil {
 		return err
 	}
-	s := xpath.ToString(v)
 	if s == "" {
 		return nil
 	}
@@ -735,13 +760,9 @@ func (ins *iValueOf) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 func (ins *iApplyTemplates) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	var list []*xmldom.Node
 	if ins.sel != nil {
-		v, err := e.eval(ins.sel, ctx)
+		ns, err := e.evalNodes(ins.sel, ctx)
 		if err != nil {
 			return err
-		}
-		ns, ok := v.(xpath.NodeSet)
-		if !ok {
-			return &TransformError{Msg: "apply-templates select does not yield a node-set"}
 		}
 		list = ns
 	} else {
@@ -763,13 +784,9 @@ func (ins *iCallTemplate) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 }
 
 func (ins *iForEach) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
-	v, err := e.eval(ins.sel, ctx)
+	ns, err := e.evalNodes(ins.sel, ctx)
 	if err != nil {
 		return err
-	}
-	ns, ok := v.(xpath.NodeSet)
-	if !ok {
-		return &TransformError{Msg: "for-each select does not yield a node-set"}
 	}
 	list := []*xmldom.Node(ns)
 	if len(ins.sorts) > 0 {
@@ -912,11 +929,11 @@ func (ins *iCopyOf) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 }
 
 func (ins *iIf) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
-	v, err := e.eval(ins.test, ctx)
+	ok, err := e.evalBool(ins.test, ctx)
 	if err != nil {
 		return err
 	}
-	if xpath.ToBool(v) {
+	if ok {
 		return e.executeBody(ins.body, ctx, out)
 	}
 	return nil
@@ -924,11 +941,11 @@ func (ins *iIf) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 
 func (ins *iChoose) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	for _, w := range ins.whens {
-		v, err := e.eval(w.test, ctx)
+		ok, err := e.evalBool(w.test, ctx)
 		if err != nil {
 			return err
 		}
-		if xpath.ToBool(v) {
+		if ok {
 			return e.executeBody(w.body, ctx, out)
 		}
 	}
@@ -966,11 +983,11 @@ func (ins *iDocument) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 func (ins *iNumber) exec(e *engine, ctx *xctx, out xmldom.Emitter) error {
 	var n int
 	if ins.value != nil {
-		v, err := e.eval(ins.value, ctx)
+		f, err := e.evalNumber(ins.value, ctx)
 		if err != nil {
 			return err
 		}
-		n = int(xpath.ToNumber(v))
+		n = int(f)
 	} else {
 		// level="single" with default count: position among
 		// preceding siblings of the same name, 1-based.
