@@ -9,6 +9,7 @@
 //	goldweb pretty <model.xml>               pretty-print (browser raw view)
 //	goldweb publish -o <dir> <model.xml>     generate the HTML presentation
 //	goldweb serve -addr :8080 <model.xml>    server-side XSLT over HTTP
+//	goldweb serve -catalog <dir>             resilient multi-model catalog
 //	goldweb export -style star <model.xml>   relational DDL export
 //	goldweb schema                           print the canonical XML Schema
 //	goldweb schema-tree [-attrs]             the schema as a tree (Fig. 2)
@@ -26,7 +27,9 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
+	"goldweb/internal/catalog"
 	"goldweb/internal/core"
 	"goldweb/internal/cwm"
 	"goldweb/internal/dtd"
@@ -97,6 +100,10 @@ func usage() {
   goldweb publish -o <dir> <model.xml>     generate the HTML presentation
   goldweb serve [-addr :8080] [-timeout 30s] [-max-inflight 64] [-cache-size 64] [-lint strict|warn|off] <model.xml>
                                            server-side XSLT over HTTP
+  goldweb serve -catalog <dir> [-retry=false] [-breaker-threshold 5]
+                                           resilient multi-model catalog:
+                                           staged hot swaps with rollback,
+                                           retrying reloader, circuit breaker
   goldweb export [-style ...] <model.xml>  relational DDL export
   goldweb schema                           print the canonical XML Schema
   goldweb schema-tree [-attrs]             the schema as a tree (Fig. 2)
@@ -270,8 +277,24 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "max concurrent requests; excess sheds with 503 (0 disables)")
 	cacheSize := fs.Int("cache-size", server.DefaultCacheSize, "max cached presentations (LRU)")
 	lintPolicy := fs.String("lint", "warn", "pre-serve static analysis: strict (errors refuse to start), warn, off")
+	catalogDir := fs.String("catalog", "", "serve every *.xml in this directory as /m/{name}/ (multi-model mode)")
+	retry := fs.Bool("retry", true, "catalog mode: retry failing model reloads in the background with exponential backoff")
+	breakerThreshold := fs.Int("breaker-threshold", catalog.DefaultBreakerThreshold, "catalog mode: consecutive reload failures that open a model's circuit breaker (negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *catalogDir != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("serve: -catalog and a model file are mutually exclusive")
+		}
+		return serveCatalog(*catalogDir, *addr, catalog.Options{
+			Lint:             catalog.LintPolicy(*lintPolicy),
+			BreakerThreshold: *breakerThreshold,
+			DisableRetry:     !*retry,
+			RequestTimeout:   *timeout,
+			MaxInflight:      *maxInflight,
+			CacheSize:        *cacheSize,
+		})
 	}
 	var m *core.Model
 	var err error
@@ -302,6 +325,55 @@ func cmdServe(args []string) error {
 	defer stop()
 	fmt.Printf("serving %q on %s (site at /site/index.html, health at /healthz)\n", m.Name, *addr)
 	return srv.Serve(ctx, *addr)
+}
+
+// serveCatalog runs the resilient multi-model surface: every model in
+// dir goes through the staged swap pipeline, a failing model keeps
+// serving its last-good site (marked stale) while the background
+// reloader retries under the circuit breaker, and lifecycle events
+// stream to stdout.
+func serveCatalog(dir, addr string, opts catalog.Options) error {
+	switch opts.Lint {
+	case catalog.LintStrict, catalog.LintWarn, catalog.LintOff:
+	default:
+		return fmt.Errorf("bad -lint %q (want strict, warn or off)", opts.Lint)
+	}
+	names, err := catalog.DirModels(dir)
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("serve: no *.xml models in %s", dir)
+	}
+	opts.Loader = catalog.DirLoader(dir)
+	opts.OnEvent = printCatalogEvent
+	c := catalog.New(opts)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for _, name := range names {
+		if err := c.Add(ctx, name); err != nil {
+			fmt.Printf("model %s: first load failed: %v (serving 503 until a retry succeeds)\n", name, err)
+		}
+	}
+	fmt.Printf("serving %d models on %s (index at /catalog, health at /readyz, models at /m/{name}/)\n", len(names), addr)
+	return c.Serve(ctx, addr)
+}
+
+func printCatalogEvent(ev catalog.Event) {
+	switch ev.Type {
+	case catalog.EventSwapCommitted:
+		fmt.Printf("model %s: generation %d live\n", ev.Model, ev.Gen)
+	case catalog.EventStageFailed:
+		fmt.Printf("model %s: stage %s failed (attempt %d): %v\n", ev.Model, ev.Stage, ev.Attempt, ev.Err)
+	case catalog.EventRetryScheduled:
+		fmt.Printf("model %s: retry %d in %s\n", ev.Model, ev.Attempt, ev.Delay.Round(time.Millisecond))
+	case catalog.EventBreakerOpened:
+		fmt.Printf("model %s: circuit breaker open\n", ev.Model)
+	case catalog.EventBreakerClosed:
+		fmt.Printf("model %s: circuit breaker closed\n", ev.Model)
+	case catalog.EventLintFindings:
+		fmt.Printf("model %s: lint: %v\n", ev.Model, ev.Err)
+	}
 }
 
 func cmdExport(args []string) error {

@@ -360,3 +360,38 @@ func TestLintGatePolicies(t *testing.T) {
 		t.Error("unknown policy must fail")
 	}
 }
+
+func TestCmdServeCatalogArgValidation(t *testing.T) {
+	dir := t.TempDir()
+	// -catalog plus a positional model file is a contradiction.
+	_, err := capture(t, func() error {
+		return cmdServe([]string{"-catalog", dir, "model.xml"})
+	})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("want mutually-exclusive error, got %v", err)
+	}
+	// An empty catalog directory refuses to start.
+	_, err = capture(t, func() error {
+		return cmdServe([]string{"-catalog", dir})
+	})
+	if err == nil || !strings.Contains(err.Error(), "no *.xml models") {
+		t.Errorf("want empty-dir error, got %v", err)
+	}
+	// A bad -lint policy is rejected before any model loads.
+	if err := os.WriteFile(filepath.Join(dir, "m.xml"), []byte(core.SampleSales().XMLString()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = capture(t, func() error {
+		return cmdServe([]string{"-catalog", dir, "-lint", "bogus"})
+	})
+	if err == nil || !strings.Contains(err.Error(), "bad -lint") {
+		t.Errorf("want bad-lint error, got %v", err)
+	}
+	// A missing catalog directory reports the underlying error.
+	_, err = capture(t, func() error {
+		return cmdServe([]string{"-catalog", filepath.Join(dir, "nope")})
+	})
+	if err == nil {
+		t.Error("want error for missing directory")
+	}
+}

@@ -19,10 +19,12 @@
 //	internal/olap    — multidimensional engine executing cube classes
 //	internal/star    — relational star/snowflake export (DDL + DML)
 //	internal/server  — the client-server web architecture of §6
+//	internal/catalog — resilient multi-model registry over internal/server
 package goldweb
 
 import (
 	"goldweb/internal/analysis"
+	"goldweb/internal/catalog"
 	"goldweb/internal/core"
 	"goldweb/internal/cwm"
 	"goldweb/internal/htmlgen"
@@ -204,6 +206,29 @@ var (
 // hardened with panic recovery, per-request timeouts, load shedding and
 // a bounded singleflight presentation cache (see internal/server).
 func NewServer(m *Model, opts ...ServerOption) *Server { return server.New(m, opts...) }
+
+// Multi-model catalog types (the resilient registry in front of
+// internal/server): staged hot swaps with rollback, a retrying reloader
+// under a per-model circuit breaker, and graceful degradation to
+// last-good snapshots.
+type (
+	// Catalog is a registry of named models, each with its own server.
+	Catalog = catalog.Catalog
+	// CatalogOptions tunes the catalog's resilience knobs.
+	CatalogOptions = catalog.Options
+	// CatalogEvent is a swap/retry/breaker lifecycle notification.
+	CatalogEvent = catalog.Event
+	// CatalogModelStatus is one model's row in Status and /readyz.
+	CatalogModelStatus = catalog.ModelStatus
+)
+
+// NewCatalog creates a multi-model catalog. Register models with Add;
+// serve them with Handler or Serve.
+func NewCatalog(opts CatalogOptions) *Catalog { return catalog.New(opts) }
+
+// DirModelLoader loads model XML by name from dir (name.xml), for use
+// as CatalogOptions.Loader.
+func DirModelLoader(dir string) catalog.LoadFunc { return catalog.DirLoader(dir) }
 
 // NewDataset prepares an empty OLAP dataset for a model.
 func NewDataset(m *Model) *Dataset { return olap.NewDataset(m) }

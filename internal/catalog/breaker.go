@@ -1,0 +1,136 @@
+package catalog
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit state of one model's publish pipeline.
+type BreakerState int
+
+const (
+	// BreakerClosed: publishes flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: K consecutive publish failures tripped the circuit;
+	// attempts are rejected until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe
+	// attempt is in flight; its outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a consecutive-failure circuit breaker guarding one
+// model's publish pipeline. A model whose every republish fails must
+// not burn a full parse+validate+lint+transform on each retry tick —
+// after threshold consecutive failures the circuit opens and attempts
+// are rejected outright until cooldown passes, when a single half-open
+// probe is admitted.
+type breaker struct {
+	threshold int // <= 0 disables the breaker (always closed)
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	consec   int
+	openedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a publish attempt may proceed. An open circuit
+// admits nothing until the cooldown elapses, then transitions to
+// half-open and admits exactly one probe; further callers are rejected
+// until that probe settles via Success or Failure.
+func (b *breaker) Allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen: the probe slot is taken
+		return false
+	}
+}
+
+// Success records a successful publish: the circuit closes and the
+// consecutive-failure count resets.
+func (b *breaker) Success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.consec = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed publish. A half-open probe failure re-opens
+// immediately; in the closed state the circuit opens once the
+// consecutive count reaches the threshold.
+func (b *breaker) Failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consec++
+	if b.state == BreakerHalfOpen || b.consec >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+	b.mu.Unlock()
+}
+
+// State returns the current circuit state (resolving an elapsed open
+// cooldown to half-open for reporting is deliberately not done here:
+// the transition happens on Allow, so State reflects what attempts
+// actually experienced).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// wait returns how long until an attempt could be admitted (0 when
+// Allow would pass right now).
+func (b *breaker) wait() time.Duration {
+	if b.threshold <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	rem := b.cooldown - b.now().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}

@@ -1,0 +1,118 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerOpensAfterThresholdConsecutiveFailures(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Minute, clk.now)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("attempt %d rejected below threshold", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	b.Allow()
+	b.Failure() // third consecutive failure trips the circuit
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open circuit admitted an attempt before the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Minute, clk.now)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed (success resets the count)", b.State())
+	}
+}
+
+func TestBreakerHalfOpenAdmitsExactlyOneProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Minute, clk.now)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open circuit admitted an attempt")
+	}
+	clk.advance(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("elapsed cooldown did not admit the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second attempt admitted while the probe is in flight")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the circuit")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopensImmediately(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(5, time.Minute, clk.now)
+	for i := 0; i < 5; i++ {
+		b.Failure()
+	}
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	b.Failure() // one probe failure, not five, re-opens
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open after failed probe", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened circuit admitted an attempt")
+	}
+	if w := b.wait(); w != time.Minute {
+		t.Fatalf("wait = %v, want a full fresh cooldown", w)
+	}
+}
+
+func TestBreakerDisabledAlwaysAllows(t *testing.T) {
+	b := newBreaker(-1, time.Minute, nil)
+	for i := 0; i < 100; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatal("disabled breaker rejected an attempt")
+		}
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("disabled breaker state = %v, want closed", b.State())
+	}
+}

@@ -1,0 +1,703 @@
+// Package catalog manages a registry of named multidimensional models,
+// each served by its own internal/server instance, with resilient hot
+// swaps: every model transition runs a staged pipeline (parse →
+// xsd-validate → lint gate → shadow publish → atomic generation bump)
+// and any stage failure rolls back to the last-good snapshot. A
+// background reloader retries failed loads with exponential backoff and
+// seeded jitter under a per-model circuit breaker, so one corrupt model
+// file degrades exactly one model — which keeps serving its last-good
+// site, marked stale — and never takes the catalog down.
+package catalog
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"goldweb/internal/analysis"
+	"goldweb/internal/core"
+	"goldweb/internal/server"
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xsd"
+)
+
+// Sentinel errors callers can test with errors.Is.
+var (
+	// ErrUnknownModel: the name is not registered in the catalog.
+	ErrUnknownModel = errors.New("unknown model")
+	// ErrBreakerOpen: the model's circuit breaker is rejecting publish
+	// attempts; retry after the cooldown.
+	ErrBreakerOpen = errors.New("circuit breaker open")
+)
+
+// LoadFunc fetches the raw XML source for a named model. The catalog
+// calls it on Add, Reload, and from the background retry loop.
+type LoadFunc func(ctx context.Context, name string) ([]byte, error)
+
+// DirLoader returns a LoadFunc reading <dir>/<name>.xml.
+func DirLoader(dir string) LoadFunc {
+	return func(_ context.Context, name string) ([]byte, error) {
+		return os.ReadFile(filepath.Join(dir, name+".xml"))
+	}
+}
+
+// DirModels lists the model names (*.xml basenames) under dir, sorted.
+func DirModels(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".xml") {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(ent.Name(), ".xml"))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LintPolicy controls the lint gate stage of a staged swap.
+type LintPolicy string
+
+const (
+	// LintStrict (the default): error-severity lint findings fail the
+	// swap and roll back — a model that lints dirty never goes live.
+	LintStrict LintPolicy = "strict"
+	// LintWarn: findings are reported via the event hook but don't gate.
+	LintWarn LintPolicy = "warn"
+	// LintOff: the lint stage is skipped entirely.
+	LintOff LintPolicy = "off"
+)
+
+// EventType classifies catalog lifecycle events.
+type EventType int
+
+const (
+	// EventSwapCommitted: a staged swap went live (Gen is the new generation).
+	EventSwapCommitted EventType = iota
+	// EventStageFailed: a pipeline stage failed and the swap rolled back
+	// (Stage names the stage, Err the cause).
+	EventStageFailed
+	// EventRetryScheduled: the background reloader scheduled the next
+	// attempt (Attempt counts failures so far, Delay the backoff chosen).
+	EventRetryScheduled
+	// EventBreakerOpened: the model's circuit breaker tripped open.
+	EventBreakerOpened
+	// EventBreakerClosed: a successful publish closed the breaker again.
+	EventBreakerClosed
+	// EventLintFindings: the lint stage produced findings under LintWarn
+	// (Err carries a summary; the swap proceeds).
+	EventLintFindings
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventSwapCommitted:
+		return "swap-committed"
+	case EventStageFailed:
+		return "stage-failed"
+	case EventRetryScheduled:
+		return "retry-scheduled"
+	case EventBreakerOpened:
+		return "breaker-opened"
+	case EventBreakerClosed:
+		return "breaker-closed"
+	case EventLintFindings:
+		return "lint-findings"
+	}
+	return "unknown"
+}
+
+// Event is one catalog lifecycle observation, delivered synchronously
+// to Options.OnEvent. Handlers must be fast and must not call back into
+// the catalog for the same model (the entry lock is held).
+type Event struct {
+	Model   string
+	Type    EventType
+	Stage   string // pipeline stage for failures: load, parse, validate, lint, publish, commit
+	Gen     uint64
+	Err     error
+	Attempt int
+	Delay   time.Duration
+}
+
+// Options configures a Catalog. The zero value works for a loader-less
+// catalog fed via Set.
+type Options struct {
+	// Loader fetches model source by name; required for Add/Reload and
+	// the background retry loop.
+	Loader LoadFunc
+	// Publish overrides each model server's publication pipeline (the
+	// fault-injection hook). Nil means the real htmlgen pipeline.
+	Publish server.PublishFunc
+	// Lint is the lint-gate policy (default LintStrict).
+	Lint LintPolicy
+
+	// BreakerThreshold is K: consecutive publish failures before the
+	// model's circuit opens. 0 means the default; negative disables the
+	// breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects attempts
+	// before admitting a half-open probe.
+	BreakerCooldown time.Duration
+
+	// DisableRetry turns the background reloader off: failed loads are
+	// reported but only retried on explicit Reload.
+	DisableRetry bool
+	// RetryBase and RetryMax bound the exponential backoff between
+	// automatic retries of a failing model.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed makes retry jitter (and nothing else) deterministic.
+	Seed int64
+
+	// StageTimeout bounds one staged swap end to end, so a hung publish
+	// rolls back instead of wedging the model's swap lock.
+	StageTimeout time.Duration
+
+	// RequestTimeout, MaxInflight and CacheSize are passed through to
+	// each model's server (zero means that server default).
+	RequestTimeout time.Duration
+	MaxInflight    int
+	CacheSize      int
+
+	// OnEvent observes catalog lifecycle events (may be nil).
+	OnEvent func(Event)
+	// Now is the clock used by circuit breakers (tests inject one).
+	Now func() time.Time
+	// ParseLimits bounds model XML parsing (zero value: xmldom defaults).
+	ParseLimits xmldom.Limits
+}
+
+// Catalog-level defaults.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+	DefaultRetryBase        = 100 * time.Millisecond
+	DefaultRetryMax         = 30 * time.Second
+	DefaultStageTimeout     = 30 * time.Second
+)
+
+// entry is one registered model: its dedicated server plus the
+// resilience state around it.
+type entry struct {
+	name    string
+	srv     *server.Server
+	app     http.Handler // the server's app mux, mounted under /m/<name>/
+	breaker *breaker
+
+	// swapMu serializes staged swaps and retry bookkeeping for this
+	// model: a capacity-1 token channel rather than a sync.Mutex so
+	// acquisition can observe context cancellation. Swaps hold the lock
+	// for a full pipeline run (up to StageTimeout), so a caller whose
+	// context dies while queued must unblock with an error instead of
+	// joining an unbounded convoy. The serving path never takes it.
+	swapMu   chan struct{}
+	hasGood  bool   // a last-good snapshot is live
+	gen      uint64 // generation of the last committed swap
+	srcSum   string // sha256 (truncated) of the last committed source
+	consec   int    // consecutive failed attempts since last success
+	lastErr  error
+	lastAt   time.Time
+	retrying bool // a retry loop goroutine is active
+}
+
+// lock acquires the swap lock unconditionally. Hold times are bounded
+// by the stage timeout, so unconditional acquisition is safe where no
+// caller context exists (status reporting, retry bookkeeping).
+func (e *entry) lock() { <-e.swapMu }
+
+// lockCtx acquires the swap lock or gives up when ctx ends, so a
+// canceled caller never queues behind a slow pipeline run.
+func (e *entry) lockCtx(ctx context.Context) error {
+	select {
+	case <-e.swapMu:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *entry) unlock() { e.swapMu <- struct{}{} }
+
+// Catalog is a resilient registry of named models.
+type Catalog struct {
+	opts   Options
+	schema *xsd.Schema
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+
+	// ctx parents retry loops; cancel fires in Close.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New creates a catalog. Close releases its background work.
+func New(opts Options) *Catalog {
+	if opts.Lint == "" {
+		opts.Lint = LintStrict
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = DefaultRetryBase
+	}
+	if opts.RetryMax < opts.RetryBase {
+		opts.RetryMax = DefaultRetryMax
+	}
+	if opts.StageTimeout <= 0 {
+		opts.StageTimeout = DefaultStageTimeout
+	}
+	if opts.ParseLimits == (xmldom.Limits{}) {
+		opts.ParseLimits = xmldom.DefaultLimits
+	}
+	// Zero means the server default; negative disables the knob.
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = server.DefaultRequestTimeout
+	} else if opts.RequestTimeout < 0 {
+		opts.RequestTimeout = 0
+	}
+	if opts.MaxInflight == 0 {
+		opts.MaxInflight = server.DefaultMaxInflight
+	} else if opts.MaxInflight < 0 {
+		opts.MaxInflight = 0
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = server.DefaultCacheSize
+	}
+	c := &Catalog{
+		opts:    opts,
+		schema:  core.MustSchema(),
+		entries: make(map[string]*entry),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	return c
+}
+
+// Close stops the background reloader, waits for retry loops to exit,
+// and closes every model server (canceling in-flight publications).
+func (c *Catalog) Close() {
+	c.cancel()
+	c.wg.Wait()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, e := range c.entries {
+		e.srv.Close()
+	}
+}
+
+// serverOptions builds the per-model server configuration.
+func (c *Catalog) serverOptions() []server.Option {
+	// The catalog's shared middleware applies the timeout and limiter
+	// once for all models; per-model servers only need the pipeline
+	// hook, cache sizing, and the publish deadline (the server derives
+	// publish contexts from its requestTimeout).
+	opts := []server.Option{
+		server.WithMaxInflight(0),
+		server.WithRequestTimeout(c.opts.RequestTimeout),
+	}
+	if c.opts.CacheSize > 0 {
+		opts = append(opts, server.WithCacheSize(c.opts.CacheSize))
+	}
+	if c.opts.Publish != nil {
+		opts = append(opts, server.WithPublishFunc(c.opts.Publish))
+	}
+	return opts
+}
+
+// ensure returns the entry for name, registering it if new.
+func (c *Catalog) ensure(name string) *entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[name]; ok {
+		return e
+	}
+	e := &entry{
+		name:    name,
+		srv:     server.NewEmpty(c.serverOptions()...),
+		breaker: newBreaker(c.opts.BreakerThreshold, c.opts.BreakerCooldown, c.opts.Now),
+		swapMu:  make(chan struct{}, 1),
+	}
+	e.swapMu <- struct{}{} // the unlocked token
+	e.app = http.StripPrefix("/m/"+name, e.srv.AppHandler())
+	c.entries[name] = e
+	return e
+}
+
+// get returns the entry for name, or nil.
+func (c *Catalog) get(name string) *entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[name]
+}
+
+// Names returns the registered model names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	names := make([]string, 0, len(c.entries))
+	for name := range c.entries {
+		names = append(names, name)
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Server returns the underlying server for name (nil if unknown) —
+// mainly for tests and diagnostics.
+func (c *Catalog) Server(name string) *server.Server {
+	if e := c.get(name); e != nil {
+		return e.srv
+	}
+	return nil
+}
+
+// Add registers name and attempts its first load through the staged
+// pipeline. On failure the model stays registered (serving 503 until a
+// retry succeeds) and the background reloader takes over; the error
+// describes the failed stage.
+func (c *Catalog) Add(ctx context.Context, name string) error {
+	if c.opts.Loader == nil {
+		return errors.New("catalog: Add requires a Loader")
+	}
+	return c.attempt(ctx, c.ensure(name), nil)
+}
+
+// Set stages data as the source of model name (registering it if new)
+// through the full pipeline. On any stage failure the model keeps
+// serving its last-good snapshot (marked stale) and the error reports
+// the stage that failed.
+func (c *Catalog) Set(ctx context.Context, name string, data []byte) error {
+	return c.attempt(ctx, c.ensure(name), data)
+}
+
+// Reload re-fetches name through the Loader and stages the result.
+// Returns ErrUnknownModel for unregistered names and ErrBreakerOpen
+// while the model's circuit is rejecting attempts.
+func (c *Catalog) Reload(ctx context.Context, name string) error {
+	e := c.get(name)
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if c.opts.Loader == nil {
+		return errors.New("catalog: Reload requires a Loader")
+	}
+	return c.attempt(ctx, e, nil)
+}
+
+// attempt runs one breaker-gated load+stage attempt for e. data == nil
+// means "fetch via the Loader". The swap lock serializes swaps; a
+// caller whose context ends while queued fails without touching the
+// breaker — like a breaker rejection, nothing was attempted.
+func (c *Catalog) attempt(ctx context.Context, e *entry, data []byte) error {
+	if err := e.lockCtx(ctx); err != nil {
+		return fmt.Errorf("swap wait: model %q: %w", e.name, err)
+	}
+	defer e.unlock()
+	return c.attemptLocked(ctx, e, data)
+}
+
+func (c *Catalog) attemptLocked(ctx context.Context, e *entry, data []byte) (err error) {
+	if !e.breaker.Allow() {
+		return fmt.Errorf("%w: model %q (cooling down %v)", ErrBreakerOpen, e.name, e.breaker.wait().Round(time.Millisecond))
+	}
+	stage := "load"
+	defer func() {
+		// A panicking loader or publish pipeline must roll back like any
+		// other stage failure, not crash the catalog. The panic value is
+		// preserved as an error so fault classification (errors.Is on
+		// faultinject.ErrInjected) still works through the recovery.
+		if rec := recover(); rec != nil {
+			if rerr, ok := rec.(error); ok {
+				err = fmt.Errorf("%s: panic: %w", stage, rerr)
+			} else {
+				err = fmt.Errorf("%s: panic: %v", stage, rec)
+			}
+		}
+		if err != nil {
+			c.noteFailureLocked(e, stage, err)
+		} else {
+			c.noteSuccessLocked(e)
+		}
+	}()
+
+	sctx, cancel := context.WithTimeout(ctx, c.opts.StageTimeout)
+	defer cancel()
+
+	if data == nil {
+		data, err = c.opts.Loader(sctx, e.name)
+		if err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+	}
+
+	// Stage 1: parse (bounded, cancelable).
+	stage = "parse"
+	doc, perr := xmldom.ParseContext(sctx, data, c.opts.ParseLimits)
+	if perr != nil {
+		return fmt.Errorf("parse: %w", perr)
+	}
+
+	// Stage 2: structural XSD validation — grammar and types, applying
+	// schema defaults in place — plus model construction. Referential
+	// integrity (key/keyref) is deliberately left to the lint gate,
+	// which reports violations with the governing key named; the shadow
+	// publish re-runs full validation as a backstop when the gate is off.
+	stage = "validate"
+	verrs := c.schema.Validate(doc, xsd.ValidateOptions{
+		ApplyDefaults:           true,
+		SkipIdentityConstraints: true,
+	})
+	if len(verrs) > 0 {
+		return fmt.Errorf("validate: %v (%d problems)", verrs[0], len(verrs))
+	}
+	m, merr := core.ModelFromXML(doc)
+	if merr != nil {
+		return fmt.Errorf("validate: %w", merr)
+	}
+
+	// Stage 3: lint gate.
+	stage = "lint"
+	if c.opts.Lint != LintOff {
+		diags := analysis.LintModel(e.name+".xml", doc, c.schema)
+		if analysis.HasErrors(diags) {
+			summary := fmt.Errorf("lint: %d findings, first: %s", len(diags), diags[0])
+			if c.opts.Lint == LintStrict {
+				return summary
+			}
+			c.emit(Event{Model: e.name, Type: EventLintFindings, Err: summary})
+		}
+	}
+
+	// Stage 4: shadow publish. The server validates the snapshot again
+	// and runs the full publication pipeline against it without touching
+	// the live snapshot — a failure here leaves last-good untouched.
+	stage = "publish"
+	staged, serr := e.srv.Stage(sctx, m)
+	if serr != nil {
+		return fmt.Errorf("publish: %w", serr)
+	}
+
+	// Stage 5: atomic generation bump.
+	stage = "commit"
+	e.gen = staged.Commit()
+	sum := sha256.Sum256(data)
+	e.srcSum = hex.EncodeToString(sum[:8])
+	return nil
+}
+
+// noteFailureLocked records a failed attempt: breaker accounting, stale
+// marking (the last-good site keeps serving), events, and — when a
+// Loader is configured — scheduling the background retry.
+func (c *Catalog) noteFailureLocked(e *entry, stage string, err error) {
+	wasOpen := e.breaker.State() == BreakerOpen
+	e.breaker.Failure()
+	e.consec++
+	e.lastErr = err
+	e.lastAt = time.Now()
+	if e.hasGood {
+		e.srv.MarkStale(fmt.Sprintf("republish failing at stage %s", stage))
+	}
+	c.emit(Event{Model: e.name, Type: EventStageFailed, Stage: stage, Err: err, Attempt: e.consec})
+	if !wasOpen && e.breaker.State() == BreakerOpen {
+		c.emit(Event{Model: e.name, Type: EventBreakerOpened, Err: err, Attempt: e.consec})
+	}
+	c.scheduleRetryLocked(e)
+}
+
+// noteSuccessLocked records a committed swap: the breaker closes, the
+// stale flag clears, and the model is last-good at e.gen.
+func (c *Catalog) noteSuccessLocked(e *entry) {
+	wasBroken := e.breaker.State() != BreakerClosed
+	e.breaker.Success()
+	e.consec = 0
+	e.lastErr = nil
+	e.hasGood = true
+	e.srv.ClearStale()
+	c.emit(Event{Model: e.name, Type: EventSwapCommitted, Gen: e.gen})
+	if wasBroken {
+		c.emit(Event{Model: e.name, Type: EventBreakerClosed, Gen: e.gen})
+	}
+}
+
+func (c *Catalog) emit(ev Event) {
+	if c.opts.OnEvent != nil {
+		c.opts.OnEvent(ev)
+	}
+}
+
+// scheduleRetryLocked starts the per-model retry loop unless retries
+// are disabled, no loader exists, or a loop is already running.
+func (c *Catalog) scheduleRetryLocked(e *entry) {
+	if c.opts.DisableRetry || c.opts.Loader == nil || e.retrying {
+		return
+	}
+	if c.ctx.Err() != nil {
+		return
+	}
+	e.retrying = true
+	c.wg.Add(1)
+	go c.retryLoop(e)
+}
+
+// retryLoop re-attempts a failing model with exponential backoff and
+// seeded jitter until it recovers, the catalog closes, or the entry is
+// removed. When the circuit is open the sleep stretches to at least the
+// remaining cooldown so the wakeup lands on an admissible half-open probe.
+func (c *Catalog) retryLoop(e *entry) {
+	defer c.wg.Done()
+	for {
+		e.lock()
+		attempt := e.consec
+		e.unlock()
+		delay := c.backoff(attempt)
+		if bw := e.breaker.wait(); bw > delay {
+			delay = bw
+		}
+		c.emit(Event{Model: e.name, Type: EventRetryScheduled, Attempt: attempt, Delay: delay})
+		select {
+		case <-c.ctx.Done():
+			e.lock()
+			e.retrying = false
+			e.unlock()
+			return
+		case <-time.After(delay):
+		}
+		if c.get(e.name) != e {
+			// The entry was removed (or replaced) while we slept.
+			e.lock()
+			e.retrying = false
+			e.unlock()
+			return
+		}
+		// ErrBreakerOpen is not a new failure: the attempt was rejected
+		// before doing work, so consec (and hence the backoff) is
+		// unchanged and the next sleep is dominated by breaker.wait.
+		c.attempt(c.ctx, e, nil)
+		e.lock()
+		if e.consec == 0 {
+			// Recovered — or a concurrent Set/Reload succeeded while we
+			// were sleeping. Checking under the swap lock closes the
+			// race against a failure slipping in between our attempt and
+			// this decision: any such failure bumps consec first.
+			e.retrying = false
+			e.unlock()
+			return
+		}
+		e.unlock()
+	}
+}
+
+// backoff returns RetryBase·2^(attempt-1) capped at RetryMax, with
+// equal jitter (half fixed, half uniformly random) from the seeded
+// generator so tests replay identical schedules.
+func (c *Catalog) backoff(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := c.opts.RetryBase
+	for i := 1; i < attempt && d < c.opts.RetryMax; i++ {
+		d *= 2
+	}
+	if d > c.opts.RetryMax {
+		d = c.opts.RetryMax
+	}
+	half := d / 2
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(half) + 1))
+	c.rngMu.Unlock()
+	return half + j
+}
+
+// Remove evicts name from the catalog and closes its server. The
+// background retry loop (if any) exits on its next wakeup.
+func (c *Catalog) Remove(name string) error {
+	c.mu.Lock()
+	e, ok := c.entries[name]
+	if ok {
+		delete(c.entries, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	e.srv.Close()
+	return nil
+}
+
+// ModelStatus is one model's health snapshot as reported by Status and
+// the /readyz endpoint.
+type ModelStatus struct {
+	Name       string `json:"name"`
+	Ready      bool   `json:"ready"`
+	Stale      bool   `json:"stale"`
+	StaleWhy   string `json:"stale_reason,omitempty"`
+	Generation uint64 `json:"generation"`
+	Breaker    string `json:"breaker"`
+	Failures   int    `json:"consecutive_failures,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+	SourceSum  string `json:"source_sum,omitempty"`
+}
+
+// Status reports every model's health, sorted by name.
+func (c *Catalog) Status() []ModelStatus {
+	c.mu.RLock()
+	entries := make([]*entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	out := make([]ModelStatus, 0, len(entries))
+	for _, e := range entries {
+		e.lock()
+		st := ModelStatus{
+			Name:       e.name,
+			Ready:      e.hasGood,
+			Generation: e.gen,
+			Breaker:    e.breaker.State().String(),
+			Failures:   e.consec,
+			SourceSum:  e.srcSum,
+		}
+		if e.lastErr != nil {
+			st.LastError = e.lastErr.Error()
+		}
+		e.unlock()
+		st.Stale, st.StaleWhy = e.srv.Stale()
+		out = append(out, st)
+	}
+	return out
+}
+
+// Ready reports whether every registered model has a live last-good
+// snapshot (an empty catalog is ready).
+func (c *Catalog) Ready() bool {
+	for _, st := range c.Status() {
+		if !st.Ready {
+			return false
+		}
+	}
+	return true
+}

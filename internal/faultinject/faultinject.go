@@ -1,0 +1,272 @@
+// Package faultinject provides deterministic, seed-able fault hooks for
+// resilience testing. A web-fed warehouse refresh is an unreliable,
+// continuously-running process (PAPERS.md: "Warehousing complex data
+// from the Web"); the serving layer must survive loads and publishes
+// that fail, hang, panic, or hand back torn bytes. This package makes
+// those failure modes reproducible: an Injector holds per-key fault
+// scripts — fail-N-times, panic, hang-until-ctx, torn-input — that the
+// catalog's loader and publish hooks consult on every call, and keeps
+// exact per-kind counts so a chaos test can assert that every observed
+// failure was one it injected.
+//
+// Everything is deterministic: scripts replay in order, and the only
+// randomness (Chaos mode) comes from a seeded PRNG owned by the
+// Injector, so a failing soak run reproduces from its seed.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// None means "no fault": the hooked call proceeds untouched.
+	None Kind = iota
+	// Fail makes the hooked call return an error wrapping ErrInjected.
+	Fail
+	// Panic makes the hooked call panic with a *PanicValue (an error
+	// wrapping ErrInjected, so recover-and-wrap layers stay classifiable).
+	Panic
+	// Hang blocks the hooked call until its context is canceled, then
+	// returns the context error wrapped in ErrInjected.
+	Hang
+	// Torn truncates the call's payload mid-byte-stream — the classic
+	// half-written file a crashed republisher leaves behind. The call
+	// itself succeeds; the corruption surfaces downstream (parse).
+	Torn
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Fail:
+		return "fail"
+	case Panic:
+		return "panic"
+	case Hang:
+		return "hang"
+	case Torn:
+		return "torn"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ErrInjected marks every error this package manufactures. Classify
+// with errors.Is (or Injected), never by message.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Injected reports whether err originates from an injected fault.
+func Injected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// PanicValue is what Panic faults panic with. It implements error and
+// wraps ErrInjected so a recover handler that converts the panic into
+// an error (fmt.Errorf("...: %w", v)) keeps the injection classifiable.
+type PanicValue struct {
+	Key string
+}
+
+func (p *PanicValue) Error() string  { return "faultinject: injected panic at " + p.Key }
+func (p *PanicValue) Unwrap() error  { return ErrInjected }
+func (p *PanicValue) String() string { return p.Error() }
+
+// Fault is one scripted fault: Kind applied N consecutive times
+// (N <= 0 means once).
+type Fault struct {
+	Kind Kind
+	N    int
+}
+
+// FailN scripts n consecutive failing calls.
+func FailN(n int) Fault { return Fault{Kind: Fail, N: n} }
+
+// Counts is a per-kind tally of the faults an Injector has fired.
+type Counts map[Kind]int64
+
+// Total sums every injected fault.
+func (c Counts) Total() int64 {
+	var n int64
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// chaosCfg is the random-mode configuration for one key.
+type chaosCfg struct {
+	p     float64
+	kinds []Kind
+}
+
+// Injector holds per-key fault scripts and fires them deterministically.
+// All methods are safe for concurrent use.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	scripts map[string][]Fault
+	chaos   map[string]chaosCfg
+	counts  Counts
+	stopped bool
+}
+
+// New returns an Injector whose Chaos mode draws from a PRNG seeded
+// with seed; scripted faults are fully deterministic regardless.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:     rand.New(rand.NewSource(seed)),
+		scripts: map[string][]Fault{},
+		chaos:   map[string]chaosCfg{},
+		counts:  Counts{},
+	}
+}
+
+// Script appends faults to key's script. Each call to Next for the key
+// consumes the script head; an exhausted script means None.
+func (in *Injector) Script(key string, faults ...Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, f := range faults {
+		if f.N <= 0 {
+			f.N = 1
+		}
+		in.scripts[key] = append(in.scripts[key], f)
+	}
+}
+
+// Chaos arms random faults for key: each Next draws one of kinds with
+// probability p (after any script is exhausted). The draw comes from
+// the Injector's seeded PRNG, so a given seed replays the same faults
+// in the same call order.
+func (in *Injector) Chaos(key string, p float64, kinds ...Kind) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(kinds) == 0 {
+		kinds = []Kind{Fail, Panic, Hang, Torn}
+	}
+	in.chaos[key] = chaosCfg{p: p, kinds: kinds}
+}
+
+// Stop disarms the injector: every subsequent Next returns None.
+// Scripts and chaos configs are kept (Counts stay readable); Resume
+// re-arms them.
+func (in *Injector) Stop() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stopped = true
+}
+
+// Resume re-arms a stopped injector.
+func (in *Injector) Resume() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stopped = false
+}
+
+// Next consumes and returns the next fault kind for key (None when
+// nothing is scheduled). The returned kind is already counted.
+func (in *Injector) Next(key string) Kind {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.stopped {
+		return None
+	}
+	if s := in.scripts[key]; len(s) > 0 {
+		k := s[0].Kind
+		s[0].N--
+		if s[0].N <= 0 {
+			s = s[1:]
+		}
+		in.scripts[key] = s
+		if k != None {
+			in.counts[k]++
+		}
+		return k
+	}
+	if cfg, ok := in.chaos[key]; ok && cfg.p > 0 && in.rng.Float64() < cfg.p {
+		k := cfg.kinds[in.rng.Intn(len(cfg.kinds))]
+		if k != None {
+			in.counts[k]++
+		}
+		return k
+	}
+	return None
+}
+
+// Pending reports how many scripted faults remain for key.
+func (in *Injector) Pending(key string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, f := range in.scripts[key] {
+		n += f.N
+	}
+	return n
+}
+
+// Counts returns a copy of the per-kind injected-fault tally.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(Counts, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Apply consults the next fault for key and applies it to a call
+// carrying payload data:
+//
+//	None  → (data, nil)
+//	Fail  → (nil, error wrapping ErrInjected)
+//	Panic → panics with *PanicValue
+//	Hang  → blocks until ctx is done, then (nil, ctx.Err() wrapping ErrInjected)
+//	Torn  → (data truncated mid-stream, nil)
+//
+// It is the one hook point loaders and publishers need: wrap the real
+// call and pass its payload through Apply.
+func (in *Injector) Apply(ctx context.Context, key string, data []byte) ([]byte, error) {
+	switch in.Next(key) {
+	case Fail:
+		return nil, fmt.Errorf("%w: fail at %s", ErrInjected, key)
+	case Panic:
+		panic(&PanicValue{Key: key})
+	case Hang:
+		<-ctx.Done()
+		return nil, fmt.Errorf("%w: hang released at %s: %w", ErrInjected, key, ctx.Err())
+	case Torn:
+		return Tear(data), nil
+	}
+	return data, nil
+}
+
+// Step is Apply without a payload — for hooking calls that produce
+// structured results rather than bytes (e.g. a publish). Torn is
+// meaningless without bytes and degrades to Fail.
+func (in *Injector) Step(ctx context.Context, key string) error {
+	switch in.Next(key) {
+	case Fail, Torn:
+		return fmt.Errorf("%w: fail at %s", ErrInjected, key)
+	case Panic:
+		panic(&PanicValue{Key: key})
+	case Hang:
+		<-ctx.Done()
+		return fmt.Errorf("%w: hang released at %s: %w", ErrInjected, key, ctx.Err())
+	}
+	return nil
+}
+
+// Tear deterministically truncates data the way a crashed writer does:
+// cut just past the midpoint so the prefix still looks plausible.
+func Tear(data []byte) []byte {
+	if len(data) < 2 {
+		return nil
+	}
+	return data[: len(data)/2+1 : len(data)/2+1]
+}

@@ -1,0 +1,191 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScriptReplaysInOrder(t *testing.T) {
+	in := New(1)
+	in.Script("m", FailN(2), Fault{Kind: Torn}, Fault{Kind: Panic})
+	want := []Kind{Fail, Fail, Torn, Panic, None, None}
+	for i, w := range want {
+		if got := in.Next("m"); got != w {
+			t.Errorf("call %d: got %v, want %v", i, got, w)
+		}
+	}
+	c := in.Counts()
+	if c[Fail] != 2 || c[Torn] != 1 || c[Panic] != 1 || c.Total() != 4 {
+		t.Errorf("counts = %v", c)
+	}
+}
+
+func TestKeysAreIndependent(t *testing.T) {
+	in := New(1)
+	in.Script("a", FailN(1))
+	if got := in.Next("b"); got != None {
+		t.Errorf("key b: got %v, want None", got)
+	}
+	if got := in.Next("a"); got != Fail {
+		t.Errorf("key a: got %v, want Fail", got)
+	}
+}
+
+func TestApplyFail(t *testing.T) {
+	in := New(1)
+	in.Script("k", FailN(1))
+	_, err := in.Apply(context.Background(), "k", []byte("payload"))
+	if !Injected(err) {
+		t.Fatalf("error %v is not classified as injected", err)
+	}
+	data, err := in.Apply(context.Background(), "k", []byte("payload"))
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("exhausted script: data=%q err=%v", data, err)
+	}
+}
+
+func TestApplyPanicCarriesClassifiableValue(t *testing.T) {
+	in := New(1)
+	in.Script("k", Fault{Kind: Panic})
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("no panic")
+		}
+		v, ok := rec.(*PanicValue)
+		if !ok {
+			t.Fatalf("panicked with %T, want *PanicValue", rec)
+		}
+		// A recover handler that wraps the value keeps classification.
+		err := fmt.Errorf("publish panicked: %w", v)
+		if !Injected(err) {
+			t.Errorf("wrapped panic error %v not classified as injected", err)
+		}
+	}()
+	in.Apply(context.Background(), "k", nil)
+}
+
+func TestApplyHangBlocksUntilCtx(t *testing.T) {
+	in := New(1)
+	in.Script("k", Fault{Kind: Hang})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := in.Apply(ctx, "k", nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hang returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !Injected(err) || !errors.Is(err, context.Canceled) {
+			t.Errorf("hang error %v, want injected+canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("hang did not release on cancel")
+	}
+}
+
+func TestApplyTornTruncates(t *testing.T) {
+	in := New(1)
+	in.Script("k", Fault{Kind: Torn})
+	payload := []byte("<goldmodel name='x'>body</goldmodel>")
+	data, err := in.Apply(context.Background(), "k", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || len(data) >= len(payload) {
+		t.Errorf("torn payload length %d of %d", len(data), len(payload))
+	}
+	if string(payload[:len(data)]) != string(data) {
+		t.Error("torn payload is not a prefix")
+	}
+}
+
+func TestChaosIsDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []Kind {
+		in := New(seed)
+		in.Chaos("k", 0.5, Fail, Torn)
+		out := make([]Kind, 64)
+		for i := range out {
+			out[i] = in.Next("k")
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(7)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical draws (suspicious)")
+	}
+}
+
+func TestStopAndResume(t *testing.T) {
+	in := New(1)
+	in.Script("k", FailN(3))
+	if in.Next("k") != Fail {
+		t.Fatal("armed injector did not fire")
+	}
+	in.Stop()
+	if got := in.Next("k"); got != None {
+		t.Errorf("stopped injector fired %v", got)
+	}
+	if in.Pending("k") != 2 {
+		t.Errorf("pending = %d, want 2 (stop must not consume)", in.Pending("k"))
+	}
+	in.Resume()
+	if in.Next("k") != Fail {
+		t.Error("resumed injector did not fire")
+	}
+}
+
+func TestConcurrentNextIsRaceFree(t *testing.T) {
+	in := New(1)
+	in.Script("k", FailN(500))
+	in.Chaos("j", 0.3)
+	var wg sync.WaitGroup
+	var fails int64
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < 100; i++ {
+				if in.Next("k") == Fail {
+					local++
+				}
+				in.Next("j")
+			}
+			mu.Lock()
+			fails += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if fails != 500 {
+		t.Errorf("scripted fails observed %d, want exactly 500", fails)
+	}
+	if got := in.Counts()[Fail]; got < 500 {
+		t.Errorf("counted fails %d, want >= 500", got)
+	}
+}

@@ -7,6 +7,7 @@
 package htmlgen
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -108,6 +109,12 @@ func Publish(m *core.Model, opts Options) (*Site, error) {
 	return PublishDocument(m.ToXML(), opts)
 }
 
+// PublishContext renders a model under a context (see
+// PublishDocumentContext for the cancellation semantics).
+func PublishContext(ctx context.Context, m *core.Model, opts Options) (*Site, error) {
+	return PublishDocumentContext(ctx, m.ToXML(), opts)
+}
+
 // FocusTargets returns the set of fact class ids that are valid Focus
 // values for the model. Serving layers use it to reject an unknown
 // ?focus= before it reaches the publication pipeline (or a cache).
@@ -140,9 +147,25 @@ func (s *Site) TotalBytes() int {
 // transformation runs on the indexed fast paths; pass Editable() first
 // if the tree must stay mutable afterwards.
 func PublishDocument(doc *xmldom.Node, opts Options) (*Site, error) {
+	return PublishDocumentContext(context.Background(), doc, opts)
+}
+
+// PublishDocumentContext is PublishDocument under a context: the
+// publication is abandoned at the next stage boundary (validate,
+// compile, transform, assemble) once ctx is canceled. A transform
+// already in flight runs to completion — stages are the cancellation
+// granularity — so callers staging a swap get a bounded abort without
+// the engine checking a context per node.
+func PublishDocumentContext(ctx context.Context, doc *xmldom.Node, opts Options) (*Site, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("htmlgen: publication canceled: %w", err)
+	}
 	work, sheet, params, css, err := preparePublication(doc, opts)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("htmlgen: publication canceled: %w", err)
 	}
 	// Streaming path: the transform renders every page straight to bytes
 	// (no intermediate result DOM), so there is nothing left to fan out —
@@ -151,6 +174,9 @@ func PublishDocument(doc *xmldom.Node, opts Options) (*Site, error) {
 	res, err := sheet.TransformToBuffers(work, params)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("htmlgen: publication canceled: %w", err)
 	}
 	site := &Site{
 		Pages:    make(map[string][]byte, len(res.DocumentOrder)+2),

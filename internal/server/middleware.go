@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -16,6 +17,53 @@ import (
 //	withMethods   — the site is read-only: non-GET/HEAD gets 405 + Allow
 //	withLimiter   — a semaphore sheds load with 503 + Retry-After when full
 //	withTimeout   — a hanging handler yields 504 on that request only
+
+// wantsJSON reports whether the client asked for a JSON error body.
+func wantsJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// respondError writes an error response consistently across the
+// middleware stack: Retry-After when the condition is retryable, and a
+// JSON body ({"error": ..., "status": ...}) when the client sends
+// Accept: application/json — load shedding (503) and timeouts (504)
+// must look the same to an API client.
+func respondError(w http.ResponseWriter, r *http.Request, code int, msg, retryAfter string) {
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	if wantsJSON(r) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+		w.WriteHeader(code)
+		fmt.Fprintf(w, "{\"error\":%q,\"status\":%d}\n", msg, code)
+		return
+	}
+	http.Error(w, msg, code)
+}
+
+// RespondError exposes the shared error-response shape (Retry-After +
+// JSON body on Accept: application/json) to handlers built on top of
+// this package — the catalog's routing errors must look exactly like
+// the server's own 503s and 504s.
+func RespondError(w http.ResponseWriter, r *http.Request, code int, msg, retryAfter string) {
+	respondError(w, r, code, msg, retryAfter)
+}
+
+// HardenOuter wraps h in the outermost middleware layers: panic
+// recovery and read-only method enforcement. HardenApp supplies the
+// inner layers; the catalog composes both around many model servers so
+// the whole fleet shares one consistent stack.
+func HardenOuter(h http.Handler) http.Handler {
+	return withRecovery(withMethods(h))
+}
+
+// HardenApp wraps h in the expensive-path guards: load shedding at
+// maxInflight concurrent requests (0 disables) and a per-request
+// wall-clock timeout (0 disables). Health endpoints belong outside it.
+func HardenApp(maxInflight int, timeout time.Duration, h http.Handler) http.Handler {
+	return withLimiter(maxInflight, withTimeout(timeout, h))
+}
 
 // withRecovery converts a handler panic into a 500 response. It is the
 // outermost layer so a re-panic from the timeout goroutine is also caught.
@@ -59,8 +107,7 @@ func withLimiter(n int, next http.Handler) http.Handler {
 			defer func() { <-sem }()
 			next.ServeHTTP(w, r)
 		default:
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "server is saturated, retry shortly", http.StatusServiceUnavailable)
+			respondError(w, r, http.StatusServiceUnavailable, "server is saturated, retry shortly", "1")
 		}
 	})
 }
@@ -101,7 +148,10 @@ func withTimeout(d time.Duration, next http.Handler) http.Handler {
 		case rec := <-panicked:
 			panic(rec)
 		case <-ctx.Done():
-			http.Error(w, "request timed out", http.StatusGatewayTimeout)
+			// Same contract as the 503 shed: retryable, with a JSON body
+			// for API clients — a timed-out transformation usually
+			// succeeds on retry once the cache is warm.
+			respondError(w, r, http.StatusGatewayTimeout, "request timed out", "1")
 		}
 	})
 }

@@ -18,7 +18,7 @@ import (
 
 // countingPublish wraps the real pipeline and counts invocations.
 func countingPublish(n *atomic.Int64) PublishFunc {
-	return func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+	return func(ctx context.Context, m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
 		n.Add(1)
 		return htmlgen.Publish(m, opts)
 	}
@@ -54,7 +54,7 @@ func TestSingleflightColdCacheSharesOnePublish(t *testing.T) {
 	release := make(chan struct{})
 	var calls atomic.Int64
 	srv := New(core.SampleSales(), WithPublishFunc(
-		func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+		func(ctx context.Context, m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
 			calls.Add(1)
 			entered <- struct{}{}
 			<-release
@@ -93,7 +93,7 @@ func TestSingleflightColdCacheSharesOnePublish(t *testing.T) {
 func TestPanickingPublishReturns500ThenRecovers(t *testing.T) {
 	var calls atomic.Int64
 	srv := New(core.SampleSales(), WithPublishFunc(
-		func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+		func(ctx context.Context, m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
 			if calls.Add(1) == 1 {
 				panic("injected transformation fault")
 			}
@@ -123,7 +123,7 @@ func TestHangingPublishTimesOutWhileSiteKeepsServing(t *testing.T) {
 	defer close(hang)
 	srv := New(core.SampleSales(),
 		WithRequestTimeout(100*time.Millisecond),
-		WithPublishFunc(func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+		WithPublishFunc(func(ctx context.Context, m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
 			if opts.Mode == htmlgen.SinglePage {
 				<-hang
 			}
@@ -151,7 +151,7 @@ func TestLimiterShedsWith503AndRetryAfter(t *testing.T) {
 	srv := New(core.SampleSales(),
 		WithMaxInflight(2),
 		WithRequestTimeout(0),
-		WithPublishFunc(func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+		WithPublishFunc(func(ctx context.Context, m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
 			entered <- struct{}{}
 			<-release
 			return htmlgen.Publish(m, opts)
@@ -220,7 +220,7 @@ func TestCacheIsBoundedLRU(t *testing.T) {
 
 func TestSinglePageWithoutIndexIs500(t *testing.T) {
 	srv := New(core.SampleSales(), WithPublishFunc(
-		func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
+		func(ctx context.Context, m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error) {
 			return &htmlgen.Site{Pages: map[string][]byte{}}, nil
 		}))
 	ts := httptest.NewServer(srv.Handler())

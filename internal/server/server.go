@@ -13,6 +13,14 @@
 // and method filtering. /healthz and /readyz expose liveness and
 // readiness, and Serve runs a full http.Server lifecycle with IO
 // timeouts and graceful shutdown.
+//
+// For hot-swap catalogs (internal/catalog) the server additionally
+// supports staged swaps — Stage builds and shadow-publishes a new
+// snapshot without touching the live pointer, Commit installs it with
+// an atomic generation bump — plus stale marking (Warning and
+// X-Goldweb-Stale headers while a republish is failing) and a
+// generation header on every snapshot-derived response so clients and
+// soak harnesses can assert that generations never regress.
 package server
 
 import (
@@ -24,6 +32,7 @@ import (
 	"net/http"
 	"path"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,13 +44,28 @@ import (
 	"goldweb/internal/xmldom"
 )
 
+// GenerationHeader carries the snapshot generation a response was
+// served from. Within one model it is strictly monotonic: a client
+// that saw generation N is never served N-1 afterwards.
+const GenerationHeader = "X-Goldweb-Generation"
+
+// StaleHeader marks a response served from a last-good snapshot while
+// the model's republish pipeline is failing.
+const StaleHeader = "X-Goldweb-Stale"
+
 // snapshot is one immutable published state. Handlers grab the current
 // snapshot under a read lock and then work without any lock at all; a
-// concurrent SetModel builds a fresh snapshot and swaps the pointer.
+// concurrent swap builds a fresh snapshot and swaps the pointer.
 // Both documents are frozen (xmldom.Freeze), so every handler and every
 // concurrent publication reads them without cloning or re-indexing.
 type snapshot struct {
 	model *core.Model
+	// gen is the generation this snapshot was installed as; genHeader is
+	// its pre-rendered header value. Keeping the generation inside the
+	// snapshot means a handler's body and generation header always come
+	// from the same published state, however the swap races the request.
+	gen       uint64
+	genHeader string
 	// doc is the canonical document as the model renders it — served by
 	// /model.xml and /pretty, which must not show schema defaults.
 	doc *xmldom.Node
@@ -64,9 +88,14 @@ type snapshot struct {
 
 // PublishFunc generates a presentation for a model. When unset the
 // server publishes straight from the snapshot's frozen, pre-validated
-// document; tests inject faulty ones to prove that a panicking or
-// hanging transformation is contained to its own request.
-type PublishFunc func(m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error)
+// document. The context is canceled when the server shuts down (and
+// carries the request-timeout deadline), so a hung or slow publication
+// never outlives the process teardown; fault-injection harnesses
+// replace the function to prove exactly that.
+type PublishFunc func(ctx context.Context, m *core.Model, opts htmlgen.Options) (*htmlgen.Site, error)
+
+// staleInfo records why the server is serving last-good content.
+type staleInfo struct{ reason string }
 
 // Server publishes one conceptual model over HTTP.
 type Server struct {
@@ -77,6 +106,14 @@ type Server struct {
 	cache  *siteCache
 	flight *flightGroup
 	ready  atomic.Bool
+	stale  atomic.Pointer[staleInfo]
+
+	// baseCtx parents every publication; baseCancel fires at shutdown so
+	// in-flight publications stop instead of leaking their goroutines,
+	// and pubWG lets the shutdown path await them.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	pubWG      sync.WaitGroup
 
 	publish        PublishFunc
 	requestTimeout time.Duration
@@ -125,6 +162,16 @@ func WithShutdownGrace(d time.Duration) Option {
 
 // New creates a server for the model.
 func New(m *core.Model, opts ...Option) *Server {
+	s := NewEmpty(opts...)
+	s.SetModel(m)
+	return s
+}
+
+// NewEmpty creates a server with no published model yet: every
+// model-derived endpoint answers 503 until the first SetModel or
+// Stage/Commit. Catalogs use it so a model whose very first load is
+// failing still has an addressable (if not-ready) server.
+func NewEmpty(opts ...Option) *Server {
 	s := &Server{
 		cache:          newSiteCache(DefaultCacheSize),
 		flight:         newFlightGroup(),
@@ -132,20 +179,17 @@ func New(m *core.Model, opts ...Option) *Server {
 		maxInflight:    DefaultMaxInflight,
 		shutdownGrace:  DefaultShutdownGrace,
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.SetModel(m)
 	return s
 }
 
-// SetModel swaps the published model and invalidates cached
-// presentations. While the new snapshot is being prepared the server
-// reports not-ready on /readyz; requests already holding the old
-// snapshot keep being served from it.
-func (s *Server) SetModel(m *core.Model) {
-	s.ready.Store(false)
-	defer s.ready.Store(true)
+// buildSnapshot prepares one immutable published state for m: frozen
+// raw and defaults-applied documents plus every pre-serialized XML
+// view. It touches no live server state.
+func buildSnapshot(m *core.Model) *snapshot {
 	snap := &snapshot{model: m, doc: m.ToXML(), focuses: htmlgen.FocusTargets(m)}
 	xmldom.Freeze(snap.doc)
 	// Validate once per swap (applying schema defaults) so the request
@@ -160,11 +204,139 @@ func (s *Server) SetModel(m *core.Model) {
 	snap.prettyXML = []byte(xmldom.Pretty(snap.doc))
 	snap.clientXML = clientModelXML(snap.doc)
 	snap.cwmXMI = []byte(cwm.ExportString(m))
+	return snap
+}
+
+// install publishes snap as the new current snapshot under the next
+// generation and invalidates cached presentations. A non-nil probe
+// seeds the multi-page cache entry for the new generation inside the
+// same critical section that makes the generation visible — otherwise a
+// request landing between the snapshot swap and the seeding would miss
+// the cache and redundantly re-publish a site that was just built.
+// Returns the new generation.
+func (s *Server) install(snap *snapshot, probe *htmlgen.Site) uint64 {
 	s.mu.Lock()
-	s.snap = snap
 	s.gen++
-	s.mu.Unlock()
+	snap.gen = s.gen
+	snap.genHeader = strconv.FormatUint(snap.gen, 10)
+	gen := s.gen
 	s.cache.purge()
+	if probe != nil {
+		s.cache.add(siteKey{gen: gen, mode: htmlgen.MultiPage}, probe)
+	}
+	s.snap = snap
+	s.mu.Unlock()
+	return gen
+}
+
+// SetModel swaps the published model and invalidates cached
+// presentations. While the new snapshot is being prepared the server
+// reports not-ready on /readyz; requests already holding the old
+// snapshot keep being served from it. SetModel installs unconditionally
+// (even a snapshot that fails validation — the publication path then
+// reports the error per request); use Stage/Commit for verified,
+// rollback-capable swaps.
+func (s *Server) SetModel(m *core.Model) {
+	s.ready.Store(false)
+	defer s.ready.Store(true)
+	s.install(buildSnapshot(m), nil)
+}
+
+// StagedModel is a built, shadow-verified snapshot that has not been
+// installed yet. Commit makes it live; dropping it rolls back for free
+// (the live snapshot was never touched).
+type StagedModel struct {
+	s     *Server
+	snap  *snapshot
+	probe *htmlgen.Site
+}
+
+// Stage builds the full snapshot for m and shadow-publishes its
+// multi-page presentation through the publication pipeline without
+// touching the live snapshot. Any failure — schema validation, a
+// publication error, ctx cancellation — returns an error and leaves
+// the server serving exactly what it served before. Concurrent Stage
+// calls are safe; external callers (the catalog) serialize commits per
+// model.
+func (s *Server) Stage(ctx context.Context, m *core.Model) (*StagedModel, error) {
+	snap := buildSnapshot(m)
+	if snap.pubErr != nil {
+		return nil, snap.pubErr
+	}
+	s.pubWG.Add(1)
+	defer s.pubWG.Done()
+	site, err := s.publishSite(ctx, snap, htmlgen.MultiPage, "")
+	if err != nil {
+		return nil, fmt.Errorf("shadow publish: %w", err)
+	}
+	return &StagedModel{s: s, snap: snap, probe: site}, nil
+}
+
+// Commit atomically installs the staged snapshot, bumps the
+// generation, and seeds the presentation cache with the
+// shadow-published site (so the first request after a swap is a warm
+// hit). Returns the new generation.
+func (st *StagedModel) Commit() uint64 {
+	gen := st.s.install(st.snap, st.probe)
+	st.s.ready.Store(true)
+	return gen
+}
+
+// Generation returns the current snapshot generation (0 before any
+// model is published). It only ever increases.
+func (s *Server) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// Ready reports whether a published model is being served.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// MarkStale flags every subsequent response with Warning and
+// X-Goldweb-Stale headers: the content is a last-good snapshot and the
+// model's republish pipeline is currently failing.
+func (s *Server) MarkStale(reason string) {
+	s.stale.Store(&staleInfo{reason: reason})
+}
+
+// ClearStale removes the stale marking (a republish succeeded).
+func (s *Server) ClearStale() { s.stale.Store(nil) }
+
+// Stale reports the stale flag and its reason.
+func (s *Server) Stale() (bool, string) {
+	if st := s.stale.Load(); st != nil {
+		return true, st.reason
+	}
+	return false, ""
+}
+
+// Close cancels every in-flight publication and waits for them up to
+// the shutdown grace. The handler keeps answering (from caches and
+// snapshots); Close is about reclaiming background work — ServeListener
+// calls it during shutdown and the catalog calls it when evicting a
+// model.
+func (s *Server) Close() {
+	s.baseCancel()
+	ctx, cancel := context.WithTimeout(context.Background(), s.shutdownGrace)
+	defer cancel()
+	s.awaitPublishes(ctx)
+}
+
+// awaitPublishes waits for in-flight publications, bounded by ctx.
+// Reports whether everything drained.
+func (s *Server) awaitPublishes(ctx context.Context) bool {
+	done := make(chan struct{})
+	go func() {
+		s.pubWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // clientModelXML serializes the document with the xml-stylesheet
@@ -178,49 +350,77 @@ func clientModelXML(frozen *xmldom.Node) []byte {
 	return []byte(xmldom.SerializeToString(doc, xmldom.WriteOptions{}))
 }
 
-// snapshotAndGen returns the current published state.
-func (s *Server) snapshotAndGen() (*snapshot, uint64) {
+// snapshot returns the current published state (nil before the first
+// install on an empty server).
+func (s *Server) snapshot() *snapshot {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.snap, s.gen
+	return s.snap
 }
 
 // errUnknownFocus marks a ?focus= naming no fact class of the model.
 var errUnknownFocus = errors.New("unknown focus")
 
-// site returns the cached (or freshly generated) presentation. The focus
-// is validated against the snapshot's fact ids *before* cache lookup, so
-// attacker-chosen values can never become cache keys; concurrent misses
-// for the same key share one publication via the singleflight group.
-func (s *Server) site(mode htmlgen.Mode, focus string) (*htmlgen.Site, error) {
-	snap, gen := s.snapshotAndGen()
+// publishCtx derives the context one publication runs under: parented
+// on the server lifetime (canceled at shutdown) and bounded by the
+// request timeout. It is deliberately not the request's own context —
+// singleflight followers share the leader's publication, and one
+// client disconnecting must not fail the others.
+func (s *Server) publishCtx() (context.Context, context.CancelFunc) {
+	if s.requestTimeout > 0 {
+		return context.WithTimeout(s.baseCtx, s.requestTimeout)
+	}
+	return context.WithCancel(s.baseCtx)
+}
+
+// publishSite runs the publication pipeline for one cache key.
+func (s *Server) publishSite(ctx context.Context, snap *snapshot, mode htmlgen.Mode, focus string) (*htmlgen.Site, error) {
+	if s.publish != nil {
+		return s.publish(ctx, snap.model, htmlgen.Options{Mode: mode, Focus: focus})
+	}
+	if snap.pubErr != nil {
+		return nil, snap.pubErr
+	}
+	// Default pipeline: transform the snapshot's frozen, pre-validated
+	// document directly — no clone, no re-validation, safe to run
+	// concurrently for different cache keys.
+	return htmlgen.PublishDocumentContext(ctx, snap.pubDoc,
+		htmlgen.Options{Mode: mode, Focus: focus, SkipValidation: true})
+}
+
+// siteFor returns the cached (or freshly generated) presentation for
+// the given snapshot. The focus is validated against the snapshot's
+// fact ids *before* cache lookup, so attacker-chosen values can never
+// become cache keys; concurrent misses for the same key share one
+// publication via the singleflight group. A failed publication is
+// never cached: the error is returned to this round of callers and the
+// next request retries cleanly under the same generation key.
+func (s *Server) siteFor(snap *snapshot, mode htmlgen.Mode, focus string) (*htmlgen.Site, error) {
 	if focus != "" && !snap.focuses[focus] {
 		return nil, fmt.Errorf("%w %q: no such fact class", errUnknownFocus, focus)
 	}
-	key := siteKey{gen: gen, mode: mode, focus: focus}
+	key := siteKey{gen: snap.gen, mode: mode, focus: focus}
 	if site, ok := s.cache.get(key); ok {
 		return site, nil
 	}
 	return s.flight.Do(key, func() (*htmlgen.Site, error) {
-		var site *htmlgen.Site
-		var err error
-		if s.publish != nil {
-			site, err = s.publish(snap.model, htmlgen.Options{Mode: mode, Focus: focus})
-		} else if snap.pubErr != nil {
-			err = snap.pubErr
-		} else {
-			// Default pipeline: transform the snapshot's frozen,
-			// pre-validated document directly — no clone, no re-validation,
-			// safe to run concurrently for different cache keys.
-			site, err = htmlgen.PublishDocument(snap.pubDoc,
-				htmlgen.Options{Mode: mode, Focus: focus, SkipValidation: true})
-		}
+		s.pubWG.Add(1)
+		defer s.pubWG.Done()
+		ctx, cancel := s.publishCtx()
+		defer cancel()
+		site, err := s.publishSite(ctx, snap, mode, focus)
 		if err != nil {
 			return nil, err
 		}
 		s.cache.add(key, site)
 		return site, nil
 	})
+}
+
+// site is siteFor on the current snapshot (kept for tests and simple
+// callers).
+func (s *Server) site(mode htmlgen.Mode, focus string) (*htmlgen.Site, error) {
+	return s.siteFor(s.snapshot(), mode, focus)
 }
 
 // siteError maps a publication error onto the right status code.
@@ -250,7 +450,7 @@ func siteError(w http.ResponseWriter, err error) {
 // Health endpoints sit outside the limiter and timeout so orchestrators
 // can still probe a saturated server.
 func (s *Server) Handler() http.Handler {
-	app := withLimiter(s.maxInflight, withTimeout(s.requestTimeout, s.appMux()))
+	app := withLimiter(s.maxInflight, withTimeout(s.requestTimeout, s.AppHandler()))
 	root := http.NewServeMux()
 	root.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -258,7 +458,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	root.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() {
-			http.Error(w, "model swap in progress", http.StatusServiceUnavailable)
+			respondError(w, r, http.StatusServiceUnavailable, "model swap in progress", "1")
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -266,6 +466,35 @@ func (s *Server) Handler() http.Handler {
 	})
 	root.Handle("/", app)
 	return withRecovery(withMethods(root))
+}
+
+// AppHandler returns the application routes with the per-model
+// response decoration (stale and generation headers) but without the
+// outer middleware stack — catalogs mount many of these behind one
+// shared recovery/limiter/timeout stack.
+func (s *Server) AppHandler() http.Handler {
+	mux := s.appMux()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if st := s.stale.Load(); st != nil {
+			w.Header().Set("Warning", `110 goldweb "stale content: republish failing"`)
+			w.Header().Set(StaleHeader, st.reason)
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// snapFor fetches the current snapshot for a handler, answering 503
+// (with Retry-After) when no model has been published yet — an empty
+// catalog entry whose first load keeps failing. Returns nil after
+// writing the response.
+func (s *Server) snapFor(w http.ResponseWriter, r *http.Request) *snapshot {
+	snap := s.snapshot()
+	if snap == nil {
+		respondError(w, r, http.StatusServiceUnavailable, "no model published yet", "1")
+		return nil
+	}
+	w.Header().Set(GenerationHeader, snap.genHeader)
+	return snap
 }
 
 // appMux builds the application routes (no middleware).
@@ -279,6 +508,10 @@ func (s *Server) appMux() http.Handler {
 		http.Redirect(w, r, "/site/index.html", http.StatusFound)
 	})
 	mux.HandleFunc("/site/", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.snapFor(w, r)
+		if snap == nil {
+			return
+		}
 		page := strings.TrimPrefix(r.URL.Path, "/site/")
 		if page == "" {
 			page = htmlgen.IndexName
@@ -287,7 +520,7 @@ func (s *Server) appMux() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		site, err := s.site(htmlgen.MultiPage, r.URL.Query().Get("focus"))
+		site, err := s.siteFor(snap, htmlgen.MultiPage, r.URL.Query().Get("focus"))
 		if err != nil {
 			siteError(w, err)
 			return
@@ -301,7 +534,11 @@ func (s *Server) appMux() http.Handler {
 		w.Write(content)
 	})
 	mux.HandleFunc("/single", func(w http.ResponseWriter, r *http.Request) {
-		site, err := s.site(htmlgen.SinglePage, r.URL.Query().Get("focus"))
+		snap := s.snapFor(w, r)
+		if snap == nil {
+			return
+		}
+		site, err := s.siteFor(snap, htmlgen.SinglePage, r.URL.Query().Get("focus"))
 		if err != nil {
 			siteError(w, err)
 			return
@@ -319,14 +556,16 @@ func (s *Server) appMux() http.Handler {
 		io.WriteString(w, core.StyleCSS)
 	})
 	mux.HandleFunc("/model.xml", func(w http.ResponseWriter, r *http.Request) {
-		snap, _ := s.snapshotAndGen()
-		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		w.Write(snap.modelXML)
+		if snap := s.snapFor(w, r); snap != nil {
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			w.Write(snap.modelXML)
+		}
 	})
 	mux.HandleFunc("/pretty", func(w http.ResponseWriter, r *http.Request) {
-		snap, _ := s.snapshotAndGen()
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write(snap.prettyXML)
+		if snap := s.snapFor(w, r); snap != nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write(snap.prettyXML)
+		}
 	})
 	// The paper's §6 future work: "when the browsers completely support
 	// XML and XSLT, the transformation will be able to be performed in the
@@ -335,25 +574,30 @@ func (s *Server) appMux() http.Handler {
 	// and the stylesheet itself is served next to it, so an XSLT-capable
 	// browser renders the model client-side.
 	mux.HandleFunc("/client/model.xml", func(w http.ResponseWriter, r *http.Request) {
-		snap, _ := s.snapshotAndGen()
-		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		w.Write(snap.clientXML)
+		if snap := s.snapFor(w, r); snap != nil {
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			w.Write(snap.clientXML)
+		}
 	})
 	mux.HandleFunc("/client/single.xsl", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 		io.WriteString(w, core.SingleXSL)
 	})
 	mux.HandleFunc("/cwm.xmi", func(w http.ResponseWriter, r *http.Request) {
-		snap, _ := s.snapshotAndGen()
-		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		w.Write(snap.cwmXMI)
+		if snap := s.snapFor(w, r); snap != nil {
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			w.Write(snap.cwmXMI)
+		}
 	})
 	mux.HandleFunc("/schema.xsd", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 		io.WriteString(w, core.SchemaXSD)
 	})
 	mux.HandleFunc("/validate", func(w http.ResponseWriter, r *http.Request) {
-		snap, _ := s.snapshotAndGen()
+		snap := s.snapFor(w, r)
+		if snap == nil {
+			return
+		}
 		// Validation applies schema defaults to the document, so it works
 		// on a private editable copy of the frozen snapshot.
 		doc := snap.doc.Editable()
@@ -406,7 +650,11 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 }
 
 // ServeListener is Serve on an existing listener (tests use it to bind
-// port 0).
+// port 0). Shutdown order: cancel in-flight publications first (a
+// request blocked behind a hung transformation would otherwise hold
+// the drain hostage for the whole grace period), then drain request
+// handlers gracefully, then await the publication goroutines so none
+// outlive the call.
 func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
 	writeTimeout := 2 * s.requestTimeout
 	if writeTimeout <= 0 {
@@ -427,11 +675,15 @@ func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), s.shutdownGrace)
 		defer cancel()
+		s.baseCancel() // stop in-flight publications
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			hs.Close()
 			return err
 		}
 		<-errc // always http.ErrServerClosed after Shutdown
+		if !s.awaitPublishes(shutdownCtx) {
+			return fmt.Errorf("shutdown: publication goroutines did not drain within %s", s.shutdownGrace)
+		}
 		return nil
 	}
 }

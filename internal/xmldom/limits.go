@@ -1,6 +1,9 @@
 package xmldom
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Limits bound the resources a single Parse call may consume, so a
 // malicious or malformed document cannot exhaust the process (deeply
@@ -14,6 +17,11 @@ type Limits struct {
 	MaxInput int
 	// MaxAttrs caps the number of attributes on a single element.
 	MaxAttrs int
+	// Cancel, when non-nil, aborts the parse shortly after the channel
+	// is closed (polled every few hundred elements). ParseContext wires
+	// a context's Done channel here so a catalog reload that is being
+	// torn down does not keep parsing a huge document.
+	Cancel <-chan struct{}
 }
 
 // DefaultLimits are the limits Parse and ParseString apply. They are
@@ -39,4 +47,19 @@ func ParseWithLimits(src []byte, lim Limits) (*Node, error) {
 // ParseStringWithLimits is ParseWithLimits for string input.
 func ParseStringWithLimits(src string, lim Limits) (*Node, error) {
 	return ParseWithLimits([]byte(src), lim)
+}
+
+// ParseContext is ParseWithLimits under a context: when ctx is
+// canceled the parse aborts (checked periodically) and the context's
+// error is returned instead of a positioned ParseError.
+func ParseContext(ctx context.Context, src []byte, lim Limits) (*Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	lim.Cancel = ctx.Done()
+	doc, err := ParseWithLimits(src, lim)
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return doc, err
 }

@@ -1,6 +1,8 @@
 package xmldom
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -82,5 +84,43 @@ func TestAttributeBombRejected(t *testing.T) {
 func TestZeroLimitsMeanUnlimited(t *testing.T) {
 	if _, err := ParseStringWithLimits(nested(6000), Limits{}); err != nil {
 		t.Errorf("unlimited parse of 6000-deep document failed: %v", err)
+	}
+}
+
+// wideDoc builds a flat document with n sibling elements — enough of
+// them to trip the periodic cancellation poll.
+func wideDoc(n int) []byte {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<e i=\"%d\">x</e>", i)
+	}
+	b.WriteString("</r>")
+	return []byte(b.String())
+}
+
+func TestParseContextCanceledAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ParseContext(ctx, wideDoc(5000), Limits{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled parse returned %v, want context.Canceled", err)
+	}
+
+	// Cancellation mid-parse (via the polled channel) also aborts.
+	ch := make(chan struct{})
+	close(ch)
+	if _, err := ParseWithLimits(wideDoc(5000), Limits{Cancel: ch}); err == nil {
+		t.Fatal("parse with closed Cancel channel completed")
+	}
+}
+
+func TestParseContextCompletesWhenNotCanceled(t *testing.T) {
+	doc, err := ParseContext(context.Background(), wideDoc(1000), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.DocumentElement() == nil {
+		t.Fatal("no document element")
 	}
 }

@@ -29,6 +29,26 @@ type parser struct {
 	ns        []map[string]string // namespace binding frames
 	limits    Limits
 	depth     int // current element nesting depth
+	elems     int // elements parsed, drives the periodic cancel check
+}
+
+// canceled polls the Limits.Cancel channel every 256 elements, so a
+// parse of a huge document can be abandoned mid-flight (ParseContext
+// wires a context's Done channel here).
+func (p *parser) canceled() bool {
+	if p.limits.Cancel == nil {
+		return false
+	}
+	p.elems++
+	if p.elems&0xff != 0 {
+		return false
+	}
+	select {
+	case <-p.limits.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // Parse parses a complete XML document and returns its document node.
@@ -316,6 +336,9 @@ type rawAttr struct {
 }
 
 func (p *parser) parseElement() (*Node, error) {
+	if p.canceled() {
+		return nil, p.errf("parse canceled")
+	}
 	line, col := p.line, p.col
 	if err := p.expect("<"); err != nil {
 		return nil, err
