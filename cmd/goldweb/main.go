@@ -486,7 +486,7 @@ func cmdTransform(args []string) error {
 		}
 		return xmldom.Parse(data)
 	}
-	sheet, err := xslt.CompileString(string(sheetData), xslt.CompileOptions{Loader: loader})
+	sheet, err := xslt.CompileStylesheetString(string(sheetData), xslt.CompileOptions{Loader: loader})
 	if err != nil {
 		return err
 	}

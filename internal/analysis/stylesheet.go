@@ -81,12 +81,15 @@ func LintStylesheet(file string, src []byte, schema *xsd.Schema) []Diagnostic {
 		}
 		return []Diagnostic{d}
 	}
-	sheet, err := xslt.Compile(doc, xslt.CompileOptions{})
+	sheet, err := xslt.CompileStylesheet(doc, xslt.CompileOptions{})
 	if err != nil {
 		d := Diagnostic{File: file, Severity: SevError, Code: CodeCompileError, Msg: err.Error()}
 		if ce, ok := err.(*xslt.CompileError); ok {
 			d.Line, d.Col = ce.Position()
 			d.Msg = ce.Msg
+			if rule := ce.Rule(); rule != "" {
+				d.Msg += " (in " + rule + ")"
+			}
 		}
 		return []Diagnostic{d}
 	}
@@ -601,9 +604,13 @@ func (l *ssLint) checkUnusedModes() {
 
 // checkShadowing flags template rules that can never fire because an
 // earlier rule in dispatch order matches every node they could match.
+// The rules come straight from the compiled program's jump table
+// (Program.ModeEntries), so the check reasons about exactly the dispatch
+// order the bytecode VM executes.
 func (l *ssLint) checkShadowing() {
-	for _, mode := range l.sheet.Modes() {
-		rules := l.sheet.ModeRules(mode)
+	prog := l.sheet.Program()
+	for _, mode := range prog.Modes() {
+		rules := prog.ModeEntries(mode)
 		for i, r := range rules {
 			if r.Builtin || r.Match == nil {
 				continue

@@ -83,7 +83,7 @@ var (
 // process-wide (compiled once).
 func SinglePageStylesheet() (*xslt.Stylesheet, error) {
 	singleOnce.Do(func() {
-		singleXSLT, singleErr = xslt.CompileString(SingleXSL, xslt.CompileOptions{})
+		singleXSLT, singleErr = xslt.CompileStylesheetString(SingleXSL, xslt.CompileOptions{})
 	})
 	return singleXSLT, singleErr
 }
@@ -93,7 +93,7 @@ func SinglePageStylesheet() (*xslt.Stylesheet, error) {
 // compiled once like SinglePageStylesheet.
 func MultiPageStylesheet() (*xslt.Stylesheet, error) {
 	multiOnce.Do(func() {
-		multiXSLT, multiErr = xslt.CompileString(MultiXSL, xslt.CompileOptions{})
+		multiXSLT, multiErr = xslt.CompileStylesheetString(MultiXSL, xslt.CompileOptions{})
 	})
 	return multiXSLT, multiErr
 }

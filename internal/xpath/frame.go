@@ -1,0 +1,239 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"goldweb/internal/xmldom"
+)
+
+// The shared VM frame: one pooled evaluation stack per transformation,
+// carrying both the XPath operand stack and the control frames of a
+// stylesheet bytecode program. Embedded expressions evaluate with the
+// EvalXxxOn entry points on the caller's frame, so a transform performs
+// exactly one frame-pool round trip instead of one per expression.
+
+// CtlFrame is one control frame of a stylesheet program running on the
+// shared stack: an apply-templates loop, a template call, a for-each
+// loop, a variable scope, or an output-capture redirect. The xslt
+// bytecode VM defines the Kind values and owns the field semantics; the
+// frame lives here so both VMs share one pooled allocation.
+type CtlFrame struct {
+	Kind uint8
+	Ret  int32 // return / loop-head pc
+	Site int32 // side-table index of the instruction that pushed the frame
+	Idx  int32 // loop iteration cursor
+	Prec int   // saved import precedence
+	Pos  int   // saved context position
+	Size int   // saved context size
+	Node *xmldom.Node
+	List []*xmldom.Node
+	Mode string // saved mode (apply frames)
+	Str  string // pending computed name (capture frames)
+	Vars map[string]Value
+	// Passed holds evaluated with-param values for the template about to
+	// be entered.
+	Passed map[string]Value
+	// Out is the saved output sink of a capture/redirect frame (typed by
+	// the xslt VM; opaque here to avoid a dependency cycle).
+	Out any
+}
+
+// Frame is the pooled per-transformation evaluation state shared by the
+// XPath expression VM and the XSLT bytecode VM: the unboxed operand
+// stack expressions run on, plus the control-frame stack of the
+// stylesheet program. Frames are not safe for concurrent use; obtain one
+// with GetFrame and return it with PutFrame.
+type Frame struct {
+	ops frame
+	Ctl []CtlFrame
+}
+
+var vmFramePool = sync.Pool{New: func() any {
+	return &Frame{ops: frame{stack: make([]irval, 0, 64)}, Ctl: make([]CtlFrame, 0, 32)}
+}}
+
+// GetFrame returns an empty shared VM frame from the pool. Release it
+// with PutFrame when the evaluation or transformation is done.
+func GetFrame() *Frame {
+	return vmFramePool.Get().(*Frame)
+}
+
+// PutFrame clears a frame (dropping every node, variable and sink
+// reference so the pooled value pins nothing) and returns it to the
+// pool.
+func PutFrame(f *Frame) {
+	f.ops.truncate(0)
+	clear(f.Ctl[:cap(f.Ctl)])
+	f.Ctl = f.Ctl[:0]
+	vmFramePool.Put(f)
+}
+
+// PushCtl appends a control frame and returns a pointer to it, valid
+// until the next push.
+func (f *Frame) PushCtl(cf CtlFrame) *CtlFrame {
+	f.Ctl = append(f.Ctl, cf)
+	return &f.Ctl[len(f.Ctl)-1]
+}
+
+// TopCtl returns the innermost control frame, or nil when none is
+// active.
+func (f *Frame) TopCtl() *CtlFrame {
+	if len(f.Ctl) == 0 {
+		return nil
+	}
+	return &f.Ctl[len(f.Ctl)-1]
+}
+
+// PopCtl removes the innermost control frame, clearing it so the backing
+// array retains no references.
+func (f *Frame) PopCtl() {
+	n := len(f.Ctl) - 1
+	f.Ctl[n] = CtlFrame{}
+	f.Ctl = f.Ctl[:n]
+}
+
+// Depth returns the number of active control frames.
+func (f *Frame) Depth() int { return len(f.Ctl) }
+
+// reserve grows the operand stack capacity so the next program runs
+// without reallocating mid-evaluation.
+func (f *Frame) reserve(need int) {
+	if free := cap(f.ops.stack) - len(f.ops.stack); free < need {
+		grown := make([]irval, len(f.ops.stack), len(f.ops.stack)+need)
+		copy(grown, f.ops.stack)
+		f.ops.stack = grown
+	}
+}
+
+// runOn executes the compiled program on the caller's shared frame
+// instead of a pooled per-evaluation one.
+func (c *Compiled) runOn(ctx *Context, f *Frame) (irval, error) {
+	f.reserve(c.prog.maxStack)
+	return exec(c.prog, ctx, &f.ops)
+}
+
+// EvalOn is Eval on a caller-owned shared frame.
+func (c *Compiled) EvalOn(ctx *Context, f *Frame) (Value, error) {
+	v, err := c.runOn(ctx, f)
+	if err != nil {
+		return nil, err
+	}
+	return v.boxed(), nil
+}
+
+// EvalBoolOn is EvalBool on a caller-owned shared frame.
+func (c *Compiled) EvalBoolOn(ctx *Context, f *Frame) (bool, error) {
+	v, err := c.runOn(ctx, f)
+	if err != nil {
+		return false, err
+	}
+	return v.truthy(), nil
+}
+
+// EvalStringOn is EvalString on a caller-owned shared frame.
+func (c *Compiled) EvalStringOn(ctx *Context, f *Frame) (string, error) {
+	v, err := c.runOn(ctx, f)
+	if err != nil {
+		return "", err
+	}
+	return v.toStr(), nil
+}
+
+// EvalNumberOn is EvalNumber on a caller-owned shared frame.
+func (c *Compiled) EvalNumberOn(ctx *Context, f *Frame) (float64, error) {
+	v, err := c.runOn(ctx, f)
+	if err != nil {
+		return 0, err
+	}
+	return v.toNum(), nil
+}
+
+// EvalNodesOn is EvalNodes on a caller-owned shared frame.
+func (c *Compiled) EvalNodesOn(ctx *Context, f *Frame) (NodeSet, error) {
+	v, err := c.runOn(ctx, f)
+	if err != nil {
+		return nil, err
+	}
+	if v.kind != vNodes {
+		return nil, fmt.Errorf("xpath: %s does not evaluate to a node-set", c.src)
+	}
+	return v.nodes, nil
+}
+
+// Disasm renders the compiled program as a flat, pc-addressed
+// instruction listing (Plan renders the same program nested). Path and
+// filter operands print their sub-structure indented under the owning
+// instruction without consuming pc numbers, mirroring how the evaluator
+// treats them as single opcodes.
+func (c *Compiled) Disasm() string {
+	var b strings.Builder
+	disasmProgram(&b, c.prog, "")
+	return b.String()
+}
+
+func disasmProgram(b *strings.Builder, p *program, indent string) {
+	for pc, in := range p.code {
+		fmt.Fprintf(b, "%s%04d ", indent, pc)
+		switch in.op {
+		case opConst:
+			fmt.Fprintf(b, "const %s\n", p.consts[in.a].planString())
+		case opVar:
+			fmt.Fprintf(b, "var $%s\n", p.names[in.a])
+		case opCall:
+			cs := p.calls[in.a]
+			fmt.Fprintf(b, "call %s/%d\n", cs.name, cs.argc)
+		case opID:
+			b.WriteString("id-lookup\n")
+		case opUnion:
+			fmt.Fprintf(b, "union %d\n", in.a)
+		case opJmpFalse:
+			fmt.Fprintf(b, "jmp-false %04d\n", in.a)
+		case opJmpTrue:
+			fmt.Fprintf(b, "jmp-true %04d\n", in.a)
+		case opPath:
+			pl := p.paths[in.a]
+			head := "path"
+			switch {
+			case pl.hasInput:
+				head += " from-input"
+			case pl.absolute:
+				head += " abs"
+			}
+			fmt.Fprintf(b, "%s\n", head)
+			for _, st := range pl.steps {
+				flags := ""
+				if st.indexed {
+					flags += " [name-index]"
+				}
+				if st.forward {
+					flags += " [forward]"
+				}
+				fmt.Fprintf(b, "%s     . step %s::%s%s\n", indent, st.axis, st.test, flags)
+				disasmPreds(b, st.preds, indent+"     ")
+			}
+		case opFilter:
+			b.WriteString("filter\n")
+			disasmPreds(b, p.filters[in.a], indent+"     ")
+		default:
+			fmt.Fprintf(b, "%s\n", opcodeNames[in.op])
+		}
+	}
+}
+
+func disasmPreds(b *strings.Builder, preds []*predPlan, indent string) {
+	for _, pr := range preds {
+		switch {
+		case pr.posConst > 0:
+			fmt.Fprintf(b, "%s. pred [select #%d]\n", indent, pr.posConst)
+		case pr.posFree:
+			fmt.Fprintf(b, "%s. pred [pos-free]\n", indent)
+		default:
+			fmt.Fprintf(b, "%s. pred\n", indent)
+		}
+		if pr.prog != nil {
+			disasmProgram(b, pr.prog, indent+"  ")
+		}
+	}
+}

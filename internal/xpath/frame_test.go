@@ -1,0 +1,104 @@
+package xpath
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"goldweb/internal/xmldom"
+)
+
+// TestEvalOnMatchesEval pins the shared-frame entry points to the pooled
+// ones across value kinds, including re-entrant evaluation on one frame.
+func TestEvalOnMatchesEval(t *testing.T) {
+	doc := xmldom.MustParseString(`<r><a id="1">x</a><a id="2">y</a><b>z</b></r>`)
+	f := GetFrame()
+	defer PutFrame(f)
+	for _, src := range []string{
+		"//a",
+		"count(//a) + 1",
+		"concat(name(/*), '-', string(//b))",
+		"//a[@id='2']",
+		"boolean(//missing)",
+		"(//a | //b)[last()]",
+	} {
+		c := MustCompile(src)
+		ctx := &Context{Node: doc, Position: 1, Size: 1}
+		want, err1 := c.Eval(ctx)
+		got, err2 := c.EvalOn(ctx, f)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: error divergence: %v vs %v", src, err1, err2)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: Eval=%v EvalOn=%v", src, want, got)
+		}
+		if b1, _ := c.EvalBool(ctx); true {
+			if b2, _ := c.EvalBoolOn(ctx, f); b1 != b2 {
+				t.Errorf("%s: EvalBool=%v EvalBoolOn=%v", src, b1, b2)
+			}
+		}
+		if s1, _ := c.EvalString(ctx); true {
+			if s2, _ := c.EvalStringOn(ctx, f); s1 != s2 {
+				t.Errorf("%s: EvalString=%q EvalStringOn=%q", src, s1, s2)
+			}
+		}
+		if n1, err := c.EvalNumber(ctx); err == nil {
+			n2, _ := c.EvalNumberOn(ctx, f)
+			if n1 != n2 && !(n1 != n1 && n2 != n2) { // NaN-tolerant
+				t.Errorf("%s: EvalNumber=%v EvalNumberOn=%v", src, n1, n2)
+			}
+		}
+	}
+	if len(f.ops.stack) != 0 {
+		t.Fatalf("operand stack not restored: %d residual slots", len(f.ops.stack))
+	}
+}
+
+func TestFrameCtlStack(t *testing.T) {
+	f := GetFrame()
+	n := xmldom.MustParseString(`<x/>`)
+	f.PushCtl(CtlFrame{Kind: 1, Node: n, Vars: map[string]Value{"v": Number(1)}})
+	f.PushCtl(CtlFrame{Kind: 2, Ret: 7})
+	if f.Depth() != 2 || f.TopCtl().Kind != 2 {
+		t.Fatalf("unexpected ctl stack state: depth=%d", f.Depth())
+	}
+	f.PopCtl()
+	if f.TopCtl().Kind != 1 {
+		t.Fatalf("pop did not expose outer frame")
+	}
+	PutFrame(f)
+	g := GetFrame()
+	defer PutFrame(g)
+	if g.Depth() != 0 {
+		t.Fatalf("pooled frame not cleared: depth=%d", g.Depth())
+	}
+	// The backing array must have been scrubbed on Put.
+	for i := range g.Ctl[:cap(g.Ctl)] {
+		if cf := &g.Ctl[:cap(g.Ctl)][i]; cf.Node != nil || cf.Vars != nil {
+			t.Fatalf("pooled ctl slot %d retains references", i)
+		}
+	}
+}
+
+// TestDisasm pins the flat pc-addressed rendering for a program that
+// exercises constants, jumps, calls, paths and predicates.
+func TestDisasm(t *testing.T) {
+	c := MustCompile("count(//a[@id]) > 2 and $go")
+	got := c.Disasm()
+	for _, want := range []string{
+		"0000 ", "call count/1", "const 2", "gt", "jmp-false",
+		"step descendant::a [name-index] [forward]", "pred [pos-free]",
+		"var $go",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Disasm missing %q in:\n%s", want, got)
+		}
+	}
+	// Every line is either pc-addressed or an indented sub-structure line.
+	for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		if trimmed == "" {
+			t.Errorf("blank disasm line in:\n%s", got)
+		}
+	}
+}

@@ -1,0 +1,755 @@
+package xslt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xpath"
+)
+
+// The stylesheet bytecode: CompileStylesheet lowers the compiled
+// instruction tree into one flat program per stylesheet, executed by the
+// VM in vm.go on the frame stack shared with the XPath expression VM
+// (xpath.Frame). Three properties distinguish it from the retained
+// tree-walking engine:
+//
+//   - template dispatch is a jump table: the per-mode match-class index
+//     (precedence-resolved at compile time) narrows the candidate rules,
+//     and the winning rule's body is entered by pc, not by Go call;
+//   - maximal static literal runs (literal text and literal elements
+//     whose attributes carry no expressions) collapse into single
+//     pre-serialized segments (xmldom.Segment) appended to the
+//     ByteEmitter tape with one bulk copy;
+//   - apply-templates / for-each / call-template are VM loops and calls
+//     on one pooled control stack — no per-node Go recursion and no
+//     boxed per-evaluation contexts.
+//
+// Compile (without lowering) remains the reference engine; the
+// differential and fuzz tests in bytecode_test.go pin the two to
+// byte-identical output.
+
+// xop is a stylesheet bytecode opcode.
+type xop uint8
+
+const (
+	opHalt         xop = iota
+	opRet              // return from a template body (apply iteration or call)
+	opJmp              // a: target pc
+	opTest             // a: expr; b: target pc when the test is false
+	opSeg              // a: segment — bulk-append a pre-serialized literal run
+	opText             // a: string; b: 1 = disable output escaping
+	opValueOf          // a: expr; b: 1 = disable output escaping
+	opLitBegin         // a: literal element name
+	opAttrSets         // a: name list — apply xsl:use-attribute-sets
+	opLitAttr          // a: literal attribute with a static value
+	opAVTAttr          // a: literal attribute with an AVT value
+	opEndElem          // close the open element (literal, xsl:element)
+	opApply            // a: apply site — push the loop frame (falls into opIterate)
+	opIterate          // a: apply site; b: exit pc — dispatch next node or exit
+	opForEach          // a: for-each site — push the loop frame
+	opForNext          // b: exit pc — advance the iteration or exit
+	opForEnd           // a: loop-head pc (its opForNext)
+	opCall             // a: call site — push a call frame, jump to the template
+	opApplyImports     // dispatch below the current precedence, call frame
+	opEnter            // a: template — bind parameters, set import precedence
+	opScopeBegin       // copy-on-write variable scope for a body with xsl:variable
+	opScopeEnd
+	opVarDecl      // a: variable declaration — evaluate and bind
+	opElemBegin    // a: element site — computed name + attribute sets
+	opAttrBegin    // a: name AVT — begin capturing an attribute value
+	opAttrEnd      //
+	opCommentBegin // begin capturing a comment body
+	opCommentEnd   //
+	opPIBegin      // a: name AVT — begin capturing a PI body
+	opPIEnd        //
+	opMsgBegin     // begin capturing an xsl:message body
+	opMsgEnd       // a: 1 = terminate
+	opDocBegin     // a: href AVT — redirect output to an xsl:document sink
+	opDocEnd       //
+	opCopyBegin    // a: copy site; b: pc after opCopyEnd (leaf-node skip)
+	opCopyEnd      //
+	opCopyOf       // a: expr
+	opNumber       // a: number site
+)
+
+var xopNames = [...]string{
+	opHalt: "halt", opRet: "ret", opJmp: "jmp", opTest: "test", opSeg: "seg",
+	opText: "text", opValueOf: "value-of", opLitBegin: "elem",
+	opAttrSets: "attr-sets", opLitAttr: "attr", opAVTAttr: "attr-avt",
+	opEndElem: "end-elem", opApply: "apply", opIterate: "iterate",
+	opForEach: "for-each", opForNext: "for-next", opForEnd: "for-end",
+	opCall: "call", opApplyImports: "apply-imports", opEnter: "enter",
+	opScopeBegin: "scope-begin", opScopeEnd: "scope-end", opVarDecl: "var",
+	opElemBegin: "elem-avt", opAttrBegin: "attr-begin", opAttrEnd: "attr-end",
+	opCommentBegin: "comment-begin", opCommentEnd: "comment-end",
+	opPIBegin: "pi-begin", opPIEnd: "pi-end", opMsgBegin: "msg-begin",
+	opMsgEnd: "msg-end", opDocBegin: "doc-begin", opDocEnd: "doc-end",
+	opCopyBegin: "copy", opCopyEnd: "copy-end", opCopyOf: "copy-of",
+	opNumber: "number",
+}
+
+// binstr is one bytecode instruction: an opcode plus two operands
+// (side-table indexes or jump targets).
+type binstr struct {
+	op   xop
+	a, b int32
+}
+
+// applySite is the compile-time payload of one xsl:apply-templates.
+type applySite struct {
+	sel  *xpath.Compiled // nil → child nodes (or the context node when self)
+	self bool            // root invocation: the list is [context node]
+	mode string
+	// disp is the mode's dispatch index, resolved at compile time so the
+	// iterate loop never consults the mode map.
+	disp   *templateIndex
+	sorts  []sortKey
+	params []withParam
+}
+
+// forSite is the payload of one xsl:for-each.
+type forSite struct {
+	sel   *xpath.Compiled
+	sorts []sortKey
+}
+
+// bcCallSite is the payload of one xsl:call-template, with the callee
+// resolved at compile time (nil when the stylesheet names a missing
+// template: the runtime error is deferred to match the tree engine).
+type bcCallSite struct {
+	name   string
+	t      *Template
+	params []withParam
+}
+
+// elemSite is the payload of one xsl:element.
+type elemSite struct {
+	name    *avt
+	useSets []string
+}
+
+// litName is a literal result element name.
+type litName struct {
+	prefix, uri, name string
+}
+
+// litAttrOp is a literal attribute whose value template is static.
+type litAttrOp struct {
+	prefix, uri, name, value string
+}
+
+// avtAttrOp is a literal attribute with a computed value template.
+type avtAttrOp struct {
+	prefix, uri, name string
+	value             *avt
+}
+
+// progTemplate records one lowered template and its entry pc.
+type progTemplate struct {
+	t     *Template
+	entry int32
+}
+
+// Program is a compiled stylesheet lowered to flat bytecode with its
+// side tables. Programs are immutable after lowering and safe for
+// concurrent execution; all run state lives on the shared xpath.Frame
+// and in the per-run engine.
+type Program struct {
+	sheet      *Stylesheet
+	code       []binstr
+	segs       []*xmldom.Segment
+	strs       []string
+	exprs      []*xpath.Compiled
+	avts       []*avt
+	litNames   []litName
+	litAttrs   []litAttrOp
+	avtAttrs   []avtAttrOp
+	nameLists  [][]string
+	varDecls   []*compiledVar
+	applySites []*applySite
+	forSites   []*forSite
+	callSites  []*bcCallSite
+	elemSites  []*elemSite
+	copySites  [][]string
+	numSites   []*iNumber
+	tmpls      []*progTemplate
+}
+
+// CompileStylesheet compiles a stylesheet document and lowers it to
+// bytecode: Transform and TransformToBuffers then execute the flat
+// program on the shared XPath VM. Compile retains the tree-walking
+// engine (the differential oracle) and is what lint-only callers use.
+func CompileStylesheet(doc *xmldom.Node, opts CompileOptions) (*Stylesheet, error) {
+	s, err := Compile(doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.prog = s.lower()
+	return s, nil
+}
+
+// CompileStylesheetString parses, compiles and lowers a stylesheet from
+// XML text.
+func CompileStylesheetString(src string, opts CompileOptions) (*Stylesheet, error) {
+	doc, err := xmldom.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileStylesheet(doc, opts)
+}
+
+// MustCompileStylesheetString compiles an embedded, known-good
+// stylesheet to bytecode.
+func MustCompileStylesheetString(src string) *Stylesheet {
+	s, err := CompileStylesheetString(src, CompileOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Program returns the lowered bytecode, or nil when the stylesheet was
+// compiled with Compile (tree engine only).
+func (s *Stylesheet) Program() *Program { return s.prog }
+
+// ---- lowering ----
+
+// asm accumulates the flat program.
+type asm struct {
+	s *Stylesheet
+	p *Program
+}
+
+func (a *asm) emit(op xop, opa, opb int32) int {
+	a.p.code = append(a.p.code, binstr{op: op, a: opa, b: opb})
+	return len(a.p.code) - 1
+}
+
+func (a *asm) patchA(pc int, target int32) { a.p.code[pc].a = target }
+func (a *asm) patchB(pc int, target int32) { a.p.code[pc].b = target }
+func (a *asm) here() int32                 { return int32(len(a.p.code)) }
+
+// lower flattens every template of the stylesheet into one program.
+// Template bodies are laid out after the root prologue in deterministic
+// order (sorted modes, precedence order within a mode, then named-only
+// templates sorted by name), so disassembly is stable.
+func (s *Stylesheet) lower() *Program {
+	p := &Program{sheet: s}
+	a := &asm{s: s, p: p}
+
+	// Root prologue: apply the built-in root rule semantics — one
+	// apply-templates pass over [source] in the default mode — then halt.
+	root := &applySite{self: true, disp: s.index[""]}
+	p.applySites = append(p.applySites, root)
+	a.emit(opApply, 0, 0)
+	it := a.emit(opIterate, 0, 0)
+	a.patchB(it, a.here())
+	a.emit(opHalt, 0, 0)
+
+	seen := map[*Template]bool{}
+	lowerT := func(t *Template) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		a.lowerTemplate(t)
+	}
+	modes := make([]string, 0, len(s.templates))
+	for mode := range s.templates {
+		modes = append(modes, mode)
+	}
+	sort.Strings(modes)
+	for _, mode := range modes {
+		for _, t := range s.templates[mode] {
+			lowerT(t)
+		}
+	}
+	names := make([]string, 0, len(s.named))
+	for name := range s.named {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		lowerT(s.named[name])
+	}
+	return p
+}
+
+func (a *asm) lowerTemplate(t *Template) {
+	t.entryPC = a.here()
+	ti := int32(len(a.p.tmpls))
+	a.p.tmpls = append(a.p.tmpls, &progTemplate{t: t, entry: t.entryPC})
+	a.emit(opEnter, ti, 0)
+	a.lowerBody(t.body)
+	a.emit(opRet, 0, 0)
+}
+
+// lowerBody flattens one instruction sequence. A body that declares
+// variables gets an eager scope frame — observationally identical to the
+// tree engine's lazy copy-on-first-variable, since nothing can tell the
+// two maps apart before the first binding.
+func (a *asm) lowerBody(body []instruction) {
+	scope := false
+	for _, ins := range body {
+		if _, ok := ins.(*iVariable); ok {
+			scope = true
+			break
+		}
+	}
+	if scope {
+		a.emit(opScopeBegin, 0, 0)
+	}
+	for i := 0; i < len(body); {
+		if n := a.staticRun(body[i:]); n > 0 {
+			a.emitSegment(body[i : i+n])
+			i += n
+			continue
+		}
+		a.lowerInstr(body[i])
+		i++
+	}
+	if scope {
+		a.emit(opScopeEnd, 0, 0)
+	}
+}
+
+// staticRun returns the length of the maximal static prefix of body when
+// collapsing it into a segment pays off (it contains an element, or at
+// least two instructions); single text nodes emit cheaper as opText.
+func (a *asm) staticRun(body []instruction) int {
+	n := 0
+	hasElem := false
+	for _, ins := range body {
+		if !staticInstr(ins) {
+			break
+		}
+		if _, ok := ins.(*iLiteralElement); ok {
+			hasElem = true
+		}
+		n++
+	}
+	if hasElem || n >= 2 {
+		return n
+	}
+	return 0
+}
+
+// staticInstr reports whether an instruction produces identical events
+// on every execution: literal text, xsl:text, and literal elements whose
+// attribute value templates are expression-free (transitively).
+func staticInstr(ins instruction) bool {
+	switch t := ins.(type) {
+	case *iLiteralText:
+		return true
+	case *iText:
+		return true
+	case *iLiteralElement:
+		if len(t.useSets) > 0 {
+			return false
+		}
+		for _, at := range t.attrs {
+			if _, ok := staticAVT(at.value); !ok {
+				return false
+			}
+		}
+		for _, c := range t.body {
+			if !staticInstr(c) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// staticAVT returns the constant value of an expression-free attribute
+// value template.
+func staticAVT(a *avt) (string, bool) {
+	var b strings.Builder
+	for _, p := range a.parts {
+		if p.expr != nil {
+			return "", false
+		}
+		b.WriteString(p.lit)
+	}
+	return b.String(), true
+}
+
+// emitSegment records a static run once and emits a single bulk-copy
+// opcode for it.
+func (a *asm) emitSegment(run []instruction) {
+	seg := xmldom.RecordSegment(func(em xmldom.Emitter) {
+		for _, ins := range run {
+			emitStatic(ins, em)
+		}
+	})
+	idx := int32(len(a.p.segs))
+	a.p.segs = append(a.p.segs, seg)
+	a.emit(opSeg, idx, 0)
+}
+
+// emitStatic replays one static instruction's events into the segment
+// recorder, in exactly the order the tree engine would emit them.
+func emitStatic(ins instruction, em xmldom.Emitter) {
+	switch t := ins.(type) {
+	case *iLiteralText:
+		em.Text(t.data, false)
+	case *iText:
+		em.Text(t.data, t.disableEsc)
+	case *iLiteralElement:
+		em.BeginElement(t.prefix, t.uri, t.name)
+		for _, at := range t.attrs {
+			v, _ := staticAVT(at.value)
+			em.Attr(at.prefix, at.uri, at.name, v)
+		}
+		for _, c := range t.body {
+			emitStatic(c, em)
+		}
+		em.EndElement()
+	}
+}
+
+// side-table adders
+
+func (a *asm) addStr(s string) int32 {
+	a.p.strs = append(a.p.strs, s)
+	return int32(len(a.p.strs) - 1)
+}
+
+func (a *asm) addExpr(x *xpath.Compiled) int32 {
+	a.p.exprs = append(a.p.exprs, x)
+	return int32(len(a.p.exprs) - 1)
+}
+
+func (a *asm) addAVT(v *avt) int32 {
+	a.p.avts = append(a.p.avts, v)
+	return int32(len(a.p.avts) - 1)
+}
+
+func (a *asm) addNameList(names []string) int32 {
+	a.p.nameLists = append(a.p.nameLists, names)
+	return int32(len(a.p.nameLists) - 1)
+}
+
+func boolOperand(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (a *asm) lowerInstr(ins instruction) {
+	p := a.p
+	switch t := ins.(type) {
+	case *iLiteralText:
+		a.emit(opText, a.addStr(t.data), 0)
+	case *iText:
+		a.emit(opText, a.addStr(t.data), boolOperand(t.disableEsc))
+	case *iValueOf:
+		a.emit(opValueOf, a.addExpr(t.sel), boolOperand(t.disableEsc))
+	case *iLiteralElement:
+		p.litNames = append(p.litNames, litName{prefix: t.prefix, uri: t.uri, name: t.name})
+		a.emit(opLitBegin, int32(len(p.litNames)-1), 0)
+		if len(t.useSets) > 0 {
+			a.emit(opAttrSets, a.addNameList(t.useSets), 0)
+		}
+		for _, at := range t.attrs {
+			if v, ok := staticAVT(at.value); ok {
+				p.litAttrs = append(p.litAttrs, litAttrOp{prefix: at.prefix, uri: at.uri, name: at.name, value: v})
+				a.emit(opLitAttr, int32(len(p.litAttrs)-1), 0)
+			} else {
+				p.avtAttrs = append(p.avtAttrs, avtAttrOp{prefix: at.prefix, uri: at.uri, name: at.name, value: at.value})
+				a.emit(opAVTAttr, int32(len(p.avtAttrs)-1), 0)
+			}
+		}
+		a.lowerBody(t.body)
+		a.emit(opEndElem, 0, 0)
+	case *iApplyTemplates:
+		site := &applySite{sel: t.sel, mode: t.mode, disp: a.s.index[t.mode], sorts: t.sorts, params: t.params}
+		p.applySites = append(p.applySites, site)
+		si := int32(len(p.applySites) - 1)
+		a.emit(opApply, si, 0)
+		it := a.emit(opIterate, si, 0)
+		a.patchB(it, a.here())
+	case *iForEach:
+		p.forSites = append(p.forSites, &forSite{sel: t.sel, sorts: t.sorts})
+		a.emit(opForEach, int32(len(p.forSites)-1), 0)
+		next := a.emit(opForNext, 0, 0)
+		a.lowerBody(t.body)
+		a.emit(opForEnd, int32(next), 0)
+		a.patchB(next, a.here())
+	case *iCallTemplate:
+		p.callSites = append(p.callSites, &bcCallSite{name: t.name, t: a.s.named[t.name], params: t.params})
+		a.emit(opCall, int32(len(p.callSites)-1), 0)
+	case *iApplyImports:
+		a.emit(opApplyImports, 0, 0)
+	case *iElement:
+		p.elemSites = append(p.elemSites, &elemSite{name: t.name, useSets: t.useSets})
+		a.emit(opElemBegin, int32(len(p.elemSites)-1), 0)
+		a.lowerBody(t.body)
+		a.emit(opEndElem, 0, 0)
+	case *iAttribute:
+		a.emit(opAttrBegin, a.addAVT(t.name), 0)
+		a.lowerBody(t.body)
+		a.emit(opAttrEnd, 0, 0)
+	case *iComment:
+		a.emit(opCommentBegin, 0, 0)
+		a.lowerBody(t.body)
+		a.emit(opCommentEnd, 0, 0)
+	case *iPI:
+		a.emit(opPIBegin, a.addAVT(t.name), 0)
+		a.lowerBody(t.body)
+		a.emit(opPIEnd, 0, 0)
+	case *iMessage:
+		a.emit(opMsgBegin, 0, 0)
+		a.lowerBody(t.body)
+		a.emit(opMsgEnd, boolOperand(t.terminate), 0)
+	case *iDocument:
+		a.emit(opDocBegin, a.addAVT(t.href), 0)
+		a.lowerBody(t.body)
+		a.emit(opDocEnd, 0, 0)
+	case *iCopy:
+		p.copySites = append(p.copySites, t.useSets)
+		cb := a.emit(opCopyBegin, int32(len(p.copySites)-1), 0)
+		a.lowerBody(t.body)
+		a.emit(opCopyEnd, 0, 0)
+		a.patchB(cb, a.here())
+	case *iCopyOf:
+		a.emit(opCopyOf, a.addExpr(t.sel), 0)
+	case *iIf:
+		tp := a.emit(opTest, a.addExpr(t.test), 0)
+		a.lowerBody(t.body)
+		a.patchB(tp, a.here())
+	case *iChoose:
+		var ends []int
+		for _, w := range t.whens {
+			tp := a.emit(opTest, a.addExpr(w.test), 0)
+			a.lowerBody(w.body)
+			ends = append(ends, a.emit(opJmp, 0, 0))
+			a.patchB(tp, a.here())
+		}
+		if t.otherwise != nil {
+			a.lowerBody(t.otherwise)
+		}
+		for _, e := range ends {
+			a.patchA(e, a.here())
+		}
+	case *iVariable:
+		p.varDecls = append(p.varDecls, t.decl)
+		a.emit(opVarDecl, int32(len(p.varDecls)-1), 0)
+	case *iNumber:
+		p.numSites = append(p.numSites, t)
+		a.emit(opNumber, int32(len(p.numSites)-1), 0)
+	default:
+		// Every instruction the compiler produces is handled above; a new
+		// instruction type must be lowered here before it can ship.
+		panic(fmt.Sprintf("xslt: no lowering for %T", ins))
+	}
+}
+
+// ---- introspection ----
+
+// DispatchRule is one entry of a compiled program's per-mode jump table:
+// the template rule plus the pc its body is entered at. Entries are in
+// dispatch (precedence) order — the first matching rule wins.
+type DispatchRule struct {
+	TemplateRule
+	Entry int
+}
+
+// Modes returns every mode with jump-table entries, sorted.
+func (p *Program) Modes() []string { return p.sheet.Modes() }
+
+// ModeEntries returns one mode's jump table. The static analyzer's
+// shadowed-template check (GW201) reads dispatch order from here, so it
+// reasons about exactly what the VM executes.
+func (p *Program) ModeEntries(mode string) []DispatchRule {
+	ts := p.sheet.templates[mode]
+	out := make([]DispatchRule, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, DispatchRule{
+			TemplateRule: TemplateRule{
+				Match:      t.Match,
+				Name:       t.Name,
+				Mode:       t.Mode,
+				Priority:   t.Priority,
+				ImportPrec: t.importPrec,
+				Builtin:    t.src == nil,
+				Src:        t.src,
+			},
+			Entry: int(t.entryPC),
+		})
+	}
+	return out
+}
+
+// ---- disassembly ----
+
+// avtSource reconstructs the {expr}-interleaved source of an attribute
+// value template for disassembly.
+func avtSource(a *avt) string {
+	var b strings.Builder
+	for _, p := range a.parts {
+		if p.expr == nil {
+			b.WriteString(p.lit)
+		} else {
+			b.WriteByte('{')
+			b.WriteString(p.expr.String())
+			b.WriteByte('}')
+		}
+	}
+	return b.String()
+}
+
+// templateLabel renders a template's identity for disassembly headers.
+func templateLabel(t *Template) string {
+	var parts []string
+	if t.Name != "" {
+		parts = append(parts, fmt.Sprintf("name=%q", t.Name))
+	}
+	if t.Match != nil {
+		parts = append(parts, fmt.Sprintf("match=%q", t.Match.String()))
+	}
+	if t.Mode != "" {
+		parts = append(parts, fmt.Sprintf("mode=%q", t.Mode))
+	}
+	if t.src == nil && t.Match != nil {
+		parts = append(parts, "builtin")
+	}
+	return strings.Join(parts, " ")
+}
+
+func qname(prefix, name string) string {
+	if prefix != "" {
+		return prefix + ":" + name
+	}
+	return name
+}
+
+// Disasm renders the program as a deterministic pc-addressed listing
+// with a header line per template body — the golden corpus format of
+// testdata/programs.want.
+func (p *Program) Disasm() string {
+	heads := make(map[int32]*progTemplate, len(p.tmpls))
+	for _, pt := range p.tmpls {
+		heads[pt.entry] = pt
+	}
+	var b strings.Builder
+	for pc, in := range p.code {
+		if pt, ok := heads[int32(pc)]; ok {
+			fmt.Fprintf(&b, "\n;; template %s\n", templateLabel(pt.t))
+		}
+		fmt.Fprintf(&b, "%04d %s", pc, xopNames[in.op])
+		switch in.op {
+		case opJmp:
+			fmt.Fprintf(&b, " %04d", in.a)
+		case opTest:
+			fmt.Fprintf(&b, " %s false→%04d", p.exprs[in.a].String(), in.b)
+		case opSeg:
+			fmt.Fprintf(&b, " #%d %s", in.a, p.segs[in.a].Summary())
+		case opText:
+			fmt.Fprintf(&b, " %q", p.strs[in.a])
+			if in.b != 0 {
+				b.WriteString(" raw")
+			}
+		case opValueOf:
+			fmt.Fprintf(&b, " %s", p.exprs[in.a].String())
+			if in.b != 0 {
+				b.WriteString(" raw")
+			}
+		case opLitBegin:
+			ln := p.litNames[in.a]
+			fmt.Fprintf(&b, " <%s>", qname(ln.prefix, ln.name))
+		case opAttrSets:
+			fmt.Fprintf(&b, " [%s]", strings.Join(p.nameLists[in.a], " "))
+		case opLitAttr:
+			la := p.litAttrs[in.a]
+			fmt.Fprintf(&b, " %s=%q", qname(la.prefix, la.name), la.value)
+		case opAVTAttr:
+			aa := p.avtAttrs[in.a]
+			fmt.Fprintf(&b, " %s=%q", qname(aa.prefix, aa.name), avtSource(aa.value))
+		case opApply:
+			site := p.applySites[in.a]
+			if site.self {
+				b.WriteString(" self")
+			} else if site.sel != nil {
+				fmt.Fprintf(&b, " select=%s", site.sel.String())
+			} else {
+				b.WriteString(" children")
+			}
+			if site.mode != "" {
+				fmt.Fprintf(&b, " mode=%q", site.mode)
+			}
+			if len(site.sorts) > 0 {
+				fmt.Fprintf(&b, " sorts=%d", len(site.sorts))
+			}
+			if len(site.params) > 0 {
+				fmt.Fprintf(&b, " params=%d", len(site.params))
+			}
+		case opIterate:
+			fmt.Fprintf(&b, " exit→%04d", in.b)
+		case opForEach:
+			site := p.forSites[in.a]
+			fmt.Fprintf(&b, " select=%s", site.sel.String())
+			if len(site.sorts) > 0 {
+				fmt.Fprintf(&b, " sorts=%d", len(site.sorts))
+			}
+		case opForNext:
+			fmt.Fprintf(&b, " exit→%04d", in.b)
+		case opForEnd:
+			fmt.Fprintf(&b, " loop→%04d", in.a)
+		case opCall:
+			cs := p.callSites[in.a]
+			fmt.Fprintf(&b, " %q", cs.name)
+			if cs.t != nil {
+				fmt.Fprintf(&b, " entry→%04d", cs.t.entryPC)
+			} else {
+				b.WriteString(" unresolved")
+			}
+			if len(cs.params) > 0 {
+				fmt.Fprintf(&b, " params=%d", len(cs.params))
+			}
+		case opEnter:
+			fmt.Fprintf(&b, " %s", templateLabel(p.tmpls[in.a].t))
+			if n := len(p.tmpls[in.a].t.params); n > 0 {
+				fmt.Fprintf(&b, " params=%d", n)
+			}
+		case opVarDecl:
+			d := p.varDecls[in.a]
+			if d.sel != nil {
+				fmt.Fprintf(&b, " $%s select=%s", d.name, d.sel.String())
+			} else {
+				fmt.Fprintf(&b, " $%s [body]", d.name)
+			}
+		case opElemBegin:
+			es := p.elemSites[in.a]
+			fmt.Fprintf(&b, " name=%q", avtSource(es.name))
+			if len(es.useSets) > 0 {
+				fmt.Fprintf(&b, " [%s]", strings.Join(es.useSets, " "))
+			}
+		case opAttrBegin, opPIBegin, opDocBegin:
+			fmt.Fprintf(&b, " %q", avtSource(p.avts[in.a]))
+		case opMsgEnd:
+			if in.a != 0 {
+				b.WriteString(" terminate")
+			}
+		case opCopyBegin:
+			if sets := p.copySites[in.a]; len(sets) > 0 {
+				fmt.Fprintf(&b, " [%s]", strings.Join(sets, " "))
+			}
+			fmt.Fprintf(&b, " leaf→%04d", in.b)
+		case opCopyOf:
+			fmt.Fprintf(&b, " %s", p.exprs[in.a].String())
+		case opNumber:
+			ns := p.numSites[in.a]
+			if ns.value != nil {
+				fmt.Fprintf(&b, " value=%s", ns.value.String())
+			}
+			fmt.Fprintf(&b, " format=%q", ns.format)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

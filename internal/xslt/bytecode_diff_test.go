@@ -1,0 +1,209 @@
+package xslt_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"goldweb/internal/core"
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xpath"
+	"goldweb/internal/xslt"
+)
+
+// The bytecode VM must be invisible: for every model × stylesheet ×
+// engine-mode combination, the lowered program and the tree-walking
+// reference must produce byte-identical output — principal document,
+// xsl:document outputs, document order and messages alike.
+
+// diffSheets are the stylesheets the differential suite runs: the two
+// embedded presentations plus hand-written sheets covering constructs
+// the builtins do not reach (apply-imports, attribute sets, copy,
+// xsl:number, messages, captures, parameter defaults).
+func diffSheets(t *testing.T) map[string]*xslt.Stylesheet {
+	t.Helper()
+	srcs := map[string]string{
+		"single": core.SingleXSL,
+		"multi":  core.MultiXSL,
+		"constructs": `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:attribute-set name="base"><xsl:attribute name="data-k">v-<xsl:value-of select="name()"/></xsl:attribute></xsl:attribute-set>
+<xsl:template match="/">
+  <root>
+    <xsl:comment>head</xsl:comment>
+    <xsl:processing-instruction name="pi">payload</xsl:processing-instruction>
+    <xsl:apply-templates select="*"/>
+    <xsl:call-template name="named"><xsl:with-param name="p" select="'passed'"/></xsl:call-template>
+    <xsl:call-template name="named"/>
+  </root>
+</xsl:template>
+<xsl:template match="*">
+  <xsl:variable name="depth" select="count(ancestor::*)"/>
+  <item d="{$depth}" xsl:use-attribute-sets="base">
+    <xsl:attribute name="n"><xsl:value-of select="name()"/>-<xsl:number format="01"/></xsl:attribute>
+    <xsl:if test="@id"><id><xsl:value-of select="@id"/></id></xsl:if>
+    <xsl:choose>
+      <xsl:when test="count(*) &gt; 2"><big/></xsl:when>
+      <xsl:when test="count(*) = 0"><leaf><xsl:copy-of select="@*"/></leaf></xsl:when>
+      <xsl:otherwise><mid/></xsl:otherwise>
+    </xsl:choose>
+    <xsl:for-each select="*">
+      <xsl:sort select="name()" order="descending"/>
+      <xsl:element name="s-{position()}"><xsl:value-of select="name()"/></xsl:element>
+    </xsl:for-each>
+    <xsl:copy><xsl:apply-templates select="*" mode="copy"/></xsl:copy>
+    <xsl:apply-templates select="*"/>
+  </item>
+</xsl:template>
+<xsl:template match="*" mode="copy"><xsl:copy/></xsl:template>
+<xsl:template name="named">
+  <xsl:param name="p" select="'default'"/>
+  <xsl:message>saw <xsl:value-of select="$p"/></xsl:message>
+  <named p="{$p}"/>
+</xsl:template>
+</xsl:stylesheet>`,
+	}
+	out := map[string]*xslt.Stylesheet{}
+	for name, src := range srcs {
+		s, err := xslt.CompileStylesheetString(src, xslt.CompileOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Program() == nil {
+			t.Fatalf("%s: CompileStylesheetString produced no program", name)
+		}
+		out[name] = s
+	}
+
+	// Import precedence + xsl:apply-imports, which need a loader.
+	imported := `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="*"><base n="{name()}"><xsl:apply-templates select="*"/></base></xsl:template>
+</xsl:stylesheet>`
+	main := `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:import href="base.xsl"/>
+<xsl:template match="/"><doc><xsl:apply-templates select="*"/></doc></xsl:template>
+<xsl:template match="*[@id]"><wrap id="{@id}"><xsl:apply-imports/></wrap></xsl:template>
+</xsl:stylesheet>`
+	loader := func(href string) (*xmldom.Node, error) { return xmldom.ParseString(imported) }
+	s, err := xslt.CompileStylesheetString(main, xslt.CompileOptions{Loader: loader})
+	if err != nil {
+		t.Fatalf("imports: %v", err)
+	}
+	out["imports"] = s
+	return out
+}
+
+// diffDocs loads every example model, frozen and unfrozen.
+func diffDocs(t *testing.T) map[string]*xmldom.Node {
+	t.Helper()
+	models, err := filepath.Glob("../../examples/models/*.xml")
+	if err != nil || len(models) == 0 {
+		t.Fatalf("no example models found: %v", err)
+	}
+	docs := map[string]*xmldom.Node{}
+	for _, path := range models {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := xmldom.Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		frozen, err := xmldom.Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		frozen.Freeze()
+		base := filepath.Base(path)
+		docs[base] = plain
+		docs[base+"/frozen"] = frozen
+	}
+	return docs
+}
+
+func TestBytecodeVsTreeBuffers(t *testing.T) {
+	params := map[string]xpath.Value{"base": xpath.String("page")}
+	for sheetName, sheet := range diffSheets(t) {
+		for docName, doc := range diffDocs(t) {
+			got, gotErr := sheet.TransformToBuffers(doc, params)
+			want, wantErr := sheet.TransformToBuffersReference(doc, params)
+			if (gotErr != nil) != (wantErr != nil) {
+				t.Fatalf("%s × %s: VM err=%v, tree err=%v", sheetName, docName, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if !bytes.Equal(got.Main, want.Main) {
+				t.Fatalf("%s × %s: main output diverges\n--- vm ---\n%s\n--- tree ---\n%s",
+					sheetName, docName, got.Main, want.Main)
+			}
+			if !reflect.DeepEqual(got.DocumentOrder, want.DocumentOrder) {
+				t.Fatalf("%s × %s: document order %v vs %v", sheetName, docName, got.DocumentOrder, want.DocumentOrder)
+			}
+			for href := range want.Documents {
+				if !bytes.Equal(got.Documents[href], want.Documents[href]) {
+					t.Fatalf("%s × %s: document %q diverges", sheetName, docName, href)
+				}
+			}
+			if len(got.Documents) != len(want.Documents) {
+				t.Fatalf("%s × %s: %d documents vs %d", sheetName, docName, len(got.Documents), len(want.Documents))
+			}
+			if !reflect.DeepEqual(got.Messages, want.Messages) {
+				t.Fatalf("%s × %s: messages %v vs %v", sheetName, docName, got.Messages, want.Messages)
+			}
+		}
+	}
+}
+
+func TestBytecodeVsTreeDOM(t *testing.T) {
+	params := map[string]xpath.Value{"base": xpath.String("page")}
+	for sheetName, sheet := range diffSheets(t) {
+		for docName, doc := range diffDocs(t) {
+			got, gotErr := sheet.Transform(doc, params)
+			want, wantErr := sheet.TransformReference(doc, params)
+			if (gotErr != nil) != (wantErr != nil) {
+				t.Fatalf("%s × %s: VM err=%v, tree err=%v", sheetName, docName, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if !bytes.Equal(got.MainBytes(), want.MainBytes()) {
+				t.Fatalf("%s × %s: main DOM output diverges", sheetName, docName)
+			}
+			if !reflect.DeepEqual(got.DocumentOrder, want.DocumentOrder) {
+				t.Fatalf("%s × %s: document order %v vs %v", sheetName, docName, got.DocumentOrder, want.DocumentOrder)
+			}
+			for href := range want.Documents {
+				if !bytes.Equal(got.DocBytes(href), want.DocBytes(href)) {
+					t.Fatalf("%s × %s: document %q diverges", sheetName, docName, href)
+				}
+			}
+			if !reflect.DeepEqual(got.Messages, want.Messages) {
+				t.Fatalf("%s × %s: messages %v vs %v", sheetName, docName, got.Messages, want.Messages)
+			}
+		}
+	}
+}
+
+// TestBufferMatchesDOM closes the triangle: the streamed VM rendering must
+// equal the serialized VM result tree.
+func TestBufferMatchesDOM(t *testing.T) {
+	params := map[string]xpath.Value{"base": xpath.String("page")}
+	for sheetName, sheet := range diffSheets(t) {
+		for docName, doc := range diffDocs(t) {
+			buf, err := sheet.TransformToBuffers(doc, params)
+			if err != nil {
+				t.Fatalf("%s × %s: %v", sheetName, docName, err)
+			}
+			dom, err := sheet.Transform(doc, params)
+			if err != nil {
+				t.Fatalf("%s × %s: %v", sheetName, docName, err)
+			}
+			if !bytes.Equal(buf.Main, dom.MainBytes()) {
+				t.Fatalf("%s × %s: streamed and DOM rendering diverge", sheetName, docName)
+			}
+		}
+	}
+}

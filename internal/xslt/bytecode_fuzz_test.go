@@ -1,0 +1,157 @@
+package xslt_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xslt"
+)
+
+// FuzzBytecodeVsTree generates random (always well-formed) stylesheets
+// and documents from a pair of seeds and cross-checks the bytecode VM
+// against the tree-walking engine: identical bytes, identical messages,
+// and matching error outcomes. Runs in CI as a 10s smoke.
+
+// genStylesheet derives a random stylesheet from rng. Bodies are built
+// from the full instruction vocabulary; recursion terminates because
+// apply-templates only ever selects children and named templates never
+// call templates.
+func genStylesheet(rng *rand.Rand) string {
+	names := []string{"a", "b", "c", "d"}
+	name := func() string { return names[rng.Intn(len(names))] }
+	var body func(depth int) string
+	body = func(depth int) string {
+		var b strings.Builder
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			if depth > 2 {
+				b.WriteString("deep")
+				continue
+			}
+			switch rng.Intn(16) {
+			case 0:
+				b.WriteString("lit-" + name())
+			case 1:
+				el := name()
+				fmt.Fprintf(&b, `<%s q="s-{name()}">%s</%s>`, el, body(depth+1), el)
+			case 2:
+				fmt.Fprintf(&b, `<xsl:value-of select="name()"/>`)
+			case 3:
+				fmt.Fprintf(&b, `<xsl:if test="count(*) &gt; %d">%s</xsl:if>`, rng.Intn(3), body(depth+1))
+			case 4:
+				fmt.Fprintf(&b, `<xsl:choose><xsl:when test="@id">%s</xsl:when><xsl:otherwise>%s</xsl:otherwise></xsl:choose>`,
+					body(depth+1), body(depth+1))
+			case 5:
+				sort := ""
+				if rng.Intn(2) == 0 {
+					sort = `<xsl:sort select="name()" order="descending"/>`
+				}
+				fmt.Fprintf(&b, `<xsl:for-each select="*">%s%s</xsl:for-each>`, sort, body(depth+1))
+			case 6:
+				fmt.Fprintf(&b, `<xsl:apply-templates select="*"/>`)
+			case 7:
+				fmt.Fprintf(&b, `<xsl:apply-templates select="*" mode="m%d"/>`, rng.Intn(2))
+			case 8:
+				fmt.Fprintf(&b, `<xsl:variable name="v%d" select="count(*)"/><xsl:value-of select="$v%d"/>`, depth, depth)
+			case 9:
+				fmt.Fprintf(&b, `<xsl:element name="e-{count(*)}"><xsl:attribute name="k">%s</xsl:attribute></xsl:element>`, body(depth+1))
+			case 10:
+				fmt.Fprintf(&b, `<xsl:comment>%s</xsl:comment>`, body(depth+1))
+			case 11:
+				fmt.Fprintf(&b, `<xsl:processing-instruction name="pi">p</xsl:processing-instruction>`)
+			case 12:
+				fmt.Fprintf(&b, `<xsl:copy>%s</xsl:copy>`, body(depth+1))
+			case 13:
+				fmt.Fprintf(&b, `<xsl:copy-of select="@*"/>`)
+			case 14:
+				fmt.Fprintf(&b, `<n><xsl:number format="%s"/></n>`, []string{"1", "01", "a", "i"}[rng.Intn(4)])
+			default:
+				fmt.Fprintf(&b, `<xsl:call-template name="leaf"><xsl:with-param name="p" select="'x%d'"/></xsl:call-template>`, rng.Intn(3))
+			}
+		}
+		return b.String()
+	}
+	var b strings.Builder
+	b.WriteString(`<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">` + "\n")
+	b.WriteString(`<xsl:template name="leaf"><xsl:param name="p" select="'d'"/><leaf p="{$p}"/></xsl:template>` + "\n")
+	fmt.Fprintf(&b, `<xsl:template match="/"><r>%s<xsl:apply-templates select="*"/></r></xsl:template>`+"\n", body(0))
+	rules := 1 + rng.Intn(4)
+	for i := 0; i < rules; i++ {
+		match := []string{"*", name(), name() + "[@id]", "text()"}[rng.Intn(4)]
+		mode := ""
+		if rng.Intn(3) == 0 {
+			mode = fmt.Sprintf(` mode="m%d"`, rng.Intn(2))
+		}
+		prio := ""
+		if rng.Intn(2) == 0 {
+			prio = fmt.Sprintf(` priority="%d"`, rng.Intn(5)-2)
+		}
+		fmt.Fprintf(&b, "<xsl:template match=%q%s%s>%s</xsl:template>\n", match, mode, prio, body(0))
+	}
+	b.WriteString(`</xsl:stylesheet>`)
+	return b.String()
+}
+
+// genDoc derives a random source document from rng.
+func genDoc(rng *rand.Rand) *xmldom.Node {
+	names := []string{"a", "b", "c", "d", "z"}
+	doc := xmldom.NewDocument()
+	root := doc.AppendChild(&xmldom.Node{Type: xmldom.ElementNode, Name: "a"})
+	var build func(p *xmldom.Node, depth int)
+	build = func(p *xmldom.Node, depth int) {
+		kids := rng.Intn(4)
+		for i := 0; i < kids; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				p.AddText("t" + names[rng.Intn(len(names))])
+			case 1:
+				p.AppendChild(&xmldom.Node{Type: xmldom.CommentNode, Data: "c"})
+			default:
+				el := p.AppendChild(&xmldom.Node{Type: xmldom.ElementNode, Name: names[rng.Intn(len(names))]})
+				if rng.Intn(2) == 0 {
+					el.SetAttr("id", fmt.Sprintf("i%d", rng.Intn(9)))
+				}
+				if depth < 3 {
+					build(el, depth+1)
+				}
+			}
+		}
+	}
+	build(root, 0)
+	xmldom.Freeze(doc)
+	return doc
+}
+
+func FuzzBytecodeVsTree(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed, seed*31+7)
+	}
+	f.Fuzz(func(t *testing.T, sheetSeed, docSeed int64) {
+		src := genStylesheet(rand.New(rand.NewSource(sheetSeed)))
+		sheet, err := xslt.CompileStylesheetString(src, xslt.CompileOptions{})
+		if err != nil {
+			t.Fatalf("generated stylesheet does not compile: %v\n%s", err, src)
+		}
+		doc := genDoc(rand.New(rand.NewSource(docSeed)))
+		got, gotErr := sheet.TransformToBuffers(doc, nil)
+		want, wantErr := sheet.TransformToBuffersReference(doc, nil)
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("seed %d/%d: VM err=%v, tree err=%v\n%s", sheetSeed, docSeed, gotErr, wantErr, src)
+		}
+		if gotErr != nil {
+			return // both engines rejected the run (e.g. depth limit)
+		}
+		if !bytes.Equal(got.Main, want.Main) {
+			t.Fatalf("seed %d/%d: output diverges\n--- stylesheet ---\n%s\n--- vm ---\n%s\n--- tree ---\n%s",
+				sheetSeed, docSeed, src, got.Main, want.Main)
+		}
+		if !reflect.DeepEqual(got.Messages, want.Messages) {
+			t.Fatalf("seed %d/%d: messages diverge: %v vs %v", sheetSeed, docSeed, got.Messages, want.Messages)
+		}
+	})
+}

@@ -39,6 +39,35 @@ type CompileError struct {
 	// findings share one file:line:col position format.
 	Line, Col int
 	Msg       string
+	// TemplateName, TemplateMatch and TemplateMode identify the template
+	// whose body the error occurred in, when known, so a diagnostic in a
+	// large stylesheet names its owning rule.
+	TemplateName  string
+	TemplateMatch string
+	TemplateMode  string
+}
+
+// Rule renders the owning template's identity (e.g. `template
+// match="fact" mode="toc"` or `template name="header"`), or "" when the
+// error is not inside a template.
+func (e *CompileError) Rule() string {
+	var b strings.Builder
+	if e.TemplateName != "" {
+		fmt.Fprintf(&b, `template name=%q`, e.TemplateName)
+	}
+	if e.TemplateMatch != "" {
+		if b.Len() == 0 {
+			b.WriteString("template")
+		}
+		fmt.Fprintf(&b, ` match=%q`, e.TemplateMatch)
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	if e.TemplateMode != "" {
+		fmt.Fprintf(&b, ` mode=%q`, e.TemplateMode)
+	}
+	return b.String()
 }
 
 // Position returns the 1-based source position of the error, falling
@@ -55,13 +84,17 @@ func (e *CompileError) Position() (line, col int) {
 
 func (e *CompileError) Error() string {
 	line, col := e.Position()
+	msg := e.Msg
+	if rule := e.Rule(); rule != "" {
+		msg += " (in " + rule + ")"
+	}
 	if e.Element != nil {
-		return fmt.Sprintf("xslt: %s (at %s, line %d, col %d)", e.Msg, e.Element.Path(), line, col)
+		return fmt.Sprintf("xslt: %s (at %s, line %d, col %d)", msg, e.Element.Path(), line, col)
 	}
 	if line > 0 {
-		return fmt.Sprintf("xslt: %s (line %d, col %d)", e.Msg, line, col)
+		return fmt.Sprintf("xslt: %s (line %d, col %d)", msg, line, col)
 	}
-	return "xslt: " + e.Msg
+	return "xslt: " + msg
 }
 
 // OutputSpec mirrors xsl:output.
@@ -90,6 +123,9 @@ type Template struct {
 	importPrec int
 	order      int
 	src        *xmldom.Node // declaring xsl:template element; nil for built-in rules
+	// entryPC is the pc of the template's body in the lowered bytecode
+	// program (the jump-table target); set by Stylesheet.lower.
+	entryPC int32
 }
 
 type keyDecl struct {
@@ -126,6 +162,9 @@ type Stylesheet struct {
 	referencedModes map[string]bool
 	// attrSets holds compiled xsl:attribute-set declarations by name.
 	attrSets map[string]*attrSet
+	// prog is the lowered bytecode program when the stylesheet was
+	// compiled with CompileStylesheet; nil for tree-engine-only compiles.
+	prog *Program
 }
 
 // attrSet is a compiled xsl:attribute-set: the attribute instructions it
@@ -559,14 +598,14 @@ func (s *Stylesheet) compileTemplate(c *xmldom.Node, importPrec int) error {
 	for len(rest) > 0 && isXSL(rest[0], "param") {
 		d, err := s.compileVarDecl(rest[0])
 		if err != nil {
-			return err
+			return tagTemplateError(err, name, match, mode)
 		}
 		params = append(params, d)
 		rest = rest[1:]
 	}
 	body, err := s.compileBody(rest)
 	if err != nil {
-		return err
+		return tagTemplateError(err, name, match, mode)
 	}
 	base := &Template{Name: name, Mode: mode, params: params, body: body, importPrec: importPrec, src: c}
 	if name != "" {
@@ -602,6 +641,17 @@ func (s *Stylesheet) compileTemplate(c *xmldom.Node, importPrec int) error {
 		s.templates[mode] = append(s.templates[mode], &t)
 	}
 	return nil
+}
+
+// tagTemplateError stamps a body compile error with the owning
+// template's identity, unless an inner declaration already claimed it.
+func tagTemplateError(err error, name, match, mode string) error {
+	if ce, ok := err.(*CompileError); ok && ce.TemplateName == "" && ce.TemplateMatch == "" {
+		ce.TemplateName = name
+		ce.TemplateMatch = match
+		ce.TemplateMode = mode
+	}
+	return err
 }
 
 // builtinDoc supplies the implicit template rules of XSLT 1.0 §5.8.

@@ -130,6 +130,9 @@ type engine struct {
 	docTrees map[string]*xmldom.Node        // DOM mode
 	docBufs  map[string]*xmldom.ByteEmitter // streaming mode
 	docOrder []string
+	// refTree forces the tree-walking engine even when the stylesheet has
+	// a lowered bytecode program — the differential oracle path.
+	refTree bool
 }
 
 func newEngine(s *Stylesheet, stream bool) *engine {
@@ -191,6 +194,9 @@ func (e *engine) run(source *xmldom.Node, params map[string]xpath.Value, out xml
 	}
 
 	ctx := &xctx{node: source, pos: 1, size: 1, vars: globals}
+	if p := s.prog; p != nil && !e.refTree {
+		return p.execute(e, ctx, out)
+	}
 	return e.applyTemplates([]*xmldom.Node{source}, ctx, "", nil, nil, out)
 }
 
@@ -201,8 +207,20 @@ func (e *engine) run(source *xmldom.Node, params map[string]xpath.Value, out xml
 // a compiled Stylesheet may be shared by concurrent Transform calls —
 // all per-run state lives in the engine.
 func (s *Stylesheet) Transform(source *xmldom.Node, params map[string]xpath.Value) (*Result, error) {
+	return s.transformDOM(source, params, false)
+}
+
+// TransformReference is Transform forced onto the tree-walking engine,
+// bypassing a lowered bytecode program: the oracle the differential
+// tests compare the VM against.
+func (s *Stylesheet) TransformReference(source *xmldom.Node, params map[string]xpath.Value) (*Result, error) {
+	return s.transformDOM(source, params, true)
+}
+
+func (s *Stylesheet) transformDOM(source *xmldom.Node, params map[string]xpath.Value, refTree bool) (*Result, error) {
 	source = s.prepSource(source)
 	e := newEngine(s, false)
+	e.refTree = refTree
 	main := xmldom.NewDocument()
 	if err := e.run(source, params, xmldom.NewTreeEmitter(main)); err != nil {
 		return nil, err
@@ -224,8 +242,19 @@ func (s *Stylesheet) Transform(source *xmldom.Node, params map[string]xpath.Valu
 // every output document (principal and xsl:document) is rendered directly
 // to bytes from the instruction stream, with no intermediate result DOM.
 func (s *Stylesheet) TransformToBuffers(source *xmldom.Node, params map[string]xpath.Value) (*BufferResult, error) {
+	return s.transformBuffers(source, params, false)
+}
+
+// TransformToBuffersReference is TransformToBuffers on the tree-walking
+// engine (see TransformReference).
+func (s *Stylesheet) TransformToBuffersReference(source *xmldom.Node, params map[string]xpath.Value) (*BufferResult, error) {
+	return s.transformBuffers(source, params, true)
+}
+
+func (s *Stylesheet) transformBuffers(source *xmldom.Node, params map[string]xpath.Value, refTree bool) (*BufferResult, error) {
 	source = s.prepSource(source)
 	e := newEngine(s, true)
+	e.refTree = refTree
 	be := xmldom.NewByteEmitter()
 	defer be.Release()
 	err := e.run(source, params, be)

@@ -1,0 +1,602 @@
+package xslt
+
+import (
+	"strings"
+
+	"goldweb/internal/xmldom"
+	"goldweb/internal/xpath"
+)
+
+// The bytecode VM: executes a lowered Program on the frame stack shared
+// with the XPath expression VM. Control flow (template dispatch,
+// apply-templates iteration, for-each loops, call-template) runs as VM
+// loops and pc jumps on pooled CtlFrames — no per-node Go recursion —
+// and every embedded expression evaluates on the same shared operand
+// stack via the EvalXxxOn entry points, so one transformation performs a
+// single frame-pool round trip.
+//
+// Cold constructs (result-tree-fragment variable bodies, with-param
+// bodies, attribute sets, sort keys, xsl:number counting) delegate to
+// the tree engine's helpers: they produce values, not output events, so
+// sharing the implementation keeps the two engines byte-identical by
+// construction exactly where divergence would be hardest to test.
+
+// Control frame kinds on the shared xpath.Frame stack.
+const (
+	cfApply uint8 = iota + 1 // apply-templates node loop
+	cfCall                   // call-template / apply-imports invocation
+	cfFor                    // for-each loop
+	cfScope                  // copy-on-write variable scope
+	cfCap                    // output capture (attribute/comment/PI/message)
+	cfDoc                    // xsl:document output redirect
+)
+
+// maxCtlDepth bounds the control stack so circular templates fail
+// cleanly. The tree engine counts body nesting (maxDepth); one level of
+// template recursion costs at most a few control frames, so the VM's
+// limit is proportionally higher and the two engines fail on the same
+// stylesheets.
+const maxCtlDepth = 4 * maxDepth
+
+// vmRun is the mutable state of one program execution.
+type vmRun struct {
+	e   *engine
+	p   *Program
+	f   *xpath.Frame
+	ctx xctx
+	out xmldom.Emitter
+	// xc is the persistent expression-evaluation context; refreshed from
+	// ctx before each evaluation instead of boxing a new one.
+	xc xpath.Context
+	// mc is the persistent pattern-match context used by dispatch.
+	mc xpath.Context
+}
+
+// execute runs the program against ctx (the root context prepared by
+// engine.run), writing the principal output to out.
+func (p *Program) execute(e *engine, ctx *xctx, out xmldom.Emitter) error {
+	f := xpath.GetFrame()
+	defer xpath.PutFrame(f)
+	r := &vmRun{e: e, p: p, f: f, ctx: *ctx, out: out}
+	r.xc.Funcs = e.funcs
+	r.xc.NS = e.sheet.exprNS
+	r.mc.Funcs = e.funcs
+	r.mc.NS = e.sheet.exprNS
+	return r.loop()
+}
+
+// ectx refreshes and returns the shared expression context, mirroring
+// engine.getCtx.
+func (r *vmRun) ectx() *xpath.Context {
+	r.xc.Node = r.ctx.node
+	r.xc.Position = r.ctx.pos
+	r.xc.Size = r.ctx.size
+	r.xc.Vars = r.ctx.vars
+	r.xc.Current = r.ctx.node
+	return &r.xc
+}
+
+// evalAVT evaluates an attribute value template on the shared frame,
+// mirroring avt.eval.
+func (r *vmRun) evalAVT(a *avt) (string, error) {
+	if len(a.parts) == 1 {
+		if p := a.parts[0]; p.expr == nil {
+			return p.lit, nil
+		}
+		return a.parts[0].expr.EvalStringOn(r.ectx(), r.f)
+	}
+	var b strings.Builder
+	for _, p := range a.parts {
+		if p.expr == nil {
+			b.WriteString(p.lit)
+			continue
+		}
+		s, err := p.expr.EvalStringOn(r.ectx(), r.f)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+	}
+	return b.String(), nil
+}
+
+// push appends a control frame, guarding against runaway recursion with
+// the same failure mode as the tree engine.
+func (r *vmRun) push(cf xpath.CtlFrame) error {
+	if r.f.Depth() >= maxCtlDepth {
+		return &TransformError{Msg: "maximum instruction depth exceeded (circular templates?)"}
+	}
+	r.f.PushCtl(cf)
+	return nil
+}
+
+// dispatch finds the first template whose pattern matches node in the
+// dispatch index, scanning only the node's match-class bucket. The match
+// context carries the *caller's* position, size, variables and current
+// node — the jump-table equivalent of engine.findTemplate.
+func (r *vmRun) dispatch(ix *templateIndex, node *xmldom.Node, vars map[string]xpath.Value,
+	cur *xmldom.Node, pos, size, maxPrec int) (*Template, error) {
+	if ix == nil {
+		return nil, nil
+	}
+	list := ix.candidates(node)
+	if len(list) == 0 {
+		return nil, nil
+	}
+	mc := &r.mc
+	mc.Node = node
+	mc.Position = pos
+	mc.Size = size
+	mc.Vars = vars
+	mc.Current = cur
+	for _, t := range list {
+		if t.importPrec >= maxPrec {
+			continue
+		}
+		ok, err := t.Match.Matches(mc, node)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return t, nil
+		}
+	}
+	return nil, nil
+}
+
+func splitQName(name string) (prefix, local string) {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return "", name
+}
+
+// loop is the interpreter: one flat pc loop over the whole stylesheet.
+func (r *vmRun) loop() error {
+	p := r.p
+	e := r.e
+	f := r.f
+	code := p.code
+	for pc := 0; ; {
+		in := &code[pc]
+		switch in.op {
+		case opHalt:
+			return nil
+
+		case opJmp:
+			pc = int(in.a)
+			continue
+
+		case opTest:
+			ok, err := p.exprs[in.a].EvalBoolOn(r.ectx(), f)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				pc = int(in.b)
+				continue
+			}
+
+		case opSeg:
+			if be, ok := r.out.(*xmldom.ByteEmitter); ok {
+				be.AppendSegment(p.segs[in.a])
+			} else {
+				p.segs[in.a].Replay(r.out)
+			}
+
+		case opText:
+			r.out.Text(p.strs[in.a], in.b != 0)
+
+		case opValueOf:
+			s, err := p.exprs[in.a].EvalStringOn(r.ectx(), f)
+			if err != nil {
+				return err
+			}
+			if s != "" {
+				r.out.Text(s, in.b != 0)
+			}
+
+		case opLitBegin:
+			ln := &p.litNames[in.a]
+			r.out.BeginElement(ln.prefix, ln.uri, ln.name)
+
+		case opAttrSets:
+			if err := e.applyAttrSets(p.nameLists[in.a], &r.ctx, r.out, nil); err != nil {
+				return err
+			}
+
+		case opLitAttr:
+			la := &p.litAttrs[in.a]
+			r.out.Attr(la.prefix, la.uri, la.name, la.value)
+
+		case opAVTAttr:
+			aa := &p.avtAttrs[in.a]
+			v, err := r.evalAVT(aa.value)
+			if err != nil {
+				return err
+			}
+			r.out.Attr(aa.prefix, aa.uri, aa.name, v)
+
+		case opEndElem:
+			r.out.EndElement()
+
+		case opApply:
+			site := p.applySites[in.a]
+			var list []*xmldom.Node
+			switch {
+			case site.self:
+				list = []*xmldom.Node{r.ctx.node}
+			case site.sel != nil:
+				ns, err := site.sel.EvalNodesOn(r.ectx(), f)
+				if err != nil {
+					return err
+				}
+				list = ns
+			default:
+				list = r.ctx.node.Children
+			}
+			var err error
+			if len(site.sorts) > 0 {
+				list, err = e.sortNodes(list, site.sorts, &r.ctx)
+				if err != nil {
+					return err
+				}
+			}
+			passed, err := e.evalWithParams(site.params, &r.ctx)
+			if err != nil {
+				return err
+			}
+			if err := r.push(xpath.CtlFrame{
+				Kind: cfApply, Ret: int32(pc + 1), Site: in.a,
+				Node: r.ctx.node, Pos: r.ctx.pos, Size: r.ctx.size,
+				Vars: r.ctx.vars, Mode: r.ctx.mode, Prec: r.ctx.curPrec,
+				List: list, Passed: passed,
+			}); err != nil {
+				return err
+			}
+
+		case opIterate:
+			fr := f.TopCtl()
+			site := p.applySites[in.a]
+			entered := false
+			for int(fr.Idx) < len(fr.List) {
+				i := int(fr.Idx)
+				fr.Idx++
+				n := fr.List[i]
+				t, err := r.dispatch(site.disp, n, fr.Vars, fr.Node, fr.Pos, fr.Size, maxInt)
+				if err != nil {
+					return err
+				}
+				if t == nil {
+					continue // no rule at all (should not happen: built-ins exist)
+				}
+				r.ctx.node = n
+				r.ctx.pos = i + 1
+				r.ctx.size = len(fr.List)
+				r.ctx.vars = fr.Vars
+				r.ctx.mode = site.mode
+				pc = int(t.entryPC)
+				entered = true
+				break
+			}
+			if entered {
+				continue
+			}
+			// List exhausted: restore the caller's context and leave the loop.
+			r.ctx.node, r.ctx.pos, r.ctx.size = fr.Node, fr.Pos, fr.Size
+			r.ctx.vars, r.ctx.mode, r.ctx.curPrec = fr.Vars, fr.Mode, fr.Prec
+			f.PopCtl()
+			pc = int(in.b)
+			continue
+
+		case opEnter:
+			t := p.tmpls[in.a].t
+			fr := f.TopCtl()
+			passed := fr.Passed
+			if len(t.params) > 0 || len(passed) > 0 {
+				nv := copyVars(r.ctx.vars)
+				for _, prm := range t.params {
+					if v, ok := passed[prm.name]; ok {
+						nv[prm.name] = v
+						continue
+					}
+					// Defaults evaluate in the caller's variable scope:
+					// r.ctx.vars still holds the pre-copy map here.
+					v, err := e.evalVarValue(prm.sel, prm.body, &r.ctx)
+					if err != nil {
+						return err
+					}
+					nv[prm.name] = v
+				}
+				r.ctx.vars = nv
+			}
+			r.ctx.curPrec = t.importPrec
+
+		case opRet:
+			fr := f.TopCtl()
+			if fr.Kind == cfApply {
+				// Back into the apply loop; the frame stays for the next node.
+				pc = int(fr.Ret)
+				continue
+			}
+			// Call frame: restore scope and precedence, pop, return.
+			r.ctx.vars = fr.Vars
+			r.ctx.curPrec = fr.Prec
+			pc = int(fr.Ret)
+			f.PopCtl()
+			continue
+
+		case opCall:
+			cs := p.callSites[in.a]
+			if cs.t == nil {
+				return &TransformError{Msg: "call-template: no template named " + cs.name}
+			}
+			passed, err := e.evalWithParams(cs.params, &r.ctx)
+			if err != nil {
+				return err
+			}
+			if err := r.push(xpath.CtlFrame{
+				Kind: cfCall, Ret: int32(pc + 1),
+				Vars: r.ctx.vars, Prec: r.ctx.curPrec, Passed: passed,
+			}); err != nil {
+				return err
+			}
+			pc = int(cs.t.entryPC)
+			continue
+
+		case opApplyImports:
+			t, err := r.dispatch(e.sheet.index[r.ctx.mode], r.ctx.node, r.ctx.vars,
+				r.ctx.node, r.ctx.pos, r.ctx.size, r.ctx.curPrec)
+			if err != nil {
+				return err
+			}
+			if t == nil {
+				break // no lower-precedence rule: no output
+			}
+			if err := r.push(xpath.CtlFrame{
+				Kind: cfCall, Ret: int32(pc + 1),
+				Vars: r.ctx.vars, Prec: r.ctx.curPrec,
+			}); err != nil {
+				return err
+			}
+			pc = int(t.entryPC)
+			continue
+
+		case opForEach:
+			site := p.forSites[in.a]
+			ns, err := site.sel.EvalNodesOn(r.ectx(), f)
+			if err != nil {
+				return err
+			}
+			list := []*xmldom.Node(ns)
+			if len(site.sorts) > 0 {
+				list, err = e.sortNodes(list, site.sorts, &r.ctx)
+				if err != nil {
+					return err
+				}
+			}
+			if err := r.push(xpath.CtlFrame{
+				Kind: cfFor, Node: r.ctx.node, Pos: r.ctx.pos, Size: r.ctx.size,
+				List: list,
+			}); err != nil {
+				return err
+			}
+
+		case opForNext:
+			fr := f.TopCtl()
+			if int(fr.Idx) < len(fr.List) {
+				r.ctx.node = fr.List[fr.Idx]
+				r.ctx.pos = int(fr.Idx) + 1
+				r.ctx.size = len(fr.List)
+				fr.Idx++
+			} else {
+				r.ctx.node, r.ctx.pos, r.ctx.size = fr.Node, fr.Pos, fr.Size
+				f.PopCtl()
+				pc = int(in.b)
+				continue
+			}
+
+		case opForEnd:
+			pc = int(in.a)
+			continue
+
+		case opScopeBegin:
+			if err := r.push(xpath.CtlFrame{Kind: cfScope, Vars: r.ctx.vars}); err != nil {
+				return err
+			}
+			r.ctx.vars = copyVars(r.ctx.vars)
+
+		case opScopeEnd:
+			fr := f.TopCtl()
+			r.ctx.vars = fr.Vars
+			f.PopCtl()
+
+		case opVarDecl:
+			d := p.varDecls[in.a]
+			var v xpath.Value
+			var err error
+			if d.sel != nil {
+				v, err = d.sel.EvalOn(r.ectx(), f)
+			} else {
+				v, err = e.evalVarValue(nil, d.body, &r.ctx)
+			}
+			if err != nil {
+				return err
+			}
+			r.ctx.vars[d.name] = v
+
+		case opElemBegin:
+			es := p.elemSites[in.a]
+			name, err := r.evalAVT(es.name)
+			if err != nil {
+				return err
+			}
+			prefix, local := splitQName(name)
+			uri := ""
+			if prefix != "" {
+				uri = e.sheet.exprNS[prefix]
+			}
+			r.out.BeginElement(prefix, uri, local)
+			if err := e.applyAttrSets(es.useSets, &r.ctx, r.out, nil); err != nil {
+				return err
+			}
+
+		case opAttrBegin:
+			if !r.out.OpenElement() {
+				return &TransformError{Msg: "xsl:attribute outside an element"}
+			}
+			name, err := r.evalAVT(p.avts[in.a])
+			if err != nil {
+				return err
+			}
+			if err := r.push(xpath.CtlFrame{Kind: cfCap, Str: name, Out: r.out}); err != nil {
+				return err
+			}
+			r.out = &textSink{}
+
+		case opAttrEnd:
+			fr := f.TopCtl()
+			sv := r.out.(*textSink).b.String()
+			r.out = fr.Out.(xmldom.Emitter)
+			name := fr.Str
+			f.PopCtl()
+			prefix, local := splitQName(name)
+			uri := ""
+			if prefix != "" {
+				uri = e.sheet.exprNS[prefix]
+			}
+			if !r.out.Attr(prefix, uri, local, sv) {
+				return &TransformError{Msg: "xsl:attribute outside an element"}
+			}
+
+		case opCommentBegin:
+			if err := r.push(xpath.CtlFrame{Kind: cfCap, Out: r.out}); err != nil {
+				return err
+			}
+			r.out = &textSink{}
+
+		case opCommentEnd:
+			fr := f.TopCtl()
+			sv := r.out.(*textSink).b.String()
+			r.out = fr.Out.(xmldom.Emitter)
+			f.PopCtl()
+			r.out.Comment(sv)
+
+		case opPIBegin:
+			name, err := r.evalAVT(p.avts[in.a])
+			if err != nil {
+				return err
+			}
+			if err := r.push(xpath.CtlFrame{Kind: cfCap, Str: name, Out: r.out}); err != nil {
+				return err
+			}
+			r.out = &textSink{}
+
+		case opPIEnd:
+			fr := f.TopCtl()
+			sv := r.out.(*textSink).b.String()
+			r.out = fr.Out.(xmldom.Emitter)
+			name := fr.Str
+			f.PopCtl()
+			r.out.PI(name, sv)
+
+		case opMsgBegin:
+			if err := r.push(xpath.CtlFrame{Kind: cfCap, Out: r.out}); err != nil {
+				return err
+			}
+			r.out = &textSink{}
+
+		case opMsgEnd:
+			fr := f.TopCtl()
+			msg := r.out.(*textSink).b.String()
+			r.out = fr.Out.(xmldom.Emitter)
+			f.PopCtl()
+			e.messages = append(e.messages, msg)
+			if in.a != 0 {
+				return &TransformError{Msg: "terminated by xsl:message: " + msg}
+			}
+
+		case opDocBegin:
+			href, err := r.evalAVT(p.avts[in.a])
+			if err != nil {
+				return err
+			}
+			if err := r.push(xpath.CtlFrame{Kind: cfDoc, Out: r.out}); err != nil {
+				return err
+			}
+			r.out = e.documentOut(href)
+
+		case opDocEnd:
+			fr := f.TopCtl()
+			r.out = fr.Out.(xmldom.Emitter)
+			f.PopCtl()
+
+		case opCopyBegin:
+			n := r.ctx.node
+			switch n.Type {
+			case xmldom.ElementNode:
+				r.out.BeginElement(n.Prefix, n.URI, n.Name)
+				if err := e.applyAttrSets(p.copySites[in.a], &r.ctx, r.out, nil); err != nil {
+					return err
+				}
+			case xmldom.DocumentNode:
+				// content only
+			case xmldom.TextNode:
+				r.out.Text(n.Data, false)
+				pc = int(in.b)
+				continue
+			case xmldom.AttrNode:
+				r.out.Attr(n.Prefix, n.URI, n.Name, n.Data) // ignored outside an element
+				pc = int(in.b)
+				continue
+			case xmldom.CommentNode:
+				r.out.Comment(n.Data)
+				pc = int(in.b)
+				continue
+			case xmldom.PINode:
+				r.out.PI(n.Name, n.Data)
+				pc = int(in.b)
+				continue
+			}
+
+		case opCopyEnd:
+			if r.ctx.node.Type == xmldom.ElementNode {
+				r.out.EndElement()
+			}
+
+		case opCopyOf:
+			v, err := p.exprs[in.a].EvalOn(r.ectx(), f)
+			if err != nil {
+				return err
+			}
+			ns, ok := v.(xpath.NodeSet)
+			if !ok {
+				r.out.Text(xpath.ToString(v), false)
+				break
+			}
+			for _, n := range ns {
+				switch n.Type {
+				case xmldom.DocumentNode:
+					for _, c := range n.Children {
+						r.out.CopyTree(c)
+					}
+				case xmldom.AttrNode:
+					r.out.Attr(n.Prefix, n.URI, n.Name, n.Data) // ignored outside an element
+				default:
+					r.out.CopyTree(n)
+				}
+			}
+
+		case opNumber:
+			// Cold instruction: the tree implementation already targets any
+			// emitter, so delegate for guaranteed equivalence.
+			if err := p.numSites[in.a].exec(e, &r.ctx, r.out); err != nil {
+				return err
+			}
+
+		default:
+			return &TransformError{Msg: "internal: bad opcode"}
+		}
+		pc++
+	}
+}

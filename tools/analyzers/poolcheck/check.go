@@ -147,11 +147,17 @@ func (c *checker) acquireDesc(call *ast.CallExpr, lhs *ast.Ident) (string, bool)
 		if isGetterName(fn.Sel.Name) {
 			return fn.Sel.Name + "()", true
 		}
+		if c.isPairedGetter(fn.Sel) {
+			return exprString(fn.X) + "." + fn.Sel.Name + "()", true
+		}
 		if strings.HasPrefix(fn.Sel.Name, "New") && c.hasReleaseMethod(lhs) {
 			return fn.Sel.Name + "()", true
 		}
 	case *ast.Ident:
 		if isGetterName(fn.Name) {
+			return fn.Name + "()", true
+		}
+		if c.isPairedGetter(fn) {
 			return fn.Name + "()", true
 		}
 		if strings.HasPrefix(fn.Name, "New") && c.hasReleaseMethod(lhs) {
@@ -165,6 +171,50 @@ func (c *checker) acquireDesc(call *ast.CallExpr, lhs *ast.Ident) (string, bool)
 // getBufferedResponse, ...
 func isGetterName(name string) bool {
 	return len(name) > 3 && strings.HasPrefix(name, "get") && name[3] >= 'A' && name[3] <= 'Z'
+}
+
+// isPairedGetter recognises the exported free-list convention — GetFrame
+// released by PutFrame — without tripping on ordinary accessors like
+// GetAttrNS: the callee must be a package-level function whose defining
+// package also declares the matching Put counterpart.
+func (c *checker) isPairedGetter(id *ast.Ident) bool {
+	name := id.Name
+	if len(name) <= 3 || !strings.HasPrefix(name, "Get") || name[3] < 'A' || name[3] > 'Z' {
+		return false
+	}
+	fn := c.packageFunc(id)
+	return fn != nil && hasCounterpart(fn, "Put"+name[3:])
+}
+
+// isPairedPutter is the release side of isPairedGetter: an exported
+// Put* package-level function whose package declares the Get counterpart.
+func (c *checker) isPairedPutter(id *ast.Ident) bool {
+	name := id.Name
+	if len(name) <= 3 || !strings.HasPrefix(name, "Put") || name[3] < 'A' || name[3] > 'Z' {
+		return false
+	}
+	fn := c.packageFunc(id)
+	return fn != nil && hasCounterpart(fn, "Get"+name[3:])
+}
+
+// packageFunc resolves id to the package-level function it names, or nil
+// when it is a method, a variable of function type, or unresolved.
+func (c *checker) packageFunc(id *ast.Ident) *types.Func {
+	fn, ok := c.info.ObjectOf(id).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// hasCounterpart reports whether fn's defining package also declares a
+// package-level function with the given name.
+func hasCounterpart(fn *types.Func, name string) bool {
+	obj, ok := fn.Pkg().Scope().Lookup(name).(*types.Func)
+	return ok && obj != nil
 }
 
 // hasReleaseMethod reports whether the declared variable's type carries
@@ -462,8 +512,14 @@ func (c *checker) isRelease(call *ast.CallExpr) bool {
 		if isPutterName(fn.Sel.Name) && c.argUsesV(call) {
 			return true
 		}
+		if c.isPairedPutter(fn.Sel) && c.argUsesV(call) {
+			return true
+		}
 	case *ast.Ident:
 		if isPutterName(fn.Name) && c.argUsesV(call) {
+			return true
+		}
+		if c.isPairedPutter(fn) && c.argUsesV(call) {
 			return true
 		}
 	}

@@ -41,11 +41,12 @@ func TestVetToolFindsSeededLeaks(t *testing.T) {
 		t.Fatalf("vet on seeded leaks must fail; output:\n%s", out)
 	}
 	for _, want := range []string{
-		`leak.go:14:3: return without releasing "b" acquired from bufPool.Get() at line 12`,
-		`leak.go:22:2: "b" acquired from bufPool.Get() is never released`,
-		`leak.go:46:3: return without releasing "c" acquired from getConn() at line 43`,
-		`leak.go:60:2: "e" acquired from NewEmitter() is never released`,
-		`leak.go:66:2: "b" acquired from bufPool.Get() is never released`,
+		`leak.go:18:3: return without releasing "b" acquired from bufPool.Get() at line 16`,
+		`leak.go:26:2: "b" acquired from bufPool.Get() is never released`,
+		`leak.go:50:3: return without releasing "c" acquired from getConn() at line 47`,
+		`leak.go:64:2: "e" acquired from NewEmitter() is never released`,
+		`leak.go:74:3: return without releasing "f" acquired from framepool.GetFrame() at line 71`,
+		`leak.go:81:2: "b" acquired from bufPool.Get() is never released`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing finding %q in output:\n%s", want, out)

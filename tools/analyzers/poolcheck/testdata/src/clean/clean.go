@@ -2,7 +2,11 @@
 // must accept without findings.
 package clean
 
-import "sync"
+import (
+	"sync"
+
+	"poolchecktest/framepool"
+)
 
 var bufPool = sync.Pool{New: func() any { return new([]byte) }}
 
@@ -108,6 +112,27 @@ func Switched(mode int) {
 	default:
 		bufPool.Put(b)
 	}
+}
+
+// Exported Get/Put pair used correctly: deferred on one path, explicit
+// on the other.
+func Frames(fail bool) int {
+	f := framepool.GetFrame()
+	if fail {
+		framepool.PutFrame(f)
+		return 0
+	}
+	defer framepool.PutFrame(f)
+	return framepool.GetDepth(f)
+}
+
+// Accessor binds the result of a Get-prefixed function that has no Put
+// counterpart; poolcheck must not demand a release for it.
+func Accessor() {
+	f := framepool.GetFrame()
+	defer framepool.PutFrame(f)
+	d := framepool.GetDepth(f)
+	use(d)
 }
 
 // A select where one arm recycles and the others abandon to a goroutine

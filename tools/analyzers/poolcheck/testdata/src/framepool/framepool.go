@@ -1,0 +1,28 @@
+// Package framepool mirrors the exported free-list shape of the
+// repo's xpath.Frame pool: GetFrame borrows, PutFrame returns.
+package framepool
+
+// Frame is a pooled evaluation frame.
+type Frame struct{ ops []int }
+
+var free []*Frame
+
+// GetFrame borrows a frame from the pool.
+func GetFrame() *Frame {
+	if n := len(free); n > 0 {
+		f := free[n-1]
+		free = free[:n-1]
+		return f
+	}
+	return &Frame{}
+}
+
+// PutFrame returns a frame to the pool.
+func PutFrame(f *Frame) {
+	f.ops = f.ops[:0]
+	free = append(free, f)
+}
+
+// GetDepth is a plain accessor: it has no PutDepth counterpart, so
+// poolcheck must not treat its result as a borrowed value.
+func GetDepth(f *Frame) int { return len(f.ops) }

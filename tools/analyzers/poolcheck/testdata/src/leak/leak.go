@@ -1,7 +1,11 @@
 // Package leak seeds pooled-value leaks that poolcheck must flag.
 package leak
 
-import "sync"
+import (
+	"sync"
+
+	"poolchecktest/framepool"
+)
 
 var bufPool = sync.Pool{New: func() any { return new([]byte) }}
 
@@ -60,6 +64,17 @@ func LeakyEmitter() {
 	e := NewEmitter()
 	use(e)
 } // want: falls off scope without release
+
+// LeakyFrame borrows from an exported Get/Put pair in another package
+// and leaks on the early return.
+func LeakyFrame(n int) {
+	f := framepool.GetFrame()
+	if n > 0 {
+		use(f)
+		return // want: return without releasing "f"
+	}
+	framepool.PutFrame(f)
+}
 
 // SwitchLeak releases in only one switch arm.
 func SwitchLeak(mode int) {
