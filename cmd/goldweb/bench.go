@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"goldweb/internal/analysis"
+	"goldweb/internal/artifact"
 	"goldweb/internal/catalog"
 	"goldweb/internal/core"
 	"goldweb/internal/htmlgen"
@@ -41,7 +44,23 @@ type benchReport struct {
 	GOOS      string        `json:"goos"`
 	GOARCH    string        `json:"goarch"`
 	Cases     []benchResult `json:"cases"`
+	Load      []loadCase    `json:"load,omitempty"`
 }
+
+// loadCase is one sustained-load scenario and its report.
+type loadCase struct {
+	Name string `json:"name"`
+	workload.LoadReport
+}
+
+// nullSink is the measurement ResponseWriter for the serve microbenches:
+// header map reused across ops, body discarded, so AllocsPerOp isolates
+// the artifact serving path itself.
+type nullSink struct{ h http.Header }
+
+func (s *nullSink) Header() http.Header         { return s.h }
+func (s *nullSink) Write(p []byte) (int, error) { return len(p), nil }
+func (s *nullSink) WriteHeader(int)             {}
 
 // benchCases covers the three pipelines the evaluation tracks: the XSLT
 // transformation (single and multi page), the publication fan-out, and
@@ -219,6 +238,49 @@ func benchCases() []benchCase {
 	singleSrc := []byte(core.SingleXSL)
 	multiSrc := []byte(core.MultiXSL)
 	salesSrc := []byte(core.SampleSales().XMLString())
+	// Edge-serving microbenches: the content-addressed artifact hot
+	// path. The warm conditional 304 and the precompressed-variant hit
+	// must stay allocation-free — a regression here multiplies across
+	// every request of the sustained-load scenarios below.
+	{
+		site, err := htmlgen.Publish(core.SampleSales(), htmlgen.Options{Mode: htmlgen.MultiPage})
+		if err != nil {
+			panic(err)
+		}
+		a := artifact.New("text/html; charset=utf-8", site.Pages[htmlgen.IndexName])
+		if a.Gzip() == nil {
+			panic("index page has no gzip variant")
+		}
+		mkReq := func(hdr http.Header) *http.Request {
+			return &http.Request{
+				Method: http.MethodGet,
+				URL:    &url.URL{Path: "/site/index.html"},
+				Header: hdr,
+			}
+		}
+		for _, mc := range []struct {
+			name string
+			req  *http.Request
+		}{
+			{"serve/identity-full", mkReq(http.Header{})},
+			{"serve/conditional-304", mkReq(http.Header{"If-None-Match": {a.ETag()}})},
+			{"serve/gzip-hit", mkReq(http.Header{"Accept-Encoding": {"gzip"}})},
+		} {
+			mc := mc
+			cases = append(cases, benchCase{
+				Name: mc.name,
+				Run: func(b *testing.B) {
+					sink := &nullSink{h: make(http.Header, 8)}
+					a.Serve(sink, mc.req, true) // warm the header map
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						a.Serve(sink, mc.req, true)
+					}
+				},
+			})
+		}
+	}
 	cases = append(cases, benchCase{
 		Name: "lint/builtins",
 		Run: func(b *testing.B) {
@@ -236,6 +298,86 @@ func benchCases() []benchCase {
 	return cases
 }
 
+// loadCatalogSpecs sizes the 8-model catalog the sustained-load
+// scenarios serve: a spread from small to large models, so the request
+// mix touches both cheap and expensive pages.
+var loadCatalogSpecs = []workload.ModelSpec{
+	{Facts: 1, Dims: 2, Depth: 1},
+	{Facts: 1, Dims: 4, Depth: 2},
+	{Facts: 2, Dims: 4, Depth: 1},
+	{Facts: 2, Dims: 4, Depth: 2},
+	{Facts: 2, Dims: 6, Depth: 2},
+	{Facts: 4, Dims: 6, Depth: 2},
+	{Facts: 4, Dims: 8, Depth: 2},
+	{Facts: 4, Dims: 8, Depth: 3},
+}
+
+// runLoadCases drives the full catalog handler (middleware, routing,
+// artifact serving) with the in-process sustained-load harness. Each
+// scenario is one client behavior: cold identity fetches, a realistic
+// browser mix, and a revalidation-heavy steady state where nearly every
+// response should be a 304.
+func runLoadCases(total time.Duration) ([]loadCase, error) {
+	sources := map[string][]byte{}
+	cat := catalog.New(catalog.Options{
+		Loader: func(ctx context.Context, name string) ([]byte, error) {
+			return sources[name], nil
+		},
+		DisableRetry: true,
+	})
+	defer cat.Close()
+	var paths []string
+	for i, spec := range loadCatalogSpecs {
+		name := fmt.Sprintf("m%d", i+1)
+		m := workload.GenModel(spec)
+		data := []byte(m.XMLString())
+		sources[name] = data
+		if err := cat.Set(context.Background(), name, data); err != nil {
+			return nil, fmt.Errorf("load catalog %s: %w", name, err)
+		}
+		site, err := htmlgen.Publish(m, htmlgen.Options{Mode: htmlgen.MultiPage})
+		if err != nil {
+			return nil, err
+		}
+		for _, page := range site.Order {
+			paths = append(paths, "/m/"+name+"/site/"+page)
+		}
+	}
+	h := cat.Handler()
+	scenarios := []struct {
+		name string
+		spec workload.LoadSpec
+	}{
+		{"load/cold-identity", workload.LoadSpec{Clients: 8, GzipFrac: 0, CondFrac: 0, Seed: 1}},
+		{"load/browser-mix", workload.LoadSpec{Clients: 8, GzipFrac: 0.9, CondFrac: 0.6, Seed: 2}},
+		{"load/revalidation-heavy", workload.LoadSpec{Clients: 8, GzipFrac: 0.9, CondFrac: 0.97, Seed: 3}},
+	}
+	per := total / time.Duration(len(scenarios))
+	var out []loadCase
+	for _, sc := range scenarios {
+		sc.spec.Duration = per
+		rep, err := workload.RunLoad(context.Background(), h, paths, sc.spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, loadCase{Name: sc.name, LoadReport: *rep})
+	}
+	return out, nil
+}
+
+// loadDuration reads the total load-phase budget from
+// GOLDWEB_LOAD_DURATION (the CI smoke job sets 10s; default 3s).
+func loadDuration() (time.Duration, error) {
+	if v := os.Getenv("GOLDWEB_LOAD_DURATION"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return 0, fmt.Errorf("GOLDWEB_LOAD_DURATION: %w", err)
+		}
+		return d, nil
+	}
+	return 3 * time.Second, nil
+}
+
 // cmdBench measures the evaluation pipelines with testing.Benchmark and
 // prints (or writes) a JSON report — the machine-readable counterpart of
 // EXPERIMENTS.md, regenerated per release and diffed in CI.
@@ -243,6 +385,8 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	outPath := fs.String("o", "", "write the report to a file instead of stdout")
+	withLoad := fs.Bool("load", false, "also run the sustained-load edge harness (GOLDWEB_LOAD_DURATION bounds it)")
+	loadOnly := fs.Bool("load-only", false, "run only the sustained-load harness, skipping the microbenches")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -252,18 +396,37 @@ func cmdBench(args []string) error {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
-	for _, c := range benchCases() {
-		r := testing.Benchmark(c.Run)
-		report.Cases = append(report.Cases, benchResult{
-			Name:        c.Name,
-			N:           r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
+	if !*loadOnly {
+		for _, c := range benchCases() {
+			r := testing.Benchmark(c.Run)
+			report.Cases = append(report.Cases, benchResult{
+				Name:        c.Name,
+				N:           r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			})
+			if !*jsonOut && *outPath == "" {
+				fmt.Printf("%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+					c.Name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+			}
+		}
+	}
+	if *withLoad || *loadOnly {
+		total, err := loadDuration()
+		if err != nil {
+			return err
+		}
+		load, err := runLoadCases(total)
+		if err != nil {
+			return err
+		}
+		report.Load = load
 		if !*jsonOut && *outPath == "" {
-			fmt.Printf("%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
-				c.Name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+			for _, lc := range load {
+				fmt.Printf("%-28s %9.0f rps  p50 %5dus  p99 %6dus  304 %5.1f%%  %11d B-wire  %d err\n",
+					lc.Name, lc.RPS, lc.P50Micros, lc.P99Micros, 100*lc.Ratio304, lc.BytesOnWire, lc.Errors)
+			}
 		}
 	}
 	if !*jsonOut && *outPath == "" {

@@ -98,7 +98,7 @@ func usage() {
   goldweb validate [-dtd] <model.xml>      schema (or legacy DTD) validation
   goldweb pretty <model.xml>               pretty-print (browser raw view)
   goldweb publish -o <dir> <model.xml>     generate the HTML presentation
-  goldweb serve [-addr :8080] [-timeout 30s] [-max-inflight 64] [-cache-size 64] [-lint strict|warn|off] <model.xml>
+  goldweb serve [-addr :8080] [-timeout 30s] [-max-inflight 64] [-cache-size 64] [-cache-bytes N] [-compress=false] [-lint strict|warn|off] <model.xml>
                                            server-side XSLT over HTTP
   goldweb serve -catalog <dir> [-retry=false] [-breaker-threshold 5]
                                            resilient multi-model catalog:
@@ -112,7 +112,9 @@ func usage() {
   goldweb lint [-json] [path ...]          schema-aware static analysis of
                                            stylesheets and model documents
   goldweb report                           regenerate the evaluation series
-  goldweb bench [-json] [-o out.json]      measure the evaluation pipelines
+  goldweb bench [-json] [-o out.json] [-load] [-load-only]
+                                           measure the evaluation pipelines
+                                           and the sustained-load edge RPS/p99
   goldweb cwm <model.xml>                  CWM OLAP interchange export`)
 }
 
@@ -276,6 +278,8 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout (0 disables)")
 	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "max concurrent requests; excess sheds with 503 (0 disables)")
 	cacheSize := fs.Int("cache-size", server.DefaultCacheSize, "max cached presentations (LRU)")
+	cacheBytes := fs.Int64("cache-bytes", server.DefaultCacheBytes, "presentation cache byte budget (LRU; negative disables)")
+	compress := fs.Bool("compress", true, "serve precompressed gzip variants to Accept-Encoding clients")
 	lintPolicy := fs.String("lint", "warn", "pre-serve static analysis: strict (errors refuse to start), warn, off")
 	catalogDir := fs.String("catalog", "", "serve every *.xml in this directory as /m/{name}/ (multi-model mode)")
 	retry := fs.Bool("retry", true, "catalog mode: retry failing model reloads in the background with exponential backoff")
@@ -294,6 +298,8 @@ func cmdServe(args []string) error {
 			RequestTimeout:   *timeout,
 			MaxInflight:      *maxInflight,
 			CacheSize:        *cacheSize,
+			CacheBytes:       *cacheBytes,
+			NoCompress:       !*compress,
 		})
 	}
 	var m *core.Model
@@ -320,7 +326,9 @@ func cmdServe(args []string) error {
 	srv := server.New(m,
 		server.WithRequestTimeout(*timeout),
 		server.WithMaxInflight(*maxInflight),
-		server.WithCacheSize(*cacheSize))
+		server.WithCacheSize(*cacheSize),
+		server.WithCacheBytes(*cacheBytes),
+		server.WithCompression(*compress))
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Printf("serving %q on %s (site at /site/index.html, health at /healthz)\n", m.Name, *addr)

@@ -200,6 +200,12 @@ var (
 	WithMaxInflight = server.WithMaxInflight
 	// WithCacheSize bounds the presentation cache (LRU entries).
 	WithCacheSize = server.WithCacheSize
+	// WithCacheBytes bounds the presentation cache by summed artifact
+	// bytes (LRU; negative disables the byte budget).
+	WithCacheBytes = server.WithCacheBytes
+	// WithCompression toggles precompressed gzip variants for
+	// Accept-Encoding clients.
+	WithCompression = server.WithCompression
 )
 
 // NewServer creates the HTTP server performing server-side XSLT (§6),

@@ -172,6 +172,15 @@ type Options struct {
 	RequestTimeout time.Duration
 	MaxInflight    int
 	CacheSize      int
+	// CacheBytes bounds each model server's presentation cache by
+	// summed artifact bytes (zero means the server default; negative
+	// disables the byte budget). All model servers intern into the
+	// shared content store, so byte-identical pages across models or
+	// generations are stored once and keep stable ETags.
+	CacheBytes int64
+	// NoCompress disables precompressed gzip variants: every response
+	// is served as identity regardless of Accept-Encoding.
+	NoCompress bool
 
 	// OnEvent observes catalog lifecycle events (may be nil).
 	OnEvent func(Event)
@@ -320,6 +329,12 @@ func (c *Catalog) serverOptions() []server.Option {
 	}
 	if c.opts.CacheSize > 0 {
 		opts = append(opts, server.WithCacheSize(c.opts.CacheSize))
+	}
+	if c.opts.CacheBytes != 0 {
+		opts = append(opts, server.WithCacheBytes(c.opts.CacheBytes))
+	}
+	if c.opts.NoCompress {
+		opts = append(opts, server.WithCompression(false))
 	}
 	if c.opts.Publish != nil {
 		opts = append(opts, server.WithPublishFunc(c.opts.Publish))

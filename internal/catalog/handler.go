@@ -27,6 +27,12 @@ import (
 // can probe a saturated catalog. A model whose republish pipeline is
 // failing keeps serving its last-good site with Warning and
 // X-Goldweb-Stale headers; a model that never loaded answers 503.
+//
+// Every model's pages are served as content-addressed artifacts from
+// the shared store: hash-keyed ETags answer If-None-Match with 304s,
+// gzip-capable clients get the precompressed variant, and pages that
+// are byte-identical across models or across hot-swap generations are
+// interned once with stable ETags (see internal/artifact).
 func (c *Catalog) Handler() http.Handler {
 	root := http.NewServeMux()
 	root.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -18,29 +18,47 @@ type siteKey struct {
 	focus string
 }
 
-// siteCache is a bounded LRU of generated presentations. Unbounded
-// per-focus caching was a DoS: every distinct ?focus= value allocated a
-// whole rendered Site forever.
+// siteCache is a bounded LRU of published presentations. It accounts
+// cost in bytes (the summed identity size of every page artifact), not
+// entries: a site's footprint is what matters under a byte budget, and
+// the per-focus sites of a large model are not the same size as the
+// plain multi-page one. An entry cap is kept as a secondary bound
+// (distinct ?focus= values were historically the DoS vector).
+//
+// Eviction releases the evicted site's artifact references, so pages no
+// other generation (or model) interns are dropped from the shared
+// content store; in-flight responses holding the artifacts are
+// unaffected.
 type siteCache struct {
-	mu  sync.Mutex
-	max int
-	ll  *list.List // front = most recently used; values are *cacheEntry
-	m   map[siteKey]*list.Element
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used; values are *cacheEntry
+	m          map[siteKey]*list.Element
 }
 
 type cacheEntry struct {
 	key  siteKey
-	site *htmlgen.Site
+	site *publishedSite
 }
 
-func newSiteCache(max int) *siteCache {
-	if max < 1 {
-		max = 1
+func newSiteCache(maxEntries int, maxBytes int64) *siteCache {
+	if maxEntries < 1 {
+		maxEntries = 1
 	}
-	return &siteCache{max: max, ll: list.New(), m: map[siteKey]*list.Element{}}
+	if maxBytes < 0 {
+		maxBytes = 0 // 0 disables the byte budget
+	}
+	return &siteCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		m:          map[siteKey]*list.Element{},
+	}
 }
 
-func (c *siteCache) get(key siteKey) (*htmlgen.Site, bool) {
+func (c *siteCache) get(key siteKey) (*publishedSite, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
@@ -51,28 +69,51 @@ func (c *siteCache) get(key siteKey) (*htmlgen.Site, bool) {
 	return el.Value.(*cacheEntry).site, true
 }
 
-func (c *siteCache) add(key siteKey, site *htmlgen.Site) {
+func (c *siteCache) add(key siteKey, site *publishedSite) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).site = site
+		ent := el.Value.(*cacheEntry)
+		if ent.site != site {
+			c.bytes += site.size - ent.site.size
+			ent.site.release()
+			ent.site = site
+		}
+		c.evictLocked()
 		return
 	}
 	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, site: site})
-	for c.ll.Len() > c.max {
+	c.bytes += site.size
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until both bounds hold.
+// The most recent entry always survives, even when it alone exceeds the
+// byte budget — evicting the page a client is about to fetch would turn
+// an over-budget site into a republish-per-request thrash.
+func (c *siteCache) evictLocked() {
+	for c.ll.Len() > 1 &&
+		(c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).key)
+		ent := oldest.Value.(*cacheEntry)
+		delete(c.m, ent.key)
+		c.bytes -= ent.site.size
+		ent.site.release()
 	}
 }
 
-// purge drops every entry (model swap).
+// purge drops every entry (model swap), releasing their artifacts.
 func (c *siteCache) purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		el.Value.(*cacheEntry).site.release()
+	}
 	c.ll.Init()
 	c.m = map[siteKey]*list.Element{}
+	c.bytes = 0
 }
 
 // len reports the current entry count (for tests).
@@ -80,6 +121,13 @@ func (c *siteCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// usedBytes reports the accounted identity bytes (for tests/metrics).
+func (c *siteCache) usedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // flightGroup is a minimal singleflight: concurrent callers for the same
@@ -92,7 +140,7 @@ type flightGroup struct {
 
 type flightCall struct {
 	wg   sync.WaitGroup
-	site *htmlgen.Site
+	site *publishedSite
 	err  error
 }
 
@@ -104,7 +152,7 @@ func newFlightGroup() *flightGroup {
 // share its result. If fn panics, the panic propagates on the leader's
 // goroutine (the recovery middleware turns it into a 500) while waiting
 // followers receive an error instead of deadlocking.
-func (g *flightGroup) Do(key siteKey, fn func() (*htmlgen.Site, error)) (*htmlgen.Site, error) {
+func (g *flightGroup) Do(key siteKey, fn func() (*publishedSite, error)) (*publishedSite, error) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"goldweb/internal/artifact"
+	"goldweb/internal/htmlgen"
+)
+
+// publishedSite is a presentation frozen for the edge: every page of
+// the htmlgen.Site interned as a content-addressed artifact, so the
+// serving path answers conditional requests from the hash-keyed ETag
+// and writes pre-frozen (optionally precompressed) bytes without
+// touching the publication pipeline again.
+//
+// Interning is what makes hot swaps cheap: a republish whose bytes did
+// not change resolves to the same artifacts — same ETags (clients keep
+// their 304s across generations), and no doubled memory while an old
+// and a new generation briefly coexist during a staged swap.
+type publishedSite struct {
+	pages map[string]*artifact.Artifact
+	order []string
+	// size is the summed identity size — the siteCache accounting unit.
+	size int64
+	// fp is the htmlgen content fingerprint: equal fingerprints across
+	// generations certify that every client-cached ETag stays valid.
+	fp uint64
+}
+
+// newPublishedSite interns every page of site into the store. The
+// caller owns one reference per page, returned via release.
+func newPublishedSite(store *artifact.Store, site *htmlgen.Site) *publishedSite {
+	p := &publishedSite{
+		pages: make(map[string]*artifact.Artifact, len(site.Pages)),
+		order: site.Order,
+		fp:    site.Fingerprint(),
+	}
+	for name, content := range site.Pages {
+		a := store.Intern(contentType(name), content)
+		p.pages[name] = a
+		p.size += a.Size()
+	}
+	return p
+}
+
+// page returns the artifact for one page name, or nil.
+func (p *publishedSite) page(name string) *artifact.Artifact { return p.pages[name] }
+
+// release returns every page's interning reference (cache eviction,
+// purge). In-flight responses holding the artifacts keep serving —
+// release only ends interning for future publications.
+func (p *publishedSite) release() {
+	for _, a := range p.pages {
+		a.Release()
+	}
+}

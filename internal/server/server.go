@@ -21,13 +21,22 @@
 // X-Goldweb-Stale headers while a republish is failing) and a
 // generation header on every snapshot-derived response so clients and
 // soak harnesses can assert that generations never regress.
+//
+// Content delivery is content-addressed (internal/artifact): every
+// published page and pre-serialized XML view is an interned artifact
+// with a hash-keyed strong ETag, answered conditionally (If-None-Match
+// → 304) with lazily materialized precompressed gzip variants selected
+// by Accept-Encoding. Byte-identical pages are shared across
+// generations and across models, so a hot swap that does not change a
+// page's bytes keeps its ETag — and the clients' 304s — alive. The
+// presentation cache is accounted in bytes (WithCacheBytes), not
+// entries.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"path"
@@ -38,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"goldweb/internal/artifact"
 	"goldweb/internal/core"
 	"goldweb/internal/cwm"
 	"goldweb/internal/htmlgen"
@@ -66,6 +76,10 @@ type snapshot struct {
 	// from the same published state, however the swap races the request.
 	gen       uint64
 	genHeader string
+	// genVal is the pre-rendered single-value header slice for the
+	// generation header, assigned (not Set) on every response so the
+	// warm path does not allocate for it.
+	genVal []string
 	// doc is the canonical document as the model renders it — served by
 	// /model.xml and /pretty, which must not show schema defaults.
 	doc *xmldom.Node
@@ -78,12 +92,22 @@ type snapshot struct {
 	// anything else is a 404 before it can touch the cache.
 	focuses map[string]bool
 	// Pre-rendered responses for the XML views, serialized once at swap
-	// time so request hits write cached bytes instead of re-serializing
-	// the document on every GET.
-	modelXML  []byte
-	prettyXML []byte
-	clientXML []byte
-	cwmXMI    []byte
+	// time and interned as content-addressed artifacts: request hits
+	// serve frozen bytes with hash-keyed ETags (and precompressed
+	// variants) instead of re-serializing the document on every GET.
+	modelXML  *artifact.Artifact
+	prettyXML *artifact.Artifact
+	clientXML *artifact.Artifact
+	cwmXMI    *artifact.Artifact
+}
+
+// release returns the snapshot's interning references when it is
+// replaced by a swap; responses in flight keep their artifacts.
+func (snap *snapshot) release() {
+	snap.modelXML.Release()
+	snap.prettyXML.Release()
+	snap.clientXML.Release()
+	snap.cwmXMI.Release()
 }
 
 // PublishFunc generates a presentation for a model. When unset the
@@ -119,6 +143,14 @@ type Server struct {
 	requestTimeout time.Duration
 	maxInflight    int
 	shutdownGrace  time.Duration
+
+	// Edge-serving knobs: the artifact store pages intern into, the
+	// presentation-cache bounds, and whether precompressed variants are
+	// offered (identity is always available).
+	store        *artifact.Store
+	cacheEntries int
+	cacheBytes   int64
+	compress     bool
 }
 
 // Defaults for the tunable knobs (overridable with Options).
@@ -126,6 +158,7 @@ const (
 	DefaultRequestTimeout = 30 * time.Second
 	DefaultMaxInflight    = 64
 	DefaultCacheSize      = 64
+	DefaultCacheBytes     = 64 << 20 // 64 MiB of identity bytes per model
 	DefaultShutdownGrace  = 10 * time.Second
 )
 
@@ -143,9 +176,31 @@ func WithMaxInflight(n int) Option {
 	return func(s *Server) { s.maxInflight = n }
 }
 
-// WithCacheSize bounds the number of cached presentations.
+// WithCacheSize bounds the number of cached presentations (the
+// secondary cap; the primary accounting is WithCacheBytes).
 func WithCacheSize(n int) Option {
-	return func(s *Server) { s.cache = newSiteCache(n) }
+	return func(s *Server) { s.cacheEntries = n }
+}
+
+// WithCacheBytes bounds the presentation cache by summed identity
+// bytes — the unit that actually matters under memory pressure, since
+// per-focus sites of a large model dwarf a small model's whole site.
+// 0 disables the byte budget (the entry cap still applies).
+func WithCacheBytes(n int64) Option {
+	return func(s *Server) { s.cacheBytes = n }
+}
+
+// WithCompression enables or disables serving precompressed gzip
+// variants negotiated via Accept-Encoding (enabled by default).
+func WithCompression(enabled bool) Option {
+	return func(s *Server) { s.compress = enabled }
+}
+
+// WithArtifactStore sets the content store pages intern into (default:
+// the process-global artifact.Shared, so byte-identical content is
+// shared across every model server in the process).
+func WithArtifactStore(st *artifact.Store) Option {
+	return func(s *Server) { s.store = st }
 }
 
 // WithPublishFunc replaces the publication pipeline — the fault-injection
@@ -173,23 +228,31 @@ func New(m *core.Model, opts ...Option) *Server {
 // failing still has an addressable (if not-ready) server.
 func NewEmpty(opts ...Option) *Server {
 	s := &Server{
-		cache:          newSiteCache(DefaultCacheSize),
 		flight:         newFlightGroup(),
 		requestTimeout: DefaultRequestTimeout,
 		maxInflight:    DefaultMaxInflight,
 		shutdownGrace:  DefaultShutdownGrace,
+		store:          artifact.Shared,
+		cacheEntries:   DefaultCacheSize,
+		cacheBytes:     DefaultCacheBytes,
+		compress:       true,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for _, opt := range opts {
 		opt(s)
 	}
+	// The cache is built after the options so the entry and byte bounds
+	// compose in any order.
+	s.cache = newSiteCache(s.cacheEntries, s.cacheBytes)
 	return s
 }
 
 // buildSnapshot prepares one immutable published state for m: frozen
 // raw and defaults-applied documents plus every pre-serialized XML
-// view. It touches no live server state.
-func buildSnapshot(m *core.Model) *snapshot {
+// view, interned into the server's content store (a swap that does not
+// change the document re-resolves to the same artifacts — same ETags,
+// no duplicate bytes). It touches no live serving state.
+func (s *Server) buildSnapshot(m *core.Model) *snapshot {
 	snap := &snapshot{model: m, doc: m.ToXML(), focuses: htmlgen.FocusTargets(m)}
 	xmldom.Freeze(snap.doc)
 	// Validate once per swap (applying schema defaults) so the request
@@ -200,10 +263,11 @@ func buildSnapshot(m *core.Model) *snapshot {
 		snap.pubErr = fmt.Errorf("document is invalid: %v (%d problems)", errs[0], len(errs))
 	}
 	xmldom.Freeze(snap.pubDoc)
-	snap.modelXML = []byte(xmldom.SerializeToString(snap.doc, xmldom.WriteOptions{}))
-	snap.prettyXML = []byte(xmldom.Pretty(snap.doc))
-	snap.clientXML = clientModelXML(snap.doc)
-	snap.cwmXMI = []byte(cwm.ExportString(m))
+	const xmlCT = "text/xml; charset=utf-8"
+	snap.modelXML = s.store.Intern(xmlCT, []byte(xmldom.SerializeToString(snap.doc, xmldom.WriteOptions{})))
+	snap.prettyXML = s.store.Intern("text/plain; charset=utf-8", []byte(xmldom.Pretty(snap.doc)))
+	snap.clientXML = s.store.Intern(xmlCT, clientModelXML(snap.doc))
+	snap.cwmXMI = s.store.Intern(xmlCT, []byte(cwm.ExportString(m)))
 	return snap
 }
 
@@ -214,18 +278,27 @@ func buildSnapshot(m *core.Model) *snapshot {
 // request landing between the snapshot swap and the seeding would miss
 // the cache and redundantly re-publish a site that was just built.
 // Returns the new generation.
-func (s *Server) install(snap *snapshot, probe *htmlgen.Site) uint64 {
+func (s *Server) install(snap *snapshot, probe *publishedSite) uint64 {
 	s.mu.Lock()
 	s.gen++
 	snap.gen = s.gen
 	snap.genHeader = strconv.FormatUint(snap.gen, 10)
+	snap.genVal = []string{snap.genHeader}
 	gen := s.gen
 	s.cache.purge()
 	if probe != nil {
 		s.cache.add(siteKey{gen: gen, mode: htmlgen.MultiPage}, probe)
 	}
+	old := s.snap
 	s.snap = snap
 	s.mu.Unlock()
+	if old != nil {
+		// Drop the old views' interning references after the swap; any
+		// byte-identical view in the new snapshot was interned to the
+		// same artifact before this release, so it survives with its
+		// ETag intact.
+		old.release()
+	}
 	return gen
 }
 
@@ -239,7 +312,7 @@ func (s *Server) install(snap *snapshot, probe *htmlgen.Site) uint64 {
 func (s *Server) SetModel(m *core.Model) {
 	s.ready.Store(false)
 	defer s.ready.Store(true)
-	s.install(buildSnapshot(m), nil)
+	s.install(s.buildSnapshot(m), nil)
 }
 
 // StagedModel is a built, shadow-verified snapshot that has not been
@@ -248,7 +321,7 @@ func (s *Server) SetModel(m *core.Model) {
 type StagedModel struct {
 	s     *Server
 	snap  *snapshot
-	probe *htmlgen.Site
+	probe *publishedSite
 }
 
 // Stage builds the full snapshot for m and shadow-publishes its
@@ -259,17 +332,23 @@ type StagedModel struct {
 // calls are safe; external callers (the catalog) serialize commits per
 // model.
 func (s *Server) Stage(ctx context.Context, m *core.Model) (*StagedModel, error) {
-	snap := buildSnapshot(m)
+	snap := s.buildSnapshot(m)
 	if snap.pubErr != nil {
+		snap.release()
 		return nil, snap.pubErr
 	}
 	s.pubWG.Add(1)
 	defer s.pubWG.Done()
 	site, err := s.publishSite(ctx, snap, htmlgen.MultiPage, "")
 	if err != nil {
+		snap.release()
 		return nil, fmt.Errorf("shadow publish: %w", err)
 	}
-	return &StagedModel{s: s, snap: snap, probe: site}, nil
+	// Interning the shadow-published site here — while the previous
+	// generation is still live — is what makes the swap memory-flat for
+	// unchanged pages: byte-identical content resolves to the already
+	// interned artifacts instead of a second copy.
+	return &StagedModel{s: s, snap: snap, probe: newPublishedSite(s.store, site)}, nil
 }
 
 // Commit atomically installs the staged snapshot, bumps the
@@ -395,7 +474,7 @@ func (s *Server) publishSite(ctx context.Context, snap *snapshot, mode htmlgen.M
 // publication via the singleflight group. A failed publication is
 // never cached: the error is returned to this round of callers and the
 // next request retries cleanly under the same generation key.
-func (s *Server) siteFor(snap *snapshot, mode htmlgen.Mode, focus string) (*htmlgen.Site, error) {
+func (s *Server) siteFor(snap *snapshot, mode htmlgen.Mode, focus string) (*publishedSite, error) {
 	if focus != "" && !snap.focuses[focus] {
 		return nil, fmt.Errorf("%w %q: no such fact class", errUnknownFocus, focus)
 	}
@@ -403,7 +482,7 @@ func (s *Server) siteFor(snap *snapshot, mode htmlgen.Mode, focus string) (*html
 	if site, ok := s.cache.get(key); ok {
 		return site, nil
 	}
-	return s.flight.Do(key, func() (*htmlgen.Site, error) {
+	return s.flight.Do(key, func() (*publishedSite, error) {
 		s.pubWG.Add(1)
 		defer s.pubWG.Done()
 		ctx, cancel := s.publishCtx()
@@ -412,14 +491,15 @@ func (s *Server) siteFor(snap *snapshot, mode htmlgen.Mode, focus string) (*html
 		if err != nil {
 			return nil, err
 		}
-		s.cache.add(key, site)
-		return site, nil
+		p := newPublishedSite(s.store, site)
+		s.cache.add(key, p)
+		return p, nil
 	})
 }
 
 // site is siteFor on the current snapshot (kept for tests and simple
 // callers).
-func (s *Server) site(mode htmlgen.Mode, focus string) (*htmlgen.Site, error) {
+func (s *Server) site(mode htmlgen.Mode, focus string) (*publishedSite, error) {
 	return s.siteFor(s.snapshot(), mode, focus)
 }
 
@@ -493,9 +573,19 @@ func (s *Server) snapFor(w http.ResponseWriter, r *http.Request) *snapshot {
 		respondError(w, r, http.StatusServiceUnavailable, "no model published yet", "1")
 		return nil
 	}
-	w.Header().Set(GenerationHeader, snap.genHeader)
+	// Assigning the pre-rendered slice (the header name is already in
+	// canonical form) keeps the warm path allocation-free.
+	w.Header()[GenerationHeader] = snap.genVal
 	return snap
 }
+
+// Static artifacts: process-constant content served with the same
+// conditional/variant discipline as published pages.
+var (
+	staticSchemaXSD = artifact.New("text/xml; charset=utf-8", []byte(core.SchemaXSD))
+	staticStyleCSS  = artifact.New("text/css; charset=utf-8", []byte(core.StyleCSS))
+	staticSingleXSL = artifact.New("text/xml; charset=utf-8", []byte(core.SingleXSL))
+)
 
 // appMux builds the application routes (no middleware).
 func (s *Server) appMux() http.Handler {
@@ -525,13 +615,12 @@ func (s *Server) appMux() http.Handler {
 			siteError(w, err)
 			return
 		}
-		content := site.Page(page)
-		if content == nil {
+		a := site.page(page)
+		if a == nil {
 			http.NotFound(w, r)
 			return
 		}
-		w.Header().Set("Content-Type", contentType(page))
-		w.Write(content)
+		a.Serve(w, r, s.compress)
 	})
 	mux.HandleFunc("/single", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.snapFor(w, r)
@@ -543,28 +632,24 @@ func (s *Server) appMux() http.Handler {
 			siteError(w, err)
 			return
 		}
-		content := site.Page(htmlgen.IndexName)
-		if content == nil {
+		a := site.page(htmlgen.IndexName)
+		if a == nil {
 			http.Error(w, "presentation has no index page", http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		w.Write(content)
+		a.Serve(w, r, s.compress)
 	})
 	mux.HandleFunc("/style.css", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/css; charset=utf-8")
-		io.WriteString(w, core.StyleCSS)
+		staticStyleCSS.Serve(w, r, s.compress)
 	})
 	mux.HandleFunc("/model.xml", func(w http.ResponseWriter, r *http.Request) {
 		if snap := s.snapFor(w, r); snap != nil {
-			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-			w.Write(snap.modelXML)
+			snap.modelXML.Serve(w, r, s.compress)
 		}
 	})
 	mux.HandleFunc("/pretty", func(w http.ResponseWriter, r *http.Request) {
 		if snap := s.snapFor(w, r); snap != nil {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			w.Write(snap.prettyXML)
+			snap.prettyXML.Serve(w, r, s.compress)
 		}
 	})
 	// The paper's §6 future work: "when the browsers completely support
@@ -575,23 +660,19 @@ func (s *Server) appMux() http.Handler {
 	// browser renders the model client-side.
 	mux.HandleFunc("/client/model.xml", func(w http.ResponseWriter, r *http.Request) {
 		if snap := s.snapFor(w, r); snap != nil {
-			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-			w.Write(snap.clientXML)
+			snap.clientXML.Serve(w, r, s.compress)
 		}
 	})
 	mux.HandleFunc("/client/single.xsl", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		io.WriteString(w, core.SingleXSL)
+		staticSingleXSL.Serve(w, r, s.compress)
 	})
 	mux.HandleFunc("/cwm.xmi", func(w http.ResponseWriter, r *http.Request) {
 		if snap := s.snapFor(w, r); snap != nil {
-			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-			w.Write(snap.cwmXMI)
+			snap.cwmXMI.Serve(w, r, s.compress)
 		}
 	})
 	mux.HandleFunc("/schema.xsd", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		io.WriteString(w, core.SchemaXSD)
+		staticSchemaXSD.Serve(w, r, s.compress)
 	})
 	mux.HandleFunc("/validate", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.snapFor(w, r)

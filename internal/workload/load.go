@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"context"
+	"math/bits"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadSpec shapes a sustained in-process load run: N concurrent
+// clients hammering an http.Handler with a realistic request mix.
+type LoadSpec struct {
+	// Clients is the number of concurrent synthetic clients (≥ 1).
+	Clients int
+	// Duration is how long the run lasts (≥ 1ms).
+	Duration time.Duration
+	// GzipFrac is the fraction of requests sent with
+	// "Accept-Encoding: gzip" (a modern browser mix is ~1.0; 0.9
+	// leaves room for curl-style identity clients).
+	GzipFrac float64
+	// CondFrac is the fraction of requests that revalidate with
+	// If-None-Match using the ETag the client learned for that path —
+	// the browser-cache behavior that turns repeat views into 304s.
+	CondFrac float64
+	// Seed makes the mix deterministic.
+	Seed int64
+}
+
+// LoadReport aggregates a finished run.
+type LoadReport struct {
+	Clients     int     `json:"clients"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int64   `json:"requests"`
+	RPS         float64 `json:"rps"`
+	P50Micros   int64   `json:"p50_us"`
+	P99Micros   int64   `json:"p99_us"`
+	Hits304     int64   `json:"hits_304"`
+	Ratio304    float64 `json:"ratio_304"`
+	BytesOnWire int64   `json:"bytes_on_wire"`
+	Errors      int64   `json:"errors"`
+}
+
+// latHist is a log-linear latency histogram (power-of-two ranges, 8
+// linear sub-buckets each): constant memory, ~9% worst-case relative
+// quantile error, mergeable across clients without coordination.
+type latHist struct {
+	counts [64 * 8]int64
+	total  int64
+}
+
+func (h *latHist) record(d time.Duration) {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	exp := bits.Len64(uint64(us)) - 1
+	sub := 0
+	if exp > 3 {
+		sub = int((us >> (exp - 3)) & 7)
+	} else {
+		sub = int(us & 7)
+	}
+	h.counts[exp*8+sub]++
+	h.total++
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+}
+
+// quantile reconstructs the value at q (0..1) from bucket midpoints.
+func (h *latHist) quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			exp, sub := i/8, int64(i%8)
+			if exp <= 3 {
+				return sub
+			}
+			base := int64(1) << exp
+			step := base / 8
+			return base + sub*step + step/2
+		}
+	}
+	return 0
+}
+
+// respSink is the measurement-side http.ResponseWriter: it discards
+// body bytes while counting them, and keeps the headers so the client
+// can learn ETags. One sink is reused per client across requests.
+type respSink struct {
+	header http.Header
+	status int
+	bytes  int64
+}
+
+func (s *respSink) Header() http.Header { return s.header }
+
+func (s *respSink) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+}
+
+func (s *respSink) Write(p []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	s.bytes += int64(len(p))
+	return len(p), nil
+}
+
+func (s *respSink) reset() {
+	for k := range s.header {
+		delete(s.header, k)
+	}
+	s.status = 0
+}
+
+// RunLoad drives h with spec.Clients concurrent clients for
+// spec.Duration, each cycling through paths with an independent
+// deterministic mix of gzip/identity and conditional/unconditional
+// requests. Calling the handler directly (no sockets) measures the
+// serving path itself — header negotiation, conditional evaluation,
+// the single body write — rather than kernel TCP behavior.
+func RunLoad(ctx context.Context, h http.Handler, paths []string, spec LoadSpec) (*LoadReport, error) {
+	if spec.Clients < 1 {
+		spec.Clients = 1
+	}
+	if spec.Duration < time.Millisecond {
+		spec.Duration = time.Millisecond
+	}
+	urls := make([]*url.URL, len(paths))
+	for i, p := range paths {
+		u, err := url.Parse(p)
+		if err != nil {
+			return nil, err
+		}
+		urls[i] = u
+	}
+
+	type clientStats struct {
+		hist        latHist
+		requests    int64
+		hits304     int64
+		errors      int64
+		bytesOnWire int64
+	}
+	stats := make([]clientStats, spec.Clients)
+
+	// The run ends by flag, not by context: requests carry the caller's
+	// ctx untouched, so the final in-flight requests are not failed by
+	// an expiring deadline and the error count reflects the handler,
+	// not the harness shutting down.
+	var stop atomic.Bool
+	timer := time.AfterFunc(spec.Duration, func() { stop.Store(true) })
+	defer timer.Stop()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < spec.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			rng := rand.New(rand.NewSource(spec.Seed + int64(c)*7919))
+			etags := make(map[string]string, len(urls))
+			sink := &respSink{header: make(http.Header, 8)}
+			req := (&http.Request{
+				Method: http.MethodGet,
+				Proto:  "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+				Header:     make(http.Header, 2),
+				Host:       "load.local",
+				RemoteAddr: "127.0.0.1:0",
+			}).WithContext(ctx)
+			for !stop.Load() && ctx.Err() == nil {
+				u := urls[rng.Intn(len(urls))]
+				req.URL = u
+				req.RequestURI = u.RequestURI()
+				delete(req.Header, "Accept-Encoding")
+				delete(req.Header, "If-None-Match")
+				if rng.Float64() < spec.GzipFrac {
+					req.Header["Accept-Encoding"] = []string{"gzip"}
+				}
+				if et, ok := etags[u.Path]; ok && rng.Float64() < spec.CondFrac {
+					req.Header["If-None-Match"] = []string{et}
+				}
+				sink.reset()
+				before := sink.bytes
+				t0 := time.Now()
+				h.ServeHTTP(sink, req)
+				st.hist.record(time.Since(t0))
+				st.requests++
+				st.bytesOnWire += sink.bytes - before
+				switch {
+				case sink.status == http.StatusNotModified:
+					st.hits304++
+				case sink.status >= 400:
+					st.errors++
+				default:
+					if et := sink.header.Get("Etag"); et != "" {
+						etags[u.Path] = et
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var merged latHist
+	rep := &LoadReport{Clients: spec.Clients, DurationSec: elapsed.Seconds()}
+	for i := range stats {
+		merged.merge(&stats[i].hist)
+		rep.Requests += stats[i].requests
+		rep.Hits304 += stats[i].hits304
+		rep.Errors += stats[i].errors
+		rep.BytesOnWire += stats[i].bytesOnWire
+	}
+	if rep.Requests > 0 {
+		rep.RPS = float64(rep.Requests) / elapsed.Seconds()
+		rep.Ratio304 = float64(rep.Hits304) / float64(rep.Requests)
+	}
+	rep.P50Micros = merged.quantile(0.50)
+	rep.P99Micros = merged.quantile(0.99)
+	return rep, nil
+}

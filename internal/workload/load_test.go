@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// staticHandler serves a fixed body with an ETag and honors
+// If-None-Match — enough surface to exercise the client mix.
+func staticHandler(body string, etag string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Etag", etag)
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Write([]byte(body))
+	})
+}
+
+func TestRunLoadCountsAndRevalidates(t *testing.T) {
+	h := staticHandler("hello world, this is a page body", `"abc123"`)
+	rep, err := RunLoad(context.Background(), h, []string{"/a", "/b"}, LoadSpec{
+		Clients:  4,
+		Duration: 150 * time.Millisecond,
+		GzipFrac: 0.5,
+		CondFrac: 0.9,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors against an always-200 handler", rep.Errors)
+	}
+	// With CondFrac=0.9 and an immediately-learned ETag, most repeats
+	// revalidate: the 304 ratio must be substantial and the wire bytes
+	// well under requests × body size.
+	if rep.Ratio304 < 0.5 {
+		t.Errorf("304 ratio %.2f, want ≥ 0.5 under CondFrac 0.9", rep.Ratio304)
+	}
+	if full := rep.Requests * int64(len("hello world, this is a page body")); rep.BytesOnWire >= full {
+		t.Errorf("bytes on wire %d not reduced below full-body %d", rep.BytesOnWire, full)
+	}
+	if rep.RPS <= 0 || rep.P50Micros <= 0 || rep.P99Micros < rep.P50Micros {
+		t.Errorf("implausible latency stats: rps=%.0f p50=%dus p99=%dus", rep.RPS, rep.P50Micros, rep.P99Micros)
+	}
+	if rep.Hits304+rep.Errors > rep.Requests {
+		t.Errorf("counts inconsistent: %+v", rep)
+	}
+}
+
+func TestRunLoadCountsErrors(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	})
+	rep, err := RunLoad(context.Background(), h, []string{"/missing"}, LoadSpec{
+		Clients: 2, Duration: 50 * time.Millisecond, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != rep.Requests || rep.Requests == 0 {
+		t.Errorf("errors %d of %d requests, want all", rep.Errors, rep.Requests)
+	}
+}
+
+func TestRunLoadDeterministicMix(t *testing.T) {
+	// Same seed → same per-client request decisions. Durations differ,
+	// so only spot-check that the mix parameters were honored at all:
+	// CondFrac=0 must never produce a 304.
+	h := staticHandler("body bytes body bytes", `"zz"`)
+	rep, err := RunLoad(context.Background(), h, []string{"/x"}, LoadSpec{
+		Clients: 2, Duration: 50 * time.Millisecond, CondFrac: 0, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hits304 != 0 {
+		t.Errorf("%d hits with CondFrac=0", rep.Hits304)
+	}
+}
+
+func TestLatHistQuantiles(t *testing.T) {
+	var h latHist
+	for i := 1; i <= 1000; i++ {
+		h.record(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.quantile(0.50)
+	p99 := h.quantile(0.99)
+	// Log-linear buckets bound relative error to ~12.5%.
+	if p50 < 400 || p50 > 625 {
+		t.Errorf("p50 %dus, want ≈500us", p50)
+	}
+	if p99 < 850 || p99 > 1200 {
+		t.Errorf("p99 %dus, want ≈990us", p99)
+	}
+	if h.quantile(0) > h.quantile(1) {
+		t.Error("quantile not monotone at extremes")
+	}
+}

@@ -8,6 +8,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"goldweb/internal/core"
 	"goldweb/internal/olap"
@@ -58,19 +59,19 @@ func GenModel(spec ModelSpec) *core.Model {
 		name := fmt.Sprintf("Dim%02d", d+1)
 		dimNames[d] = name
 		db := b.Dimension(name).
-			Key(fmt.Sprintf("%s_id", lower(name)), "OID").
-			Descriptor(fmt.Sprintf("%s_name", lower(name)), "String")
+			Key(fmt.Sprintf("%s_id", strings.ToLower(name)), "OID").
+			Descriptor(fmt.Sprintf("%s_name", strings.ToLower(name)), "String")
 		for a := 0; a < spec.AttsPerLevel; a++ {
-			db.Attr(fmt.Sprintf("%s_att%d", lower(name), a+1), "String")
+			db.Attr(fmt.Sprintf("%s_att%d", strings.ToLower(name), a+1), "String")
 		}
 		prevLevel := ""
 		for lv := 0; lv < spec.Depth; lv++ {
 			lname := fmt.Sprintf("%sL%d", name, lv+1)
 			lb := db.Level(lname).
-				Key(fmt.Sprintf("%s_id", lower(lname)), "OID").
-				Descriptor(fmt.Sprintf("%s_name", lower(lname)), "String")
+				Key(fmt.Sprintf("%s_id", strings.ToLower(lname)), "OID").
+				Descriptor(fmt.Sprintf("%s_name", strings.ToLower(lname)), "String")
 			for a := 0; a < spec.AttsPerLevel; a++ {
-				lb.Attr(fmt.Sprintf("%s_att%d", lower(lname), a+1), "String")
+				lb.Attr(fmt.Sprintf("%s_att%d", strings.ToLower(lname), a+1), "String")
 			}
 			if prevLevel == "" {
 				db.Rollup(lname)
@@ -89,7 +90,7 @@ func GenModel(spec ModelSpec) *core.Model {
 		}
 		var measureNames []string
 		for mi := 0; mi < spec.MeasuresPerFact; mi++ {
-			mname := fmt.Sprintf("%s_m%d", lower(fname), mi+1)
+			mname := fmt.Sprintf("%s_m%d", strings.ToLower(fname), mi+1)
 			measureNames = append(measureNames, mname)
 			mb := fb.Measure(mname, "Integer")
 			// Roughly a third of the measures carry additivity rules.
@@ -102,9 +103,9 @@ func GenModel(spec ModelSpec) *core.Model {
 				}
 			}
 		}
-		fb.Measure(fmt.Sprintf("%s_ticket", lower(fname)), "Integer").OID()
+		fb.Measure(fmt.Sprintf("%s_ticket", strings.ToLower(fname)), "Integer").OID()
 		if len(measureNames) >= 2 {
-			fb.Measure(fmt.Sprintf("%s_derived", lower(fname)), "Integer").
+			fb.Measure(fmt.Sprintf("%s_derived", strings.ToLower(fname)), "Integer").
 				Derived(measureNames[0] + " + " + measureNames[1])
 		}
 		if spec.Cubes {
@@ -117,18 +118,6 @@ func GenModel(spec ModelSpec) *core.Model {
 		}
 	}
 	return b.MustBuild()
-}
-
-func lower(s string) string {
-	out := make([]byte, len(s))
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if c >= 'A' && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		out[i] = c
-	}
-	return string(out)
 }
 
 // DataSpec sizes the instance data for a synthetic model.
@@ -172,16 +161,16 @@ func GenData(m *core.Model, spec DataSpec) *olap.Dataset {
 		}
 		for i := len(chain) - 1; i >= 0; i-- {
 			for k := 0; k < counts[i]; k++ {
-				key := fmt.Sprintf("%s_%s_%d", lower(d.Name), lower(chain[i]), k)
+				key := fmt.Sprintf("%s_%s_%d", strings.ToLower(d.Name), strings.ToLower(chain[i]), k)
 				dd.AddMember(chain[i], key, fmt.Sprintf("%s %d", chain[i], k))
 				if i < len(chain)-1 {
-					parent := fmt.Sprintf("%s_%s_%d", lower(d.Name), lower(chain[i+1]), k%counts[i+1])
+					parent := fmt.Sprintf("%s_%s_%d", strings.ToLower(d.Name), strings.ToLower(chain[i+1]), k%counts[i+1])
 					dd.MustLink(chain[i], key, chain[i+1], parent)
 				}
 			}
 		}
 		for k := 0; k < spec.LeavesPerDim; k++ {
-			key := fmt.Sprintf("%s_%d", lower(d.Name), k)
+			key := fmt.Sprintf("%s_%d", strings.ToLower(d.Name), k)
 			mem := dd.AddMember("", key, fmt.Sprintf("%s member %d", d.Name, k))
 			for _, a := range d.Atts {
 				if !a.IsOID && !a.IsD {
@@ -189,7 +178,7 @@ func GenData(m *core.Model, spec DataSpec) *olap.Dataset {
 				}
 			}
 			if len(chain) > 0 {
-				parent := fmt.Sprintf("%s_%s_%d", lower(d.Name), lower(chain[0]), k%counts[0])
+				parent := fmt.Sprintf("%s_%s_%d", strings.ToLower(d.Name), strings.ToLower(chain[0]), k%counts[0])
 				dd.MustLink("", key, chain[0], parent)
 			}
 		}
@@ -204,7 +193,7 @@ func GenData(m *core.Model, spec DataSpec) *olap.Dataset {
 			}
 			for _, agg := range f.SharedAggs {
 				d := m.Dim(agg.DimClass)
-				key := fmt.Sprintf("%s_%d", lower(d.Name), rng.Intn(spec.LeavesPerDim))
+				key := fmt.Sprintf("%s_%d", strings.ToLower(d.Name), rng.Intn(spec.LeavesPerDim))
 				row.Coords[d.Name] = []string{key}
 			}
 			for _, a := range f.Atts {
@@ -220,11 +209,4 @@ func GenData(m *core.Model, spec DataSpec) *olap.Dataset {
 		}
 	}
 	return ds
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
