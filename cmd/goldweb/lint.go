@@ -10,8 +10,10 @@ import (
 	"strings"
 
 	"goldweb/internal/analysis"
+	"goldweb/internal/analysis/verify"
 	"goldweb/internal/core"
 	"goldweb/internal/xsd"
+	"goldweb/internal/xslt"
 )
 
 // cmdLint statically checks stylesheets (*.xsl) and model documents
@@ -21,6 +23,7 @@ import (
 func cmdLint(args []string) error {
 	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	doVerify := fs.Bool("verify", false, "print a per-stylesheet bytecode verification summary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -29,8 +32,13 @@ func cmdLint(args []string) error {
 		return fmt.Errorf("loading built-in schema: %w", err)
 	}
 	var diags []analysis.Diagnostic
+	var sheets []lintSheet
 	if fs.NArg() == 0 {
 		diags = lintBuiltins(schema)
+		sheets = []lintSheet{
+			{"builtin:single.xsl", []byte(core.SingleXSL)},
+			{"builtin:multi.xsl", []byte(core.MultiXSL)},
+		}
 	} else {
 		files, err := collectLintFiles(fs.Args())
 		if err != nil {
@@ -46,6 +54,7 @@ func cmdLint(args []string) error {
 			}
 			if strings.HasSuffix(f, ".xsl") || strings.HasSuffix(f, ".xslt") {
 				diags = append(diags, analysis.LintStylesheet(f, src, schema)...)
+				sheets = append(sheets, lintSheet{f, src})
 			} else {
 				diags = append(diags, analysis.LintModelSource(f, src, schema)...)
 			}
@@ -68,11 +77,43 @@ func cmdLint(args []string) error {
 		if len(diags) == 0 {
 			fmt.Println("ok: no findings")
 		}
+		if *doVerify {
+			printVerifySummaries(sheets)
+		}
 	}
 	if analysis.HasErrors(diags) {
 		return fmt.Errorf("%d findings (with errors)", len(diags))
 	}
 	return nil
+}
+
+// lintSheet is one stylesheet the -verify summary reports on.
+type lintSheet struct {
+	name string
+	src  []byte
+}
+
+// printVerifySummaries recompiles each linted stylesheet and reports the
+// verification surface: instruction and expression counts plus the
+// verifier's verdict. Findings themselves are already in the diagnostic
+// stream; this is the at-a-glance proof of what was checked.
+func printVerifySummaries(sheets []lintSheet) {
+	for _, sh := range sheets {
+		s, err := xslt.CompileStylesheetString(string(sh.src), xslt.CompileOptions{})
+		if err != nil {
+			fmt.Printf("verify: %s: not compiled (%v)\n", sh.name, err)
+			continue
+		}
+		p := s.Program()
+		ops, exprs := verify.Stats(p)
+		findings := len(verify.Program(p)) + len(verify.Shape(p))
+		verdict := "ok"
+		if findings > 0 {
+			verdict = fmt.Sprintf("%d findings", findings)
+		}
+		fmt.Printf("verify: %s: %d instructions, %d expressions verified — %s\n",
+			sh.name, ops, exprs, verdict)
+	}
 }
 
 func lintBuiltins(schema *xsd.Schema) []analysis.Diagnostic {

@@ -331,6 +331,55 @@ func TestCmdLintFlagsBrokenStylesheet(t *testing.T) {
 	}
 }
 
+func TestCmdLintVerifySummary(t *testing.T) {
+	out, err := capture(t, func() error { return cmdLint([]string{"-verify"}) })
+	if err != nil {
+		t.Fatalf("lint -verify on builtins: %v (%s)", err, out)
+	}
+	for _, want := range []string{
+		"verify: builtin:single.xsl:",
+		"verify: builtin:multi.xsl:",
+		"expressions verified — ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdLintJSONDeterministic(t *testing.T) {
+	// A stylesheet with findings across several codes and positions: the
+	// JSON artifact must be byte-identical across runs.
+	path := withFile(t, "noisy.xsl", `<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:output method="html"/>
+  <xsl:template match="goldmodel">
+    <xsl:variable name="dead" select="@name"/>
+    <img src="x.png">caption</img>
+    <div>text<xsl:attribute name="id">v</xsl:attribute></div>
+  </xsl:template>
+  <xsl:template name="unused"><x/></xsl:template>
+</xsl:stylesheet>`)
+	first, err := capture(t, func() error { return cmdLint([]string{"-json", path}) })
+	if err != nil {
+		t.Fatalf("warnings must not fail lint: %v (%s)", err, first)
+	}
+	for _, code := range []string{"GW203", "GW202", "GW502", "GW504"} {
+		if !strings.Contains(first, `"code": "`+code+`"`) {
+			t.Errorf("missing %s in json output:\n%s", code, first)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		again, err := capture(t, func() error { return cmdLint([]string{"-json", path}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("lint -json output is not deterministic:\n--- first ---\n%s\n--- again ---\n%s", first, again)
+		}
+	}
+}
+
 func TestCmdLintWalksDirectories(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "m.xml"), []byte(core.SampleSales().XMLString()), 0o644); err != nil {

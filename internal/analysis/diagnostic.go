@@ -10,8 +10,9 @@
 //
 // All diagnostics are positioned (file:line:col) and carry a stable code
 // (GW1xx path reachability, GW2xx dead code, GW3xx references, GW4xx
-// model documents) so tooling can filter or gate on them; the severity
-// policy is documented in DESIGN.md §7.
+// model documents, GW5xx bytecode/result-shape verification — see the
+// analysis/verify subpackage) so tooling can filter or gate on them; the
+// severity policy is documented in DESIGN.md §7 and §12.
 package analysis
 
 import (
@@ -88,8 +89,10 @@ func (d Diagnostic) String() string {
 	return b.String()
 }
 
-// Sort orders diagnostics by file, position, code and message so output
-// is deterministic across runs.
+// Sort orders diagnostics by (file, line, col, code, severity, message)
+// so output — `goldweb lint -json` artifacts and corpus diffs included —
+// is deterministic regardless of map-iteration or pass order. The key is
+// total: no two distinct diagnostics compare equal.
 func Sort(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -104,6 +107,9 @@ func Sort(diags []Diagnostic) {
 		}
 		if a.Code != b.Code {
 			return a.Code < b.Code
+		}
+		if a.Severity != b.Severity {
+			return a.Severity < b.Severity
 		}
 		return a.Msg < b.Msg
 	})

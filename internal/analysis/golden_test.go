@@ -97,6 +97,8 @@ func TestGoldenCorpusCoversAllCodes(t *testing.T) {
 		analysis.CodeUnusedMode,
 		analysis.CodeUnknownKey, analysis.CodeUnknownRef, analysis.CodeUnknownFunc,
 		analysis.CodeModelInvalid, analysis.CodeBrokenKeyref,
+		analysis.CodeAttrAfterContent, analysis.CodeDuplicateAttr,
+		analysis.CodeVoidContent, analysis.CodeRawTextHazard,
 	}
 	for _, code := range all {
 		if !covered[code] {

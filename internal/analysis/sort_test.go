@@ -1,0 +1,47 @@
+package analysis_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"goldweb/internal/analysis"
+)
+
+// TestSortTotalOrder pins the deterministic ordering contract behind
+// `goldweb lint -json`: (file, line, col, code, severity, message) is a
+// total order, so any input permutation — map-iteration order included —
+// sorts to the same sequence.
+func TestSortTotalOrder(t *testing.T) {
+	want := []analysis.Diagnostic{
+		{File: "a.xsl", Line: 1, Col: 1, Code: "GW101", Severity: analysis.SevError, Msg: "m1"},
+		{File: "a.xsl", Line: 1, Col: 1, Code: "GW102", Severity: analysis.SevError, Msg: "m1"},
+		{File: "a.xsl", Line: 1, Col: 1, Code: "GW102", Severity: analysis.SevError, Msg: "m2"},
+		{File: "a.xsl", Line: 1, Col: 2, Code: "GW101", Severity: analysis.SevWarning, Msg: "m1"},
+		{File: "a.xsl", Line: 2, Col: 1, Code: "GW501", Severity: analysis.SevError, Msg: "m1"},
+		{File: "a.xsl", Line: 2, Col: 1, Code: "GW502", Severity: analysis.SevWarning, Msg: "m1"},
+		{File: "b.xsl", Line: 1, Col: 1, Code: "GW101", Severity: analysis.SevError, Msg: "m1"},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		got := append([]analysis.Diagnostic(nil), want...)
+		rng.Shuffle(len(got), func(i, j int) { got[i], got[j] = got[j], got[i] })
+		analysis.Sort(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: shuffle did not sort back to canonical order:\n%v", trial, got)
+		}
+	}
+}
+
+// Severity breaks ties when position and code agree (distinct sources
+// can reuse a code with different severities).
+func TestSortSeverityTiebreak(t *testing.T) {
+	d := []analysis.Diagnostic{
+		{File: "a", Code: "GW401", Severity: analysis.SevWarning, Msg: "w"},
+		{File: "a", Code: "GW401", Severity: analysis.SevError, Msg: "e"},
+	}
+	analysis.Sort(d)
+	if d[0].Severity != analysis.SevError {
+		t.Fatalf("error must sort before warning on equal position+code: %v", d)
+	}
+}

@@ -106,6 +106,7 @@ func LintStylesheet(file string, src []byte, schema *xsd.Schema) []Diagnostic {
 		calledTemplates: map[string]bool{},
 	}
 	l.run()
+	l.diags = append(l.diags, verifyProgram(file, sheet)...)
 	Sort(l.diags)
 	return l.diags
 }

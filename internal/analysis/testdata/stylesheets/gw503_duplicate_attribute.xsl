@@ -1,0 +1,7 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:output method="html"/>
+  <xsl:template match="goldmodel">
+    <div class="first"><xsl:attribute name="class">second</xsl:attribute></div>
+  </xsl:template>
+</xsl:stylesheet>

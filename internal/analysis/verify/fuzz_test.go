@@ -1,0 +1,49 @@
+package verify_test
+
+import (
+	"testing"
+
+	"goldweb/internal/analysis/verify"
+	"goldweb/internal/xslt"
+)
+
+// FuzzProgramVerifier mutates a healthy captured program image with
+// fuzzer-chosen byte edits and asserts the verifier neither panics nor
+// hangs on any corruption. Each 6-byte chunk of input encodes one edit:
+// (pc, field, value) — opcode, operand A, or operand B.
+func FuzzProgramVerifier(f *testing.F) {
+	s, err := xslt.CompileStylesheetString(corpusSrc, xslt.CompileOptions{})
+	if err != nil {
+		f.Fatalf("compile: %v", err)
+	}
+	base := verify.Capture(s.Program())
+
+	f.Add([]byte{})
+	f.Add([]byte{0, 3, 0, 0, 0, 255})                  // clobber an opcode
+	f.Add([]byte{0, 9, 1, 255, 255, 255})              // operand A out of range
+	f.Add([]byte{0, 12, 2, 0, 0, 200})                 // jump far away
+	f.Add([]byte{0, 1, 0, 0, 0, 17, 0, 2, 1, 0, 0, 9}) // two stacked edits
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im := &verify.Image{
+			Code:        append([]xslt.Instr(nil), base.Code...),
+			Tables:      base.Tables,
+			Entries:     append([]int(nil), base.Entries...),
+			CallTargets: append([]int(nil), base.CallTargets...),
+		}
+		for i := 0; i+6 <= len(data) && i < 16*6; i += 6 {
+			pc := (int(data[i])<<8 | int(data[i+1])) % len(im.Code)
+			v := int32(data[i+3])<<16 | int32(data[i+4])<<8 | int32(data[i+5])
+			switch data[i+2] % 3 {
+			case 0:
+				im.Code[pc].Op = xslt.Opcode(v)
+			case 1:
+				im.Code[pc].A = v - 1<<16 // exercise negatives too
+			case 2:
+				im.Code[pc].B = v - 1<<16
+			}
+		}
+		// The only contract under corruption: terminate without panicking.
+		_ = im.Check()
+	})
+}

@@ -31,6 +31,20 @@ var htmlVoid = map[string]bool{
 // htmlRawText lists HTML elements whose text content is not escaped.
 var htmlRawText = map[string]bool{"script": true, "style": true}
 
+// HTMLVoid reports whether an element name (case-insensitive) is an HTML
+// void element: under the html output method it is serialized without an
+// end tag, so any children a transformation puts inside it produce
+// invalid markup. Exported for the static result-shape analysis, which
+// must lint against exactly the serializer's content model.
+func HTMLVoid(name string) bool { return htmlVoid[strings.ToLower(name)] }
+
+// HTMLRawText reports whether an element name (case-insensitive) is an
+// HTML raw-text element (script, style): under the html output method
+// its text content is emitted unescaped, so text containing "</" can
+// terminate the element early. Exported for the static result-shape
+// analysis.
+func HTMLRawText(name string) bool { return htmlRawText[strings.ToLower(name)] }
+
 // Serialize renders the node tree to w according to opts.
 func Serialize(w io.Writer, n *Node, opts WriteOptions) error {
 	s := &serializer{w: w, opts: opts}

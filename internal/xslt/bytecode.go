@@ -30,71 +30,71 @@ import (
 // differential and fuzz tests in bytecode_test.go pin the two to
 // byte-identical output.
 
-// xop is a stylesheet bytecode opcode.
-type xop uint8
+// Opcode is a stylesheet bytecode opcode.
+type Opcode uint8
 
 const (
-	opHalt         xop = iota
-	opRet              // return from a template body (apply iteration or call)
-	opJmp              // a: target pc
-	opTest             // a: expr; b: target pc when the test is false
-	opSeg              // a: segment — bulk-append a pre-serialized literal run
-	opText             // a: string; b: 1 = disable output escaping
-	opValueOf          // a: expr; b: 1 = disable output escaping
-	opLitBegin         // a: literal element name
-	opAttrSets         // a: name list — apply xsl:use-attribute-sets
-	opLitAttr          // a: literal attribute with a static value
-	opAVTAttr          // a: literal attribute with an AVT value
-	opEndElem          // close the open element (literal, xsl:element)
-	opApply            // a: apply site — push the loop frame (falls into opIterate)
-	opIterate          // a: apply site; b: exit pc — dispatch next node or exit
-	opForEach          // a: for-each site — push the loop frame
-	opForNext          // b: exit pc — advance the iteration or exit
-	opForEnd           // a: loop-head pc (its opForNext)
-	opCall             // a: call site — push a call frame, jump to the template
-	opApplyImports     // dispatch below the current precedence, call frame
-	opEnter            // a: template — bind parameters, set import precedence
-	opScopeBegin       // copy-on-write variable scope for a body with xsl:variable
-	opScopeEnd
-	opVarDecl      // a: variable declaration — evaluate and bind
-	opElemBegin    // a: element site — computed name + attribute sets
-	opAttrBegin    // a: name AVT — begin capturing an attribute value
-	opAttrEnd      //
-	opCommentBegin // begin capturing a comment body
-	opCommentEnd   //
-	opPIBegin      // a: name AVT — begin capturing a PI body
-	opPIEnd        //
-	opMsgBegin     // begin capturing an xsl:message body
-	opMsgEnd       // a: 1 = terminate
-	opDocBegin     // a: href AVT — redirect output to an xsl:document sink
-	opDocEnd       //
-	opCopyBegin    // a: copy site; b: pc after opCopyEnd (leaf-node skip)
-	opCopyEnd      //
-	opCopyOf       // a: expr
-	opNumber       // a: number site
+	OpHalt         Opcode = iota
+	OpRet                 // return from a template body (apply iteration or call)
+	OpJmp                 // a: target pc
+	OpTest                // a: expr; b: target pc when the test is false
+	OpSeg                 // a: segment — bulk-append a pre-serialized literal run
+	OpText                // a: string; b: 1 = disable output escaping
+	OpValueOf             // a: expr; b: 1 = disable output escaping
+	OpLitBegin            // a: literal element name
+	OpAttrSets            // a: name list — apply xsl:use-attribute-sets
+	OpLitAttr             // a: literal attribute with a static value
+	OpAVTAttr             // a: literal attribute with an AVT value
+	OpEndElem             // close the open element (literal, xsl:element)
+	OpApply               // a: apply site — push the loop frame (falls into OpIterate)
+	OpIterate             // a: apply site; b: exit pc — dispatch next node or exit
+	OpForEach             // a: for-each site — push the loop frame
+	OpForNext             // b: exit pc — advance the iteration or exit
+	OpForEnd              // a: loop-head pc (its OpForNext)
+	OpCall                // a: call site — push a call frame, jump to the template
+	OpApplyImports        // dispatch below the current precedence, call frame
+	OpEnter               // a: template — bind parameters, set import precedence
+	OpScopeBegin          // copy-on-write variable scope for a body with xsl:variable
+	OpScopeEnd
+	OpVarDecl      // a: variable declaration — evaluate and bind
+	OpElemBegin    // a: element site — computed name + attribute sets
+	OpAttrBegin    // a: name AVT — begin capturing an attribute value
+	OpAttrEnd      //
+	OpCommentBegin // begin capturing a comment body
+	OpCommentEnd   //
+	OpPIBegin      // a: name AVT — begin capturing a PI body
+	OpPIEnd        //
+	OpMsgBegin     // begin capturing an xsl:message body
+	OpMsgEnd       // a: 1 = terminate
+	OpDocBegin     // a: href AVT — redirect output to an xsl:document sink
+	OpDocEnd       //
+	OpCopyBegin    // a: copy site; b: pc after OpCopyEnd (leaf-node skip)
+	OpCopyEnd      //
+	OpCopyOf       // a: expr
+	OpNumber       // a: number site
 )
 
-var xopNames = [...]string{
-	opHalt: "halt", opRet: "ret", opJmp: "jmp", opTest: "test", opSeg: "seg",
-	opText: "text", opValueOf: "value-of", opLitBegin: "elem",
-	opAttrSets: "attr-sets", opLitAttr: "attr", opAVTAttr: "attr-avt",
-	opEndElem: "end-elem", opApply: "apply", opIterate: "iterate",
-	opForEach: "for-each", opForNext: "for-next", opForEnd: "for-end",
-	opCall: "call", opApplyImports: "apply-imports", opEnter: "enter",
-	opScopeBegin: "scope-begin", opScopeEnd: "scope-end", opVarDecl: "var",
-	opElemBegin: "elem-avt", opAttrBegin: "attr-begin", opAttrEnd: "attr-end",
-	opCommentBegin: "comment-begin", opCommentEnd: "comment-end",
-	opPIBegin: "pi-begin", opPIEnd: "pi-end", opMsgBegin: "msg-begin",
-	opMsgEnd: "msg-end", opDocBegin: "doc-begin", opDocEnd: "doc-end",
-	opCopyBegin: "copy", opCopyEnd: "copy-end", opCopyOf: "copy-of",
-	opNumber: "number",
+var opcodeNames = [...]string{
+	OpHalt: "halt", OpRet: "ret", OpJmp: "jmp", OpTest: "test", OpSeg: "seg",
+	OpText: "text", OpValueOf: "value-of", OpLitBegin: "elem",
+	OpAttrSets: "attr-sets", OpLitAttr: "attr", OpAVTAttr: "attr-avt",
+	OpEndElem: "end-elem", OpApply: "apply", OpIterate: "iterate",
+	OpForEach: "for-each", OpForNext: "for-next", OpForEnd: "for-end",
+	OpCall: "call", OpApplyImports: "apply-imports", OpEnter: "enter",
+	OpScopeBegin: "scope-begin", OpScopeEnd: "scope-end", OpVarDecl: "var",
+	OpElemBegin: "elem-avt", OpAttrBegin: "attr-begin", OpAttrEnd: "attr-end",
+	OpCommentBegin: "comment-begin", OpCommentEnd: "comment-end",
+	OpPIBegin: "pi-begin", OpPIEnd: "pi-end", OpMsgBegin: "msg-begin",
+	OpMsgEnd: "msg-end", OpDocBegin: "doc-begin", OpDocEnd: "doc-end",
+	OpCopyBegin: "copy", OpCopyEnd: "copy-end", OpCopyOf: "copy-of",
+	OpNumber: "number",
 }
 
-// binstr is one bytecode instruction: an opcode plus two operands
+// Instr is one bytecode instruction: an opcode plus two operands
 // (side-table indexes or jump targets).
-type binstr struct {
-	op   xop
-	a, b int32
+type Instr struct {
+	Op   Opcode
+	A, B int32
 }
 
 // applySite is the compile-time payload of one xsl:apply-templates.
@@ -158,7 +158,7 @@ type progTemplate struct {
 // and in the per-run engine.
 type Program struct {
 	sheet      *Stylesheet
-	code       []binstr
+	code       []Instr
 	segs       []*xmldom.Segment
 	strs       []string
 	exprs      []*xpath.Compiled
@@ -187,6 +187,9 @@ func CompileStylesheet(doc *xmldom.Node, opts CompileOptions) (*Stylesheet, erro
 		return nil, err
 	}
 	s.prog = s.lower()
+	if err := verifyLowered(s.prog); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -222,13 +225,13 @@ type asm struct {
 	p *Program
 }
 
-func (a *asm) emit(op xop, opa, opb int32) int {
-	a.p.code = append(a.p.code, binstr{op: op, a: opa, b: opb})
+func (a *asm) emit(op Opcode, opa, opb int32) int {
+	a.p.code = append(a.p.code, Instr{Op: op, A: opa, B: opb})
 	return len(a.p.code) - 1
 }
 
-func (a *asm) patchA(pc int, target int32) { a.p.code[pc].a = target }
-func (a *asm) patchB(pc int, target int32) { a.p.code[pc].b = target }
+func (a *asm) patchA(pc int, target int32) { a.p.code[pc].A = target }
+func (a *asm) patchB(pc int, target int32) { a.p.code[pc].B = target }
 func (a *asm) here() int32                 { return int32(len(a.p.code)) }
 
 // lower flattens every template of the stylesheet into one program.
@@ -243,10 +246,10 @@ func (s *Stylesheet) lower() *Program {
 	// apply-templates pass over [source] in the default mode — then halt.
 	root := &applySite{self: true, disp: s.index[""]}
 	p.applySites = append(p.applySites, root)
-	a.emit(opApply, 0, 0)
-	it := a.emit(opIterate, 0, 0)
+	a.emit(OpApply, 0, 0)
+	it := a.emit(OpIterate, 0, 0)
 	a.patchB(it, a.here())
-	a.emit(opHalt, 0, 0)
+	a.emit(OpHalt, 0, 0)
 
 	seen := map[*Template]bool{}
 	lowerT := func(t *Template) {
@@ -281,9 +284,9 @@ func (a *asm) lowerTemplate(t *Template) {
 	t.entryPC = a.here()
 	ti := int32(len(a.p.tmpls))
 	a.p.tmpls = append(a.p.tmpls, &progTemplate{t: t, entry: t.entryPC})
-	a.emit(opEnter, ti, 0)
+	a.emit(OpEnter, ti, 0)
 	a.lowerBody(t.body)
-	a.emit(opRet, 0, 0)
+	a.emit(OpRet, 0, 0)
 }
 
 // lowerBody flattens one instruction sequence. A body that declares
@@ -299,7 +302,7 @@ func (a *asm) lowerBody(body []instruction) {
 		}
 	}
 	if scope {
-		a.emit(opScopeBegin, 0, 0)
+		a.emit(OpScopeBegin, 0, 0)
 	}
 	for i := 0; i < len(body); {
 		if n := a.staticRun(body[i:]); n > 0 {
@@ -311,13 +314,13 @@ func (a *asm) lowerBody(body []instruction) {
 		i++
 	}
 	if scope {
-		a.emit(opScopeEnd, 0, 0)
+		a.emit(OpScopeEnd, 0, 0)
 	}
 }
 
 // staticRun returns the length of the maximal static prefix of body when
 // collapsing it into a segment pays off (it contains an element, or at
-// least two instructions); single text nodes emit cheaper as opText.
+// least two instructions); single text nodes emit cheaper as OpText.
 func (a *asm) staticRun(body []instruction) int {
 	n := 0
 	hasElem := false
@@ -387,7 +390,7 @@ func (a *asm) emitSegment(run []instruction) {
 	})
 	idx := int32(len(a.p.segs))
 	a.p.segs = append(a.p.segs, seg)
-	a.emit(opSeg, idx, 0)
+	a.emit(OpSeg, idx, 0)
 }
 
 // emitStatic replays one static instruction's events into the segment
@@ -444,90 +447,90 @@ func (a *asm) lowerInstr(ins instruction) {
 	p := a.p
 	switch t := ins.(type) {
 	case *iLiteralText:
-		a.emit(opText, a.addStr(t.data), 0)
+		a.emit(OpText, a.addStr(t.data), 0)
 	case *iText:
-		a.emit(opText, a.addStr(t.data), boolOperand(t.disableEsc))
+		a.emit(OpText, a.addStr(t.data), boolOperand(t.disableEsc))
 	case *iValueOf:
-		a.emit(opValueOf, a.addExpr(t.sel), boolOperand(t.disableEsc))
+		a.emit(OpValueOf, a.addExpr(t.sel), boolOperand(t.disableEsc))
 	case *iLiteralElement:
 		p.litNames = append(p.litNames, litName{prefix: t.prefix, uri: t.uri, name: t.name})
-		a.emit(opLitBegin, int32(len(p.litNames)-1), 0)
+		a.emit(OpLitBegin, int32(len(p.litNames)-1), 0)
 		if len(t.useSets) > 0 {
-			a.emit(opAttrSets, a.addNameList(t.useSets), 0)
+			a.emit(OpAttrSets, a.addNameList(t.useSets), 0)
 		}
 		for _, at := range t.attrs {
 			if v, ok := staticAVT(at.value); ok {
 				p.litAttrs = append(p.litAttrs, litAttrOp{prefix: at.prefix, uri: at.uri, name: at.name, value: v})
-				a.emit(opLitAttr, int32(len(p.litAttrs)-1), 0)
+				a.emit(OpLitAttr, int32(len(p.litAttrs)-1), 0)
 			} else {
 				p.avtAttrs = append(p.avtAttrs, avtAttrOp{prefix: at.prefix, uri: at.uri, name: at.name, value: at.value})
-				a.emit(opAVTAttr, int32(len(p.avtAttrs)-1), 0)
+				a.emit(OpAVTAttr, int32(len(p.avtAttrs)-1), 0)
 			}
 		}
 		a.lowerBody(t.body)
-		a.emit(opEndElem, 0, 0)
+		a.emit(OpEndElem, 0, 0)
 	case *iApplyTemplates:
 		site := &applySite{sel: t.sel, mode: t.mode, disp: a.s.index[t.mode], sorts: t.sorts, params: t.params}
 		p.applySites = append(p.applySites, site)
 		si := int32(len(p.applySites) - 1)
-		a.emit(opApply, si, 0)
-		it := a.emit(opIterate, si, 0)
+		a.emit(OpApply, si, 0)
+		it := a.emit(OpIterate, si, 0)
 		a.patchB(it, a.here())
 	case *iForEach:
 		p.forSites = append(p.forSites, &forSite{sel: t.sel, sorts: t.sorts})
-		a.emit(opForEach, int32(len(p.forSites)-1), 0)
-		next := a.emit(opForNext, 0, 0)
+		a.emit(OpForEach, int32(len(p.forSites)-1), 0)
+		next := a.emit(OpForNext, 0, 0)
 		a.lowerBody(t.body)
-		a.emit(opForEnd, int32(next), 0)
+		a.emit(OpForEnd, int32(next), 0)
 		a.patchB(next, a.here())
 	case *iCallTemplate:
 		p.callSites = append(p.callSites, &bcCallSite{name: t.name, t: a.s.named[t.name], params: t.params})
-		a.emit(opCall, int32(len(p.callSites)-1), 0)
+		a.emit(OpCall, int32(len(p.callSites)-1), 0)
 	case *iApplyImports:
-		a.emit(opApplyImports, 0, 0)
+		a.emit(OpApplyImports, 0, 0)
 	case *iElement:
 		p.elemSites = append(p.elemSites, &elemSite{name: t.name, useSets: t.useSets})
-		a.emit(opElemBegin, int32(len(p.elemSites)-1), 0)
+		a.emit(OpElemBegin, int32(len(p.elemSites)-1), 0)
 		a.lowerBody(t.body)
-		a.emit(opEndElem, 0, 0)
+		a.emit(OpEndElem, 0, 0)
 	case *iAttribute:
-		a.emit(opAttrBegin, a.addAVT(t.name), 0)
+		a.emit(OpAttrBegin, a.addAVT(t.name), 0)
 		a.lowerBody(t.body)
-		a.emit(opAttrEnd, 0, 0)
+		a.emit(OpAttrEnd, 0, 0)
 	case *iComment:
-		a.emit(opCommentBegin, 0, 0)
+		a.emit(OpCommentBegin, 0, 0)
 		a.lowerBody(t.body)
-		a.emit(opCommentEnd, 0, 0)
+		a.emit(OpCommentEnd, 0, 0)
 	case *iPI:
-		a.emit(opPIBegin, a.addAVT(t.name), 0)
+		a.emit(OpPIBegin, a.addAVT(t.name), 0)
 		a.lowerBody(t.body)
-		a.emit(opPIEnd, 0, 0)
+		a.emit(OpPIEnd, 0, 0)
 	case *iMessage:
-		a.emit(opMsgBegin, 0, 0)
+		a.emit(OpMsgBegin, 0, 0)
 		a.lowerBody(t.body)
-		a.emit(opMsgEnd, boolOperand(t.terminate), 0)
+		a.emit(OpMsgEnd, boolOperand(t.terminate), 0)
 	case *iDocument:
-		a.emit(opDocBegin, a.addAVT(t.href), 0)
+		a.emit(OpDocBegin, a.addAVT(t.href), 0)
 		a.lowerBody(t.body)
-		a.emit(opDocEnd, 0, 0)
+		a.emit(OpDocEnd, 0, 0)
 	case *iCopy:
 		p.copySites = append(p.copySites, t.useSets)
-		cb := a.emit(opCopyBegin, int32(len(p.copySites)-1), 0)
+		cb := a.emit(OpCopyBegin, int32(len(p.copySites)-1), 0)
 		a.lowerBody(t.body)
-		a.emit(opCopyEnd, 0, 0)
+		a.emit(OpCopyEnd, 0, 0)
 		a.patchB(cb, a.here())
 	case *iCopyOf:
-		a.emit(opCopyOf, a.addExpr(t.sel), 0)
+		a.emit(OpCopyOf, a.addExpr(t.sel), 0)
 	case *iIf:
-		tp := a.emit(opTest, a.addExpr(t.test), 0)
+		tp := a.emit(OpTest, a.addExpr(t.test), 0)
 		a.lowerBody(t.body)
 		a.patchB(tp, a.here())
 	case *iChoose:
 		var ends []int
 		for _, w := range t.whens {
-			tp := a.emit(opTest, a.addExpr(w.test), 0)
+			tp := a.emit(OpTest, a.addExpr(w.test), 0)
 			a.lowerBody(w.body)
-			ends = append(ends, a.emit(opJmp, 0, 0))
+			ends = append(ends, a.emit(OpJmp, 0, 0))
 			a.patchB(tp, a.here())
 		}
 		if t.otherwise != nil {
@@ -538,10 +541,10 @@ func (a *asm) lowerInstr(ins instruction) {
 		}
 	case *iVariable:
 		p.varDecls = append(p.varDecls, t.decl)
-		a.emit(opVarDecl, int32(len(p.varDecls)-1), 0)
+		a.emit(OpVarDecl, int32(len(p.varDecls)-1), 0)
 	case *iNumber:
 		p.numSites = append(p.numSites, t)
-		a.emit(opNumber, int32(len(p.numSites)-1), 0)
+		a.emit(OpNumber, int32(len(p.numSites)-1), 0)
 	default:
 		// Every instruction the compiler produces is handled above; a new
 		// instruction type must be lowered here before it can ship.
@@ -641,37 +644,37 @@ func (p *Program) Disasm() string {
 		if pt, ok := heads[int32(pc)]; ok {
 			fmt.Fprintf(&b, "\n;; template %s\n", templateLabel(pt.t))
 		}
-		fmt.Fprintf(&b, "%04d %s", pc, xopNames[in.op])
-		switch in.op {
-		case opJmp:
-			fmt.Fprintf(&b, " %04d", in.a)
-		case opTest:
-			fmt.Fprintf(&b, " %s false→%04d", p.exprs[in.a].String(), in.b)
-		case opSeg:
-			fmt.Fprintf(&b, " #%d %s", in.a, p.segs[in.a].Summary())
-		case opText:
-			fmt.Fprintf(&b, " %q", p.strs[in.a])
-			if in.b != 0 {
+		fmt.Fprintf(&b, "%04d %s", pc, opcodeNames[in.Op])
+		switch in.Op {
+		case OpJmp:
+			fmt.Fprintf(&b, " %04d", in.A)
+		case OpTest:
+			fmt.Fprintf(&b, " %s false→%04d", p.exprs[in.A].String(), in.B)
+		case OpSeg:
+			fmt.Fprintf(&b, " #%d %s", in.A, p.segs[in.A].Summary())
+		case OpText:
+			fmt.Fprintf(&b, " %q", p.strs[in.A])
+			if in.B != 0 {
 				b.WriteString(" raw")
 			}
-		case opValueOf:
-			fmt.Fprintf(&b, " %s", p.exprs[in.a].String())
-			if in.b != 0 {
+		case OpValueOf:
+			fmt.Fprintf(&b, " %s", p.exprs[in.A].String())
+			if in.B != 0 {
 				b.WriteString(" raw")
 			}
-		case opLitBegin:
-			ln := p.litNames[in.a]
+		case OpLitBegin:
+			ln := p.litNames[in.A]
 			fmt.Fprintf(&b, " <%s>", qname(ln.prefix, ln.name))
-		case opAttrSets:
-			fmt.Fprintf(&b, " [%s]", strings.Join(p.nameLists[in.a], " "))
-		case opLitAttr:
-			la := p.litAttrs[in.a]
+		case OpAttrSets:
+			fmt.Fprintf(&b, " [%s]", strings.Join(p.nameLists[in.A], " "))
+		case OpLitAttr:
+			la := p.litAttrs[in.A]
 			fmt.Fprintf(&b, " %s=%q", qname(la.prefix, la.name), la.value)
-		case opAVTAttr:
-			aa := p.avtAttrs[in.a]
+		case OpAVTAttr:
+			aa := p.avtAttrs[in.A]
 			fmt.Fprintf(&b, " %s=%q", qname(aa.prefix, aa.name), avtSource(aa.value))
-		case opApply:
-			site := p.applySites[in.a]
+		case OpApply:
+			site := p.applySites[in.A]
 			if site.self {
 				b.WriteString(" self")
 			} else if site.sel != nil {
@@ -688,20 +691,20 @@ func (p *Program) Disasm() string {
 			if len(site.params) > 0 {
 				fmt.Fprintf(&b, " params=%d", len(site.params))
 			}
-		case opIterate:
-			fmt.Fprintf(&b, " exit→%04d", in.b)
-		case opForEach:
-			site := p.forSites[in.a]
+		case OpIterate:
+			fmt.Fprintf(&b, " exit→%04d", in.B)
+		case OpForEach:
+			site := p.forSites[in.A]
 			fmt.Fprintf(&b, " select=%s", site.sel.String())
 			if len(site.sorts) > 0 {
 				fmt.Fprintf(&b, " sorts=%d", len(site.sorts))
 			}
-		case opForNext:
-			fmt.Fprintf(&b, " exit→%04d", in.b)
-		case opForEnd:
-			fmt.Fprintf(&b, " loop→%04d", in.a)
-		case opCall:
-			cs := p.callSites[in.a]
+		case OpForNext:
+			fmt.Fprintf(&b, " exit→%04d", in.B)
+		case OpForEnd:
+			fmt.Fprintf(&b, " loop→%04d", in.A)
+		case OpCall:
+			cs := p.callSites[in.A]
 			fmt.Fprintf(&b, " %q", cs.name)
 			if cs.t != nil {
 				fmt.Fprintf(&b, " entry→%04d", cs.t.entryPC)
@@ -711,39 +714,39 @@ func (p *Program) Disasm() string {
 			if len(cs.params) > 0 {
 				fmt.Fprintf(&b, " params=%d", len(cs.params))
 			}
-		case opEnter:
-			fmt.Fprintf(&b, " %s", templateLabel(p.tmpls[in.a].t))
-			if n := len(p.tmpls[in.a].t.params); n > 0 {
+		case OpEnter:
+			fmt.Fprintf(&b, " %s", templateLabel(p.tmpls[in.A].t))
+			if n := len(p.tmpls[in.A].t.params); n > 0 {
 				fmt.Fprintf(&b, " params=%d", n)
 			}
-		case opVarDecl:
-			d := p.varDecls[in.a]
+		case OpVarDecl:
+			d := p.varDecls[in.A]
 			if d.sel != nil {
 				fmt.Fprintf(&b, " $%s select=%s", d.name, d.sel.String())
 			} else {
 				fmt.Fprintf(&b, " $%s [body]", d.name)
 			}
-		case opElemBegin:
-			es := p.elemSites[in.a]
+		case OpElemBegin:
+			es := p.elemSites[in.A]
 			fmt.Fprintf(&b, " name=%q", avtSource(es.name))
 			if len(es.useSets) > 0 {
 				fmt.Fprintf(&b, " [%s]", strings.Join(es.useSets, " "))
 			}
-		case opAttrBegin, opPIBegin, opDocBegin:
-			fmt.Fprintf(&b, " %q", avtSource(p.avts[in.a]))
-		case opMsgEnd:
-			if in.a != 0 {
+		case OpAttrBegin, OpPIBegin, OpDocBegin:
+			fmt.Fprintf(&b, " %q", avtSource(p.avts[in.A]))
+		case OpMsgEnd:
+			if in.A != 0 {
 				b.WriteString(" terminate")
 			}
-		case opCopyBegin:
-			if sets := p.copySites[in.a]; len(sets) > 0 {
+		case OpCopyBegin:
+			if sets := p.copySites[in.A]; len(sets) > 0 {
 				fmt.Fprintf(&b, " [%s]", strings.Join(sets, " "))
 			}
-			fmt.Fprintf(&b, " leaf→%04d", in.b)
-		case opCopyOf:
-			fmt.Fprintf(&b, " %s", p.exprs[in.a].String())
-		case opNumber:
-			ns := p.numSites[in.a]
+			fmt.Fprintf(&b, " leaf→%04d", in.B)
+		case OpCopyOf:
+			fmt.Fprintf(&b, " %s", p.exprs[in.A].String())
+		case OpNumber:
+			ns := p.numSites[in.A]
 			if ns.value != nil {
 				fmt.Fprintf(&b, " value=%s", ns.value.String())
 			}

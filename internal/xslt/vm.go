@@ -159,69 +159,69 @@ func (r *vmRun) loop() error {
 	code := p.code
 	for pc := 0; ; {
 		in := &code[pc]
-		switch in.op {
-		case opHalt:
+		switch in.Op {
+		case OpHalt:
 			return nil
 
-		case opJmp:
-			pc = int(in.a)
+		case OpJmp:
+			pc = int(in.A)
 			continue
 
-		case opTest:
-			ok, err := p.exprs[in.a].EvalBoolOn(r.ectx(), f)
+		case OpTest:
+			ok, err := p.exprs[in.A].EvalBoolOn(r.ectx(), f)
 			if err != nil {
 				return err
 			}
 			if !ok {
-				pc = int(in.b)
+				pc = int(in.B)
 				continue
 			}
 
-		case opSeg:
+		case OpSeg:
 			if be, ok := r.out.(*xmldom.ByteEmitter); ok {
-				be.AppendSegment(p.segs[in.a])
+				be.AppendSegment(p.segs[in.A])
 			} else {
-				p.segs[in.a].Replay(r.out)
+				p.segs[in.A].Replay(r.out)
 			}
 
-		case opText:
-			r.out.Text(p.strs[in.a], in.b != 0)
+		case OpText:
+			r.out.Text(p.strs[in.A], in.B != 0)
 
-		case opValueOf:
-			s, err := p.exprs[in.a].EvalStringOn(r.ectx(), f)
+		case OpValueOf:
+			s, err := p.exprs[in.A].EvalStringOn(r.ectx(), f)
 			if err != nil {
 				return err
 			}
 			if s != "" {
-				r.out.Text(s, in.b != 0)
+				r.out.Text(s, in.B != 0)
 			}
 
-		case opLitBegin:
-			ln := &p.litNames[in.a]
+		case OpLitBegin:
+			ln := &p.litNames[in.A]
 			r.out.BeginElement(ln.prefix, ln.uri, ln.name)
 
-		case opAttrSets:
-			if err := e.applyAttrSets(p.nameLists[in.a], &r.ctx, r.out, nil); err != nil {
+		case OpAttrSets:
+			if err := e.applyAttrSets(p.nameLists[in.A], &r.ctx, r.out, nil); err != nil {
 				return err
 			}
 
-		case opLitAttr:
-			la := &p.litAttrs[in.a]
+		case OpLitAttr:
+			la := &p.litAttrs[in.A]
 			r.out.Attr(la.prefix, la.uri, la.name, la.value)
 
-		case opAVTAttr:
-			aa := &p.avtAttrs[in.a]
+		case OpAVTAttr:
+			aa := &p.avtAttrs[in.A]
 			v, err := r.evalAVT(aa.value)
 			if err != nil {
 				return err
 			}
 			r.out.Attr(aa.prefix, aa.uri, aa.name, v)
 
-		case opEndElem:
+		case OpEndElem:
 			r.out.EndElement()
 
-		case opApply:
-			site := p.applySites[in.a]
+		case OpApply:
+			site := p.applySites[in.A]
 			var list []*xmldom.Node
 			switch {
 			case site.self:
@@ -247,7 +247,7 @@ func (r *vmRun) loop() error {
 				return err
 			}
 			if err := r.push(xpath.CtlFrame{
-				Kind: cfApply, Ret: int32(pc + 1), Site: in.a,
+				Kind: cfApply, Ret: int32(pc + 1), Site: in.A,
 				Node: r.ctx.node, Pos: r.ctx.pos, Size: r.ctx.size,
 				Vars: r.ctx.vars, Mode: r.ctx.mode, Prec: r.ctx.curPrec,
 				List: list, Passed: passed,
@@ -255,9 +255,9 @@ func (r *vmRun) loop() error {
 				return err
 			}
 
-		case opIterate:
+		case OpIterate:
 			fr := f.TopCtl()
-			site := p.applySites[in.a]
+			site := p.applySites[in.A]
 			entered := false
 			for int(fr.Idx) < len(fr.List) {
 				i := int(fr.Idx)
@@ -286,11 +286,11 @@ func (r *vmRun) loop() error {
 			r.ctx.node, r.ctx.pos, r.ctx.size = fr.Node, fr.Pos, fr.Size
 			r.ctx.vars, r.ctx.mode, r.ctx.curPrec = fr.Vars, fr.Mode, fr.Prec
 			f.PopCtl()
-			pc = int(in.b)
+			pc = int(in.B)
 			continue
 
-		case opEnter:
-			t := p.tmpls[in.a].t
+		case OpEnter:
+			t := p.tmpls[in.A].t
 			fr := f.TopCtl()
 			passed := fr.Passed
 			if len(t.params) > 0 || len(passed) > 0 {
@@ -312,7 +312,7 @@ func (r *vmRun) loop() error {
 			}
 			r.ctx.curPrec = t.importPrec
 
-		case opRet:
+		case OpRet:
 			fr := f.TopCtl()
 			if fr.Kind == cfApply {
 				// Back into the apply loop; the frame stays for the next node.
@@ -326,8 +326,8 @@ func (r *vmRun) loop() error {
 			f.PopCtl()
 			continue
 
-		case opCall:
-			cs := p.callSites[in.a]
+		case OpCall:
+			cs := p.callSites[in.A]
 			if cs.t == nil {
 				return &TransformError{Msg: "call-template: no template named " + cs.name}
 			}
@@ -344,7 +344,7 @@ func (r *vmRun) loop() error {
 			pc = int(cs.t.entryPC)
 			continue
 
-		case opApplyImports:
+		case OpApplyImports:
 			t, err := r.dispatch(e.sheet.index[r.ctx.mode], r.ctx.node, r.ctx.vars,
 				r.ctx.node, r.ctx.pos, r.ctx.size, r.ctx.curPrec)
 			if err != nil {
@@ -362,8 +362,8 @@ func (r *vmRun) loop() error {
 			pc = int(t.entryPC)
 			continue
 
-		case opForEach:
-			site := p.forSites[in.a]
+		case OpForEach:
+			site := p.forSites[in.A]
 			ns, err := site.sel.EvalNodesOn(r.ectx(), f)
 			if err != nil {
 				return err
@@ -382,7 +382,7 @@ func (r *vmRun) loop() error {
 				return err
 			}
 
-		case opForNext:
+		case OpForNext:
 			fr := f.TopCtl()
 			if int(fr.Idx) < len(fr.List) {
 				r.ctx.node = fr.List[fr.Idx]
@@ -392,27 +392,27 @@ func (r *vmRun) loop() error {
 			} else {
 				r.ctx.node, r.ctx.pos, r.ctx.size = fr.Node, fr.Pos, fr.Size
 				f.PopCtl()
-				pc = int(in.b)
+				pc = int(in.B)
 				continue
 			}
 
-		case opForEnd:
-			pc = int(in.a)
+		case OpForEnd:
+			pc = int(in.A)
 			continue
 
-		case opScopeBegin:
+		case OpScopeBegin:
 			if err := r.push(xpath.CtlFrame{Kind: cfScope, Vars: r.ctx.vars}); err != nil {
 				return err
 			}
 			r.ctx.vars = copyVars(r.ctx.vars)
 
-		case opScopeEnd:
+		case OpScopeEnd:
 			fr := f.TopCtl()
 			r.ctx.vars = fr.Vars
 			f.PopCtl()
 
-		case opVarDecl:
-			d := p.varDecls[in.a]
+		case OpVarDecl:
+			d := p.varDecls[in.A]
 			var v xpath.Value
 			var err error
 			if d.sel != nil {
@@ -425,8 +425,8 @@ func (r *vmRun) loop() error {
 			}
 			r.ctx.vars[d.name] = v
 
-		case opElemBegin:
-			es := p.elemSites[in.a]
+		case OpElemBegin:
+			es := p.elemSites[in.A]
 			name, err := r.evalAVT(es.name)
 			if err != nil {
 				return err
@@ -441,11 +441,11 @@ func (r *vmRun) loop() error {
 				return err
 			}
 
-		case opAttrBegin:
+		case OpAttrBegin:
 			if !r.out.OpenElement() {
 				return &TransformError{Msg: "xsl:attribute outside an element"}
 			}
-			name, err := r.evalAVT(p.avts[in.a])
+			name, err := r.evalAVT(p.avts[in.A])
 			if err != nil {
 				return err
 			}
@@ -454,7 +454,7 @@ func (r *vmRun) loop() error {
 			}
 			r.out = &textSink{}
 
-		case opAttrEnd:
+		case OpAttrEnd:
 			fr := f.TopCtl()
 			sv := r.out.(*textSink).b.String()
 			r.out = fr.Out.(xmldom.Emitter)
@@ -469,21 +469,21 @@ func (r *vmRun) loop() error {
 				return &TransformError{Msg: "xsl:attribute outside an element"}
 			}
 
-		case opCommentBegin:
+		case OpCommentBegin:
 			if err := r.push(xpath.CtlFrame{Kind: cfCap, Out: r.out}); err != nil {
 				return err
 			}
 			r.out = &textSink{}
 
-		case opCommentEnd:
+		case OpCommentEnd:
 			fr := f.TopCtl()
 			sv := r.out.(*textSink).b.String()
 			r.out = fr.Out.(xmldom.Emitter)
 			f.PopCtl()
 			r.out.Comment(sv)
 
-		case opPIBegin:
-			name, err := r.evalAVT(p.avts[in.a])
+		case OpPIBegin:
+			name, err := r.evalAVT(p.avts[in.A])
 			if err != nil {
 				return err
 			}
@@ -492,7 +492,7 @@ func (r *vmRun) loop() error {
 			}
 			r.out = &textSink{}
 
-		case opPIEnd:
+		case OpPIEnd:
 			fr := f.TopCtl()
 			sv := r.out.(*textSink).b.String()
 			r.out = fr.Out.(xmldom.Emitter)
@@ -500,24 +500,24 @@ func (r *vmRun) loop() error {
 			f.PopCtl()
 			r.out.PI(name, sv)
 
-		case opMsgBegin:
+		case OpMsgBegin:
 			if err := r.push(xpath.CtlFrame{Kind: cfCap, Out: r.out}); err != nil {
 				return err
 			}
 			r.out = &textSink{}
 
-		case opMsgEnd:
+		case OpMsgEnd:
 			fr := f.TopCtl()
 			msg := r.out.(*textSink).b.String()
 			r.out = fr.Out.(xmldom.Emitter)
 			f.PopCtl()
 			e.messages = append(e.messages, msg)
-			if in.a != 0 {
+			if in.A != 0 {
 				return &TransformError{Msg: "terminated by xsl:message: " + msg}
 			}
 
-		case opDocBegin:
-			href, err := r.evalAVT(p.avts[in.a])
+		case OpDocBegin:
+			href, err := r.evalAVT(p.avts[in.A])
 			if err != nil {
 				return err
 			}
@@ -526,46 +526,46 @@ func (r *vmRun) loop() error {
 			}
 			r.out = e.documentOut(href)
 
-		case opDocEnd:
+		case OpDocEnd:
 			fr := f.TopCtl()
 			r.out = fr.Out.(xmldom.Emitter)
 			f.PopCtl()
 
-		case opCopyBegin:
+		case OpCopyBegin:
 			n := r.ctx.node
 			switch n.Type {
 			case xmldom.ElementNode:
 				r.out.BeginElement(n.Prefix, n.URI, n.Name)
-				if err := e.applyAttrSets(p.copySites[in.a], &r.ctx, r.out, nil); err != nil {
+				if err := e.applyAttrSets(p.copySites[in.A], &r.ctx, r.out, nil); err != nil {
 					return err
 				}
 			case xmldom.DocumentNode:
 				// content only
 			case xmldom.TextNode:
 				r.out.Text(n.Data, false)
-				pc = int(in.b)
+				pc = int(in.B)
 				continue
 			case xmldom.AttrNode:
 				r.out.Attr(n.Prefix, n.URI, n.Name, n.Data) // ignored outside an element
-				pc = int(in.b)
+				pc = int(in.B)
 				continue
 			case xmldom.CommentNode:
 				r.out.Comment(n.Data)
-				pc = int(in.b)
+				pc = int(in.B)
 				continue
 			case xmldom.PINode:
 				r.out.PI(n.Name, n.Data)
-				pc = int(in.b)
+				pc = int(in.B)
 				continue
 			}
 
-		case opCopyEnd:
+		case OpCopyEnd:
 			if r.ctx.node.Type == xmldom.ElementNode {
 				r.out.EndElement()
 			}
 
-		case opCopyOf:
-			v, err := p.exprs[in.a].EvalOn(r.ectx(), f)
+		case OpCopyOf:
+			v, err := p.exprs[in.A].EvalOn(r.ectx(), f)
 			if err != nil {
 				return err
 			}
@@ -587,10 +587,10 @@ func (r *vmRun) loop() error {
 				}
 			}
 
-		case opNumber:
+		case OpNumber:
 			// Cold instruction: the tree implementation already targets any
 			// emitter, so delegate for guaranteed equivalence.
-			if err := p.numSites[in.a].exec(e, &r.ctx, r.out); err != nil {
+			if err := p.numSites[in.A].exec(e, &r.ctx, r.out); err != nil {
 				return err
 			}
 

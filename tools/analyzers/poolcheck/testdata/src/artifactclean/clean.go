@@ -1,0 +1,51 @@
+// Package artifactclean exercises every refcount shape poolcheck must
+// accept: releases on all paths, deferred releases, and the
+// ownership-transfer suppressions (returned, stored, aliased).
+package artifactclean
+
+import "poolchecktest/artifactstore"
+
+var store artifactstore.Store
+
+var published = map[string]*artifactstore.Artifact{}
+
+func use(any) {}
+
+// AllPaths releases on both branches.
+func AllPaths(body []byte, short bool) int {
+	a := store.Intern("text/html", body)
+	if short {
+		a.Release()
+		return 0
+	}
+	n := len(a.Bytes())
+	a.Release()
+	return n
+}
+
+// Deferred releases via defer.
+func Deferred(body []byte) int {
+	a := store.Intern("text/html", body)
+	defer a.Release()
+	return len(a.Bytes())
+}
+
+// TransferReturn hands the reference to the caller.
+func TransferReturn(body []byte) *artifactstore.Artifact {
+	a := store.Intern("text/html", body)
+	return a
+}
+
+// TransferStore hands the reference to the published map — the same
+// shape as the repo's publish path interning page artifacts.
+func TransferStore(name string, body []byte) {
+	a := store.Intern("text/html", body)
+	published[name] = a
+}
+
+// PlainAccessor must not be treated as an acquisition: Bytes has no
+// Release obligation.
+func PlainAccessor(a *artifactstore.Artifact) int {
+	b := a.Bytes()
+	return len(b)
+}

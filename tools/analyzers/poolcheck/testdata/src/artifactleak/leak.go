@@ -1,0 +1,44 @@
+// Package artifactleak seeds reference-count leaks the artifact-refcount
+// mode of poolcheck must flag: interned artifacts that reach a return or
+// fall off their scope without Release.
+package artifactleak
+
+import "poolchecktest/artifactstore"
+
+var store artifactstore.Store
+
+func use(any) {}
+
+// EarlyReturn leaks the reference on the error-style early exit.
+func EarlyReturn(body []byte, bad bool) int {
+	a := store.Intern("text/html", body)
+	if bad {
+		return 0 // leak: a.Release() missing on this path
+	}
+	n := len(a.Bytes())
+	a.Release()
+	return n
+}
+
+// FallsOffScope leaks by never releasing at all.
+func FallsOffScope(body []byte) {
+	a := store.Intern("text/html", body)
+	use(a.Bytes())
+} // leak: falls off scope holding the reference
+
+// VariantLeak leaks an InternString acquisition.
+func VariantLeak(s string) {
+	a := store.InternString("text/plain", s)
+	use(a.Bytes())
+} // leak: prefix-variant acquisition, still unreleased
+
+// AcquireLeak leaks a re-acquired reference on one branch.
+func AcquireLeak(src *artifactstore.Artifact, keep bool) {
+	b := store.Acquire(src)
+	if keep {
+		use(b.Bytes())
+		b.Release()
+		return
+	}
+	return // leak: the added reference is never dropped
+}

@@ -1,0 +1,36 @@
+// Package artifactstore mirrors the reference-counted artifact store
+// shape of the repo's internal/artifact package: Store.Intern hands out
+// an *Artifact holding one reference the caller must Release.
+package artifactstore
+
+// Artifact is a reference-counted blob.
+type Artifact struct {
+	body []byte
+	refs int
+}
+
+// Release drops the caller's reference.
+func (a *Artifact) Release() { a.refs-- }
+
+// Bytes is a plain accessor; it does not transfer ownership.
+func (a *Artifact) Bytes() []byte { return a.body }
+
+// Store interns blobs.
+type Store struct{ n int }
+
+// Intern returns an artifact with one reference owned by the caller.
+func (s *Store) Intern(contentType string, body []byte) *Artifact {
+	s.n++
+	return &Artifact{body: body, refs: 1}
+}
+
+// Acquire re-acquires an existing artifact, adding a reference.
+func (s *Store) Acquire(a *Artifact) *Artifact {
+	a.refs++
+	return a
+}
+
+// InternString is an Intern variant; the prefix convention must cover it.
+func (s *Store) InternString(contentType, body string) *Artifact {
+	return s.Intern(contentType, []byte(body))
+}
