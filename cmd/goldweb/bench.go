@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"goldweb/internal/core"
 	"goldweb/internal/htmlgen"
 	"goldweb/internal/workload"
+	"goldweb/internal/xmldom"
 	"goldweb/internal/xpath"
 	"goldweb/internal/xsd"
 )
@@ -117,6 +119,30 @@ func benchCases() []benchCase {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if errs := schema.Validate(doc, xsd.ValidateOptions{SkipIdentityConstraints: true}); len(errs) != 0 {
+						b.Fatal(errs[0])
+					}
+				}
+			},
+		})
+	}
+	// General-schema validation: the frontier constructs (substitution
+	// dispatch, wildcard admission, union and list types) on a non-GOLD
+	// vocabulary, isolating their cost from the GOLD fast path above.
+	{
+		gs, err := xsd.ParseSchemaString(generalBenchSchema)
+		if err != nil {
+			panic(err)
+		}
+		doc, err := xmldom.ParseString(generalBenchDoc(200))
+		if err != nil {
+			panic(err)
+		}
+		cases = append(cases, benchCase{
+			Name: "validate/general-schema/n200",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if errs := gs.Validate(doc, xsd.ValidateOptions{}); len(errs) != 0 {
 						b.Fatal(errs[0])
 					}
 				}
@@ -442,4 +468,60 @@ func cmdBench(args []string) error {
 	}
 	_, err = os.Stdout.Write(data)
 	return err
+}
+
+// generalBenchSchema is the non-GOLD vocabulary the general-schema
+// validation bench runs against: an abstract substitution head with two
+// members, union and list attribute types, and a lax extension wildcard.
+const generalBenchSchema = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="When">
+    <xsd:union memberTypes="xsd:gYear">
+      <xsd:simpleType><xsd:restriction base="xsd:string">
+        <xsd:enumeration value="unknown"/>
+      </xsd:restriction></xsd:simpleType>
+    </xsd:union>
+  </xsd:simpleType>
+  <xsd:simpleType name="Tags"><xsd:list itemType="xsd:NMTOKEN"/></xsd:simpleType>
+  <xsd:element name="publication" type="xsd:string" abstract="true"/>
+  <xsd:element name="book" substitutionGroup="publication">
+    <xsd:complexType>
+      <xsd:sequence><xsd:element name="title" type="xsd:string"/></xsd:sequence>
+      <xsd:attribute name="when" type="When" default="unknown"/>
+      <xsd:attribute name="tags" type="Tags"/>
+    </xsd:complexType>
+  </xsd:element>
+  <xsd:element name="journal" substitutionGroup="publication">
+    <xsd:complexType>
+      <xsd:sequence><xsd:element name="title" type="xsd:string"/></xsd:sequence>
+      <xsd:attribute name="when" type="When" default="unknown"/>
+    </xsd:complexType>
+  </xsd:element>
+  <xsd:element name="library">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element ref="publication" minOccurs="0" maxOccurs="unbounded"/>
+        <xsd:any processContents="lax" minOccurs="0" maxOccurs="unbounded"/>
+      </xsd:sequence>
+      <xsd:anyAttribute processContents="skip"/>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>`
+
+// generalBenchDoc builds a library instance with n publications (books
+// and journals alternating) plus wildcard-admitted extension elements.
+func generalBenchDoc(n int) string {
+	var b strings.Builder
+	b.WriteString(`<library vendor="acme">`)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			fmt.Fprintf(&b, `<book when="1999" tags="classic sf t%d"><title>Book %d</title></book>`, i, i)
+		} else {
+			fmt.Fprintf(&b, `<journal when="unknown"><title>Journal %d</title></journal>`, i)
+		}
+	}
+	for i := 0; i < n/10; i++ {
+		fmt.Fprintf(&b, `<shelf capacity="%d"/>`, i)
+	}
+	b.WriteString(`</library>`)
+	return b.String()
 }

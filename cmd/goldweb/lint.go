@@ -17,19 +17,26 @@ import (
 )
 
 // cmdLint statically checks stylesheets (*.xsl) and model documents
-// (*.xml) against the GOLD XML Schema. With no arguments it lints the
-// two built-in stylesheets and both sample models — the shipped corpus
-// must always be clean. Directories are walked recursively.
+// (*.xml) against an XML Schema — the embedded GOLD schema by default,
+// or any schema graph named with -schema. With no arguments it lints
+// the two built-in stylesheets and both sample models — the shipped
+// corpus must always be clean. Directories are walked recursively.
 func cmdLint(args []string) error {
 	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
 	doVerify := fs.Bool("verify", false, "print a per-stylesheet bytecode verification summary")
+	schemaPath := fs.String("schema", "", "lint against this schema (xs:include/xs:import graphs resolve relative to it) instead of the built-in GOLD schema")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	schema, err := core.Schema()
+	schema, schemaDiag, err := resolveSchema(*schemaPath)
 	if err != nil {
-		return fmt.Errorf("loading built-in schema: %w", err)
+		if schemaDiag != nil {
+			// Schema load failures are findings too: report GW002 with the
+			// offending file's provenance in both output modes.
+			return emitDiags([]analysis.Diagnostic{*schemaDiag}, *asJSON)
+		}
+		return err
 	}
 	var diags []analysis.Diagnostic
 	var sheets []lintSheet
@@ -61,7 +68,16 @@ func cmdLint(args []string) error {
 		}
 	}
 	analysis.Sort(diags)
-	if *asJSON {
+	if !*asJSON && *doVerify {
+		defer printVerifySummaries(sheets)
+	}
+	return emitDiags(diags, *asJSON)
+}
+
+// emitDiags prints diagnostics in the selected output mode and converts
+// error-severity findings into a non-zero exit.
+func emitDiags(diags []analysis.Diagnostic, asJSON bool) error {
+	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -77,14 +93,31 @@ func cmdLint(args []string) error {
 		if len(diags) == 0 {
 			fmt.Println("ok: no findings")
 		}
-		if *doVerify {
-			printVerifySummaries(sheets)
-		}
 	}
 	if analysis.HasErrors(diags) {
 		return fmt.Errorf("%d findings (with errors)", len(diags))
 	}
 	return nil
+}
+
+// resolveSchema loads the -schema path (following include/import), or
+// falls back to the embedded GOLD schema when the path is empty. Load
+// failures also come back as a GW002 diagnostic carrying the offending
+// file so callers can report them in the diagnostic stream.
+func resolveSchema(path string) (*xsd.Schema, *analysis.Diagnostic, error) {
+	if path == "" {
+		s, err := core.Schema()
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading built-in schema: %w", err)
+		}
+		return s, nil, nil
+	}
+	s, err := xsd.LoadSchemaFile(path)
+	if err != nil {
+		d := analysis.SchemaLoadDiagnostic(path, err)
+		return nil, &d, fmt.Errorf("loading schema %s: %w", path, err)
+	}
+	return s, nil, nil
 }
 
 // lintSheet is one stylesheet the -verify summary reports on.
@@ -158,8 +191,9 @@ func collectLintFiles(paths []string) ([]string, error) {
 
 // lintGate runs the model linter before serving and applies the -lint
 // policy: "strict" refuses to start on error-severity findings, "warn"
-// prints findings and continues, "off" skips the check.
-func lintGate(policy string, name string, src []byte) error {
+// prints findings and continues, "off" skips the check. A nil schema
+// means the embedded GOLD schema.
+func lintGate(policy string, name string, src []byte, schema *xsd.Schema) error {
 	switch policy {
 	case "off":
 		return nil
@@ -167,9 +201,12 @@ func lintGate(policy string, name string, src []byte) error {
 	default:
 		return fmt.Errorf("bad -lint %q (want strict, warn or off)", policy)
 	}
-	schema, err := core.Schema()
-	if err != nil {
-		return fmt.Errorf("loading built-in schema: %w", err)
+	if schema == nil {
+		var err error
+		schema, err = core.Schema()
+		if err != nil {
+			return fmt.Errorf("loading built-in schema: %w", err)
+		}
 	}
 	diags := analysis.LintModelSource(name, src, schema)
 	for _, d := range diags {

@@ -96,6 +96,8 @@ func usage() {
 
   goldweb sample [sales|hospital]          print a sample model document
   goldweb validate [-dtd] <model.xml>      schema (or legacy DTD) validation
+  goldweb validate -schema f.xsd <doc.xml> validate any document against any
+                                           schema (include/import resolved)
   goldweb pretty <model.xml>               pretty-print (browser raw view)
   goldweb publish -o <dir> <model.xml>     generate the HTML presentation
   goldweb serve [-addr :8080] [-timeout 30s] [-max-inflight 64] [-cache-size 64] [-cache-bytes N] [-compress=false] [-lint strict|warn|off] <model.xml>
@@ -106,11 +108,16 @@ func usage() {
                                            retrying reloader, circuit breaker
   goldweb export [-style ...] <model.xml>  relational DDL export
   goldweb schema                           print the canonical XML Schema
-  goldweb schema-tree [-attrs]             the schema as a tree (Fig. 2)
+  goldweb schema-tree [-attrs] [-f f.xsd]  the schema as a tree (Fig. 2)
   goldweb check-schema <schema.xsd>        XML Schema quality checker
   goldweb transform <doc.xml> <sheet.xsl>  generic XSLT processor
-  goldweb lint [-json] [path ...]          schema-aware static analysis of
+  goldweb lint [-json] [-schema f.xsd] [path ...]
+                                           schema-aware static analysis of
                                            stylesheets and model documents
+
+  serve also accepts -schema f.xsd to validate and lint against a custom
+  schema (xs:include/xs:import graphs resolve relative to the file); it
+  must still describe goldmodel documents, which serve publishes.
   goldweb report                           regenerate the evaluation series
   goldweb bench [-json] [-o out.json] [-load] [-load-only]
                                            measure the evaluation pipelines
@@ -160,11 +167,41 @@ func cmdSample(args []string) error {
 func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
 	useDTD := fs.Bool("dtd", false, "validate against the paper's previous DTD proposal instead of the XML Schema")
+	schemaPath := fs.String("schema", "", "validate against this schema (with its xs:include/xs:import graph) instead of the GOLD metamodel")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: goldweb validate [-dtd] <model.xml>")
+		return fmt.Errorf("usage: goldweb validate [-dtd|-schema file.xsd] <model.xml>")
+	}
+	if *schemaPath != "" {
+		if *useDTD {
+			return fmt.Errorf("validate: -dtd and -schema are mutually exclusive")
+		}
+		// Generic instance validation: any document against any schema.
+		// The GOLD metamodel's semantic checks do not apply here.
+		s, err := xsd.LoadSchemaFile(*schemaPath)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		doc, err := xmldom.Parse(data)
+		if err != nil {
+			return err
+		}
+		errs := s.Validate(doc, xsd.ValidateOptions{ApplyDefaults: true})
+		for _, e := range errs {
+			fmt.Printf("schema: %s\n", e)
+		}
+		if len(errs) > 0 {
+			return fmt.Errorf("%d problems", len(errs))
+		}
+		fmt.Printf("VALID against %s (%d source files): <%s>\n",
+			*schemaPath, len(s.SourceFiles()), doc.DocumentElement().Name)
+		return nil
 	}
 	if *useDTD {
 		// DTD validation works on the raw document: a DTD cannot see the
@@ -284,8 +321,17 @@ func cmdServe(args []string) error {
 	catalogDir := fs.String("catalog", "", "serve every *.xml in this directory as /m/{name}/ (multi-model mode)")
 	retry := fs.Bool("retry", true, "catalog mode: retry failing model reloads in the background with exponential backoff")
 	breakerThreshold := fs.Int("breaker-threshold", catalog.DefaultBreakerThreshold, "catalog mode: consecutive reload failures that open a model's circuit breaker (negative disables)")
+	schemaPath := fs.String("schema", "", "validate and lint models against this schema (with its include/import graph) instead of the embedded GOLD schema")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var schema *xsd.Schema
+	if *schemaPath != "" {
+		var err error
+		schema, err = xsd.LoadSchemaFile(*schemaPath)
+		if err != nil {
+			return fmt.Errorf("loading -schema: %w", err)
+		}
 	}
 	if *catalogDir != "" {
 		if fs.NArg() != 0 {
@@ -293,6 +339,7 @@ func cmdServe(args []string) error {
 		}
 		return serveCatalog(*catalogDir, *addr, catalog.Options{
 			Lint:             catalog.LintPolicy(*lintPolicy),
+			Schema:           schema,
 			BreakerThreshold: *breakerThreshold,
 			DisableRetry:     !*retry,
 			RequestTimeout:   *timeout,
@@ -317,10 +364,15 @@ func cmdServe(args []string) error {
 		}
 		m, _, err = loadModelFile(fs.Arg(0))
 		if err != nil {
+			if schema != nil {
+				// The publication pipeline renders GOLD models; a custom
+				// -schema can refine that vocabulary but not replace it.
+				return fmt.Errorf("serve publishes goldmodel documents (use validate/lint -schema for other vocabularies): %w", err)
+			}
 			return err
 		}
 	}
-	if err := lintGate(*lintPolicy, lintName, lintSrc); err != nil {
+	if err := lintGate(*lintPolicy, lintName, lintSrc, schema); err != nil {
 		return err
 	}
 	srv := server.New(m,
@@ -424,11 +476,8 @@ func cmdSchemaTree(args []string) error {
 	}
 	s := core.MustSchema()
 	if *file != "" {
-		data, err := os.ReadFile(*file)
-		if err != nil {
-			return err
-		}
-		s, err = xsd.ParseSchemaString(string(data))
+		var err error
+		s, err = xsd.LoadSchemaFile(*file)
 		if err != nil {
 			return err
 		}

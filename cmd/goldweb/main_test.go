@@ -396,16 +396,16 @@ func TestCmdLintWalksDirectories(t *testing.T) {
 
 func TestLintGatePolicies(t *testing.T) {
 	broken := []byte(strings.Replace(core.SampleSales().XMLString(), `dimclass="d1"`, `dimclass="zz"`, 1))
-	if err := lintGate("strict", "bad.xml", broken); err == nil {
+	if err := lintGate("strict", "bad.xml", broken, nil); err == nil {
 		t.Error("strict must refuse a broken model")
 	}
-	if err := lintGate("warn", "bad.xml", broken); err != nil {
+	if err := lintGate("warn", "bad.xml", broken, nil); err != nil {
 		t.Errorf("warn must continue: %v", err)
 	}
-	if err := lintGate("off", "bad.xml", broken); err != nil {
+	if err := lintGate("off", "bad.xml", broken, nil); err != nil {
 		t.Errorf("off must skip: %v", err)
 	}
-	if err := lintGate("bogus", "bad.xml", broken); err == nil {
+	if err := lintGate("bogus", "bad.xml", broken, nil); err == nil {
 		t.Error("unknown policy must fail")
 	}
 }

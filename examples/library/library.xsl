@@ -1,0 +1,19 @@
+<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:output method="html"/>
+  <xsl:template match="/">
+    <html>
+      <body>
+        <h1><xsl:value-of select="library/@name"/></h1>
+        <xsl:apply-templates select="library/*"/>
+      </body>
+    </html>
+  </xsl:template>
+  <xsl:template match="book">
+    <p><b><xsl:value-of select="title"/></b> (<xsl:value-of select="isbn"/>)</p>
+  </xsl:template>
+  <xsl:template match="journal">
+    <p><i><xsl:value-of select="title"/></i> #<xsl:value-of select="issue"/></p>
+  </xsl:template>
+  <xsl:template match="extensions"/>
+</xsl:stylesheet>

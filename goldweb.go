@@ -92,6 +92,18 @@ const (
 	SevInfo    = analysis.SevInfo
 )
 
+// Schema is a compiled XML Schema (the validator's unit of work). The
+// embedded GOLD schema governs model documents by default; LoadSchema
+// compiles any other schema, including multi-file import/include graphs.
+type Schema = xsd.Schema
+
+// LoadSchema reads and compiles the schema at path, resolving its
+// xs:include and xs:import graph relative to the file, with cycle
+// detection and per-file error provenance. The result plugs into
+// ValidateXMLAgainst, LintStylesheetAgainst and LintModelAgainst, and
+// into CatalogOptions.Schema for serving non-GOLD vocabularies.
+func LoadSchema(path string) (*Schema, error) { return xsd.LoadSchemaFile(path) }
+
 // LintStylesheet statically checks an XSLT stylesheet against the GOLD
 // XML Schema: every XPath pattern, select and attribute value template
 // is cross-checked against the schema's content model, and unreachable
@@ -101,11 +113,26 @@ func LintStylesheet(name string, src []byte) []Diagnostic {
 	return analysis.LintStylesheet(name, src, core.MustSchema())
 }
 
+// LintStylesheetAgainst is LintStylesheet parameterized by schema: the
+// same schema-aware analysis, driven by any loaded schema's content
+// model. Substitution groups widen dispatch sets; xs:any wildcards make
+// the checks conservatively silent where the schema is open.
+func LintStylesheetAgainst(name string, src []byte, s *Schema) []Diagnostic {
+	return analysis.LintStylesheet(name, src, s)
+}
+
 // LintModel statically checks a model document: structural validation
 // against the XML Schema plus re-evaluation of its key/keyref identity
 // constraints with enriched, positioned messages.
 func LintModel(name string, src []byte) []Diagnostic {
 	return analysis.LintModelSource(name, src, core.MustSchema())
+}
+
+// LintModelAgainst is LintModel parameterized by schema: it validates
+// and cross-checks the document against any loaded schema instead of
+// the embedded GOLD one.
+func LintModelAgainst(name string, src []byte, s *Schema) []Diagnostic {
+	return analysis.LintModelSource(name, src, s)
 }
 
 // DiagnosticsHaveErrors reports whether any finding is error-severity.
@@ -143,7 +170,13 @@ func Validate(m *Model) []string {
 
 // ValidateXML validates raw XML text against the canonical schema.
 func ValidateXML(src string) []string {
-	errs := core.MustSchema().ValidateString(src, xsd.ValidateOptions{ApplyDefaults: true})
+	return ValidateXMLAgainst(src, core.MustSchema())
+}
+
+// ValidateXMLAgainst validates raw XML text against any loaded schema,
+// returning human-readable problems (nil = valid).
+func ValidateXMLAgainst(src string, s *Schema) []string {
+	errs := s.ValidateString(src, xsd.ValidateOptions{ApplyDefaults: true})
 	out := make([]string, len(errs))
 	for i, e := range errs {
 		out[i] = e.Error()

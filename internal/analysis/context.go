@@ -105,9 +105,12 @@ func (c ctxSet) describe() string {
 // childElems returns the element-name image of the child axis over a
 // context — the names reachable as children of its elements, plus the
 // root elements when the context holds the document node — and whether
-// any context element allows text children. It is the single child
-// transition shared by the expression walker and the pattern checker.
-func (l *ssLint) childElems(in ctxSet) (kids map[string]bool, textOK bool) {
+// any context element allows text children. open reports that some
+// context element declares an xs:any wildcard, so the returned name set
+// is a lower bound and emptiness claims about it are unsound. It is the
+// single child transition shared by the expression walker and the
+// pattern checker.
+func (l *ssLint) childElems(in ctxSet) (kids map[string]bool, textOK, open bool) {
 	g := l.g
 	kids = map[string]bool{}
 	for e := range in.elems {
@@ -117,21 +120,25 @@ func (l *ssLint) childElems(in ctxSet) (kids map[string]bool, textOK bool) {
 		if g.TextAllowed(e) {
 			textOK = true
 		}
+		if g.AnyChildren(e) {
+			open = true
+		}
 	}
 	if in.doc {
 		for r := range g.Roots() {
 			kids[r] = true
 		}
 	}
-	return kids, textOK
+	return kids, textOK, open
 }
 
 // descElems returns the descendant (or descendant-or-self) image of a
 // context's elements, including everything below the roots when the
-// context holds the document node.
-func (l *ssLint) descElems(in ctxSet, orSelf bool) map[string]bool {
+// context holds the document node. open reports that a wildcard is
+// reachable in the closure, making the set a lower bound.
+func (l *ssLint) descElems(in ctxSet, orSelf bool) (uni map[string]bool, open bool) {
 	g := l.g
-	uni := map[string]bool{}
+	uni = map[string]bool{}
 	for e := range in.elems {
 		for d := range g.Descendants(e) {
 			uni[d] = true
@@ -147,8 +154,21 @@ func (l *ssLint) descElems(in ctxSet, orSelf bool) map[string]bool {
 				uni[d] = true
 			}
 		}
+		if g.OpenSchema() {
+			open = true
+		}
 	}
-	return uni
+	for e := range in.elems {
+		if g.AnyChildren(e) {
+			open = true
+		}
+	}
+	for d := range uni {
+		if g.AnyChildren(d) {
+			open = true
+		}
+	}
+	return uni, open
 }
 
 // evalStep applies one location step to a context approximation,
@@ -158,16 +178,20 @@ func (l *ssLint) descElems(in ctxSet, orSelf bool) map[string]bool {
 func (l *ssLint) evalStep(in ctxSet, st xpath.StepInfo, at pos) ctxSet {
 	g := l.g
 	if in.unknown {
-		// Only whole-schema facts are checkable.
+		// Only whole-schema facts are checkable, and only when the schema
+		// is closed: a wildcard anywhere could admit undeclared names.
 		switch {
 		case st.Axis == xpath.AxisAttribute && st.Test == xpath.TestName:
-			if !g.AttrAnywhere(st.Name) {
+			if !g.AttrAnywhere(st.Name) && !g.OpenSchema() {
 				l.flag(at, SevError, CodeBadAttribute,
 					"no element in the schema declares attribute '%s'", st.Name)
 			}
 			return ctxSet{attr: true}
 		case st.Test == xpath.TestName && elementAxis(st.Axis):
 			if !g.HasElement(st.Name) {
+				if g.OpenSchema() {
+					return unknownCtx() // may exist under a wildcard
+				}
 				l.flag(at, SevError, CodeBadStep,
 					"no element '%s' is declared in the schema", st.Name)
 			}
@@ -183,8 +207,9 @@ func (l *ssLint) evalStep(in ctxSet, st xpath.StepInfo, at pos) ctxSet {
 
 	switch st.Axis {
 	case xpath.AxisChild:
-		kids, textOK := l.childElems(in)
-		return l.applyElemTest(in, st, at, kids, textOK, "child")
+		kids, textOK, open := l.childElems(in)
+		// Wildcards admit elements only; text capability stays exact.
+		return l.applyElemTest(in, st, at, kids, textOK, "child", open)
 
 	case xpath.AxisAttribute:
 		switch st.Test {
@@ -207,18 +232,27 @@ func (l *ssLint) evalStep(in ctxSet, st xpath.StepInfo, at pos) ctxSet {
 		}
 
 	case xpath.AxisDescendant, xpath.AxisDescendantOrSelf:
-		uni := l.descElems(in, st.Axis == xpath.AxisDescendantOrSelf)
+		uni, open := l.descElems(in, st.Axis == xpath.AxisDescendantOrSelf)
 		textOK := in.text && st.Axis == xpath.AxisDescendantOrSelf
 		for e := range uni {
 			if g.TextAllowed(e) {
 				textOK = true
 			}
 		}
-		return l.applyElemTest(in, st, at, uni, textOK, "descendant")
+		if open {
+			// Unknown subtrees below a wildcard may hold text too.
+			textOK = true
+		}
+		return l.applyElemTest(in, st, at, uni, textOK, "descendant", open)
 
 	case xpath.AxisParent, xpath.AxisAncestor, xpath.AxisAncestorOrSelf:
 		if in.attr || in.text {
 			// Attribute/text owners are untracked.
+			return unknownCtx()
+		}
+		if g.OpenSchema() {
+			// Under a wildcard an element may occur in containers the
+			// graph never saw; the parent relation is incomplete.
 			return unknownCtx()
 		}
 		uni := map[string]bool{}
@@ -245,13 +279,17 @@ func (l *ssLint) evalStep(in ctxSet, st xpath.StepInfo, at pos) ctxSet {
 				}
 			}
 		}
-		out := l.applyElemTest(in, st, at, uni, false, "ancestor")
+		out := l.applyElemTest(in, st, at, uni, false, "ancestor", false)
 		if isDoc && (st.Test == xpath.TestNode || st.Test == xpath.TestAnyName) {
 			out.doc = st.Test == xpath.TestNode
 		}
 		return out
 
 	case xpath.AxisFollowingSibling, xpath.AxisPrecedingSibling:
+		if g.OpenSchema() {
+			// Incomplete parent relation (see the ancestor axes above).
+			return unknownCtx()
+		}
 		uni := map[string]bool{}
 		textOK := false
 		for e := range in.elems {
@@ -267,7 +305,7 @@ func (l *ssLint) evalStep(in ctxSet, st xpath.StepInfo, at pos) ctxSet {
 		if in.attr || in.text {
 			return unknownCtx()
 		}
-		return l.applyElemTest(in, st, at, uni, textOK, "sibling")
+		return l.applyElemTest(in, st, at, uni, textOK, "sibling", false)
 
 	case xpath.AxisSelf:
 		switch st.Test {
@@ -292,11 +330,20 @@ func (l *ssLint) evalStep(in ctxSet, st xpath.StepInfo, at pos) ctxSet {
 }
 
 // applyElemTest filters a candidate element-name universe by the step's
-// node test, flagging when the result is provably empty.
-func (l *ssLint) applyElemTest(in ctxSet, st xpath.StepInfo, at pos, uni map[string]bool, textOK bool, rel string) ctxSet {
+// node test, flagging when the result is provably empty. When open is
+// set the universe is only a lower bound (a wildcard admits more), so
+// emptiness is never provable and results widen to unknown instead of
+// flagging.
+func (l *ssLint) applyElemTest(in ctxSet, st xpath.StepInfo, at pos, uni map[string]bool, textOK bool, rel string, open bool) ctxSet {
 	switch st.Test {
 	case xpath.TestName:
 		if !uni[st.Name] {
+			if open {
+				if l.g.HasElement(st.Name) {
+					return elemCtx(map[string]bool{st.Name: true})
+				}
+				return unknownCtx()
+			}
 			if !l.g.HasElement(st.Name) {
 				l.flag(at, SevError, CodeBadStep,
 					"no element '%s' is declared in the schema", st.Name)
@@ -308,6 +355,9 @@ func (l *ssLint) applyElemTest(in ctxSet, st xpath.StepInfo, at pos, uni map[str
 		}
 		return elemCtx(map[string]bool{st.Name: true})
 	case xpath.TestAnyName, xpath.TestNSWildcard:
+		if open {
+			return unknownCtx()
+		}
 		if len(uni) == 0 {
 			l.flag(at, SevError, CodeBadStep,
 				"%s has no %s elements", in.describe(), rel)
@@ -316,12 +366,18 @@ func (l *ssLint) applyElemTest(in ctxSet, st xpath.StepInfo, at pos, uni map[str
 		return elemCtx(uni)
 	case xpath.TestText:
 		if !textOK {
+			if open {
+				return unknownCtx()
+			}
 			l.flag(at, SevWarning, CodeNoText,
 				"%s has no text content", in.describe())
 			return unknownCtx()
 		}
 		return ctxSet{text: true}
 	case xpath.TestNode:
+		if open {
+			return unknownCtx()
+		}
 		out := elemCtx(uni)
 		out.text = true
 		if in.doc {

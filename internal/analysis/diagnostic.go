@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"goldweb/internal/xsd"
 )
 
 // Severity ranks a diagnostic.
@@ -51,6 +53,7 @@ func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil
 // GW3xx dangling references, GW4xx model-document findings.
 const (
 	CodeCompileError   = "GW001" // stylesheet does not parse or compile
+	CodeSchemaLoad     = "GW002" // the schema itself failed to load or compile
 	CodeBadPattern     = "GW101" // match pattern unsatisfiable under the schema
 	CodeBadStep        = "GW102" // element step can never select a node
 	CodeBadAttribute   = "GW103" // attribute step names an impossible attribute
@@ -113,6 +116,22 @@ func Sort(diags []Diagnostic) {
 		}
 		return a.Msg < b.Msg
 	})
+}
+
+// SchemaLoadDiagnostic converts a schema load/compile failure into a
+// GW002 diagnostic. xsd.SchemaError values keep their per-file
+// provenance (the offending document of a multi-file import/include
+// graph) and line; other errors are attributed to the requested path.
+func SchemaLoadDiagnostic(path string, err error) Diagnostic {
+	d := Diagnostic{File: path, Severity: SevError, Code: CodeSchemaLoad, Msg: err.Error()}
+	if se, ok := err.(*xsd.SchemaError); ok {
+		if se.File != "" {
+			d.File = se.File
+		}
+		d.Line = se.Line()
+		d.Msg = se.Msg
+	}
+	return d
 }
 
 // HasErrors reports whether any diagnostic is error severity.

@@ -9,6 +9,7 @@ import (
 
 	"goldweb/internal/analysis"
 	"goldweb/internal/core"
+	"goldweb/internal/xsd"
 )
 
 var update = flag.Bool("update", false, "rewrite golden .want files")
@@ -62,6 +63,39 @@ func TestGoldenModels(t *testing.T) {
 	schema := core.MustSchema()
 	runGolden(t, "models", ".xml", func(name string, src []byte) []analysis.Diagnostic {
 		return analysis.LintModelSource(name, src, schema)
+	})
+}
+
+// TestGoldenGeneralSchema exercises the schema-parametric frontier: the
+// committed non-GOLD example vocabulary (examples/library, a multi-file
+// schema with substitution groups, wildcards, union and list types) is
+// loaded with the xsd.Loader, its shipped stylesheet and instance must
+// lint clean, and the corpus under testdata/general must reproduce its
+// findings against that schema.
+func TestGoldenGeneralSchema(t *testing.T) {
+	exampleDir := filepath.Join("..", "..", "examples", "library")
+	schema, err := xsd.LoadSchemaFile(filepath.Join(exampleDir, "library.xsd"))
+	if err != nil {
+		t.Fatalf("loading example schema: %v", err)
+	}
+	clean := []struct {
+		file string
+		lint func(name string, src []byte) []analysis.Diagnostic
+	}{
+		{"library.xsl", func(n string, s []byte) []analysis.Diagnostic { return analysis.LintStylesheet(n, s, schema) }},
+		{"library.xml", func(n string, s []byte) []analysis.Diagnostic { return analysis.LintModelSource(n, s, schema) }},
+	}
+	for _, c := range clean {
+		src, err := os.ReadFile(filepath.Join(exampleDir, c.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diags := c.lint(c.file, src); len(diags) != 0 {
+			t.Errorf("shipped example %s must lint clean, got %d findings; first: %s", c.file, len(diags), diags[0])
+		}
+	}
+	runGolden(t, "general", ".xsl", func(name string, src []byte) []analysis.Diagnostic {
+		return analysis.LintStylesheet(name, src, schema)
 	})
 }
 

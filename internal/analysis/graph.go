@@ -13,6 +13,11 @@ type elemInfo struct {
 	idAttrs    map[string]bool
 	idrefAttrs map[string]bool
 	text       bool
+	// anyChildren / anyAttrs record xs:any / xs:anyAttribute wildcards:
+	// the element may contain children or carry attributes beyond the
+	// named sets, so negative claims about it are unsound.
+	anyChildren bool
+	anyAttrs    bool
 }
 
 // ContentGraph is the reachability view of a schema: which elements may
@@ -29,6 +34,14 @@ type ContentGraph struct {
 
 	descMemo map[string]map[string]bool
 	ancMemo  map[string]map[string]bool
+
+	// schema backs substitution-group expansion during construction.
+	schema *xsd.Schema
+	// open records that some element somewhere declares an xs:any
+	// wildcard: structural claims that need the whole element graph
+	// (ancestors, siblings, "no element named X exists") are unsound
+	// and the checks fall back to silence.
+	open bool
 }
 
 // NewContentGraph derives the reachability graph from a compiled schema.
@@ -39,6 +52,7 @@ func NewContentGraph(s *xsd.Schema) *ContentGraph {
 		parent:   map[string]map[string]bool{},
 		descMemo: map[string]map[string]bool{},
 		ancMemo:  map[string]map[string]bool{},
+		schema:   s,
 	}
 	visited := map[*xsd.ElementDecl]bool{}
 	for name, decl := range s.Elements {
@@ -88,6 +102,9 @@ func (g *ContentGraph) visit(decl *xsd.ElementDecl, visited map[*xsd.ElementDecl
 				info.idrefAttrs[ad.Name] = true
 			}
 		}
+		if decl.Complex.AnyAttr != nil {
+			info.anyAttrs = true
+		}
 		g.visitParticle(info, decl.Complex.Content, visited)
 	default:
 		// Simple type, or no type at all (anyType): text content.
@@ -99,16 +116,47 @@ func (g *ContentGraph) visitParticle(info *elemInfo, p *xsd.Particle, visited ma
 	if p == nil {
 		return
 	}
-	if p.Kind == xsd.PElement {
+	switch p.Kind {
+	case xsd.PElement:
 		if p.Elem != nil {
 			info.children[p.Elem.Name] = true
 			g.visit(p.Elem, visited)
 		}
+		// A ref particle also dispatches to the substitution-group
+		// members of its head; add them all as possible children.
+		if p.Ref != "" && g.schema != nil {
+			for _, m := range g.schema.SubstitutionMembers(p.Ref) {
+				info.children[m.Name] = true
+				g.visit(m, visited)
+			}
+		}
+		return
+	case xsd.PAny:
+		info.anyChildren = true
+		g.open = true
 		return
 	}
 	for _, c := range p.Children {
 		g.visitParticle(info, c, visited)
 	}
+}
+
+// OpenSchema reports whether any element declares an xs:any wildcard,
+// making whole-graph structural claims (ancestors, siblings, global
+// non-existence) unsound.
+func (g *ContentGraph) OpenSchema() bool { return g.open }
+
+// AnyChildren reports whether element name declares an xs:any wildcard:
+// its child set is open-ended beyond Children(name).
+func (g *ContentGraph) AnyChildren(name string) bool {
+	info := g.elems[name]
+	return info != nil && info.anyChildren
+}
+
+// AnyAttrs reports whether element name declares xs:anyAttribute.
+func (g *ContentGraph) AnyAttrs(name string) bool {
+	info := g.elems[name]
+	return info != nil && info.anyAttrs
 }
 
 // HasElement reports whether any declaration of name exists.
@@ -128,10 +176,11 @@ func (g *ContentGraph) Children(name string) map[string]bool {
 // Parents returns the element names that may contain name as a child.
 func (g *ContentGraph) Parents(name string) map[string]bool { return g.parent[name] }
 
-// HasAttr reports whether element name admits attribute attr.
+// HasAttr reports whether element name admits attribute attr (always
+// true under an anyAttribute wildcard).
 func (g *ContentGraph) HasAttr(name, attr string) bool {
 	info := g.elems[name]
-	return info != nil && info.attrs[attr]
+	return info != nil && (info.attrs[attr] || info.anyAttrs)
 }
 
 // Attrs returns the declared attribute names of element name.
@@ -142,10 +191,11 @@ func (g *ContentGraph) Attrs(name string) map[string]bool {
 	return nil
 }
 
-// AttrAnywhere reports whether any element declares attribute attr.
+// AttrAnywhere reports whether any element declares attribute attr (or
+// an anyAttribute wildcard that could admit it).
 func (g *ContentGraph) AttrAnywhere(attr string) bool {
 	for _, info := range g.elems {
-		if info.attrs[attr] {
+		if info.attrs[attr] || info.anyAttrs {
 			return true
 		}
 	}

@@ -80,6 +80,7 @@ func (l *ssLint) checkPatternAlt(alt xpath.PatternAltInfo, at pos, sc *scope) ct
 		// ancestors, for '//') instead of through a child edge.
 		in := elemCtx(cur)
 		var allowed map[string]bool
+		linkOpen := false
 		switch {
 		case st.Attr || st.Test == xpath.TestText:
 			allowed = map[string]bool{}
@@ -87,14 +88,16 @@ func (l *ssLint) checkPatternAlt(alt xpath.PatternAltInfo, at pos, sc *scope) ct
 				allowed[e] = true
 			}
 			if st.Anc {
-				for e := range l.descElems(in, false) {
+				desc, open := l.descElems(in, false)
+				linkOpen = open
+				for e := range desc {
 					allowed[e] = true
 				}
 			}
 		case st.Anc:
-			allowed = l.descElems(in, false)
+			allowed, linkOpen = l.descElems(in, false)
 		default:
-			allowed, _ = l.childElems(in)
+			allowed, _, linkOpen = l.childElems(in)
 		}
 		next := map[string]bool{}
 		for e := range cands {
@@ -102,7 +105,11 @@ func (l *ssLint) checkPatternAlt(alt xpath.PatternAltInfo, at pos, sc *scope) ct
 				next[e] = true
 			}
 		}
-		if len(next) == 0 {
+		if linkOpen {
+			// A wildcard on the parent side may admit any candidate:
+			// the link can neither refine nor refute the step.
+			next = cands
+		} else if len(next) == 0 {
 			rel := "a parent"
 			if st.Anc {
 				rel = "an ancestor"
@@ -157,8 +164,15 @@ func (l *ssLint) checkPatternAlt(alt xpath.PatternAltInfo, at pos, sc *scope) ct
 // false for node tests the schema says nothing about.
 func (l *ssLint) patternStepCandidates(st xpath.PatternStepInfo, at pos) (cands map[string]bool, resolvable, failed bool) {
 	g := l.g
+	// An open schema makes every whole-schema universe a lower bound
+	// (wildcards admit elements the graph never saw), so only exact
+	// named-element candidates survive; the rest become unresolvable.
+	open := g.OpenSchema()
 	switch {
 	case st.Attr:
+		if open {
+			return nil, false, false
+		}
 		if st.Test != xpath.TestName {
 			return l.allElems(), true, false
 		}
@@ -176,14 +190,23 @@ func (l *ssLint) patternStepCandidates(st xpath.PatternStepInfo, at pos) (cands 
 		return owners, true, false
 	case st.Test == xpath.TestName:
 		if !g.HasElement(st.Name) {
+			if open {
+				return nil, false, false // may exist under a wildcard
+			}
 			l.flag(at, SevError, CodeBadPattern,
 				"pattern can never match: no element '%s' is declared in the schema", st.Name)
 			return nil, true, true
 		}
 		return map[string]bool{st.Name: true}, true, false
 	case st.Test == xpath.TestAnyName || st.Test == xpath.TestNSWildcard:
+		if open {
+			return nil, false, false
+		}
 		return l.allElems(), true, false
 	case st.Test == xpath.TestText:
+		if open {
+			return nil, false, false
+		}
 		owners := map[string]bool{}
 		for _, e := range g.ElementNames() {
 			if g.TextAllowed(e) {

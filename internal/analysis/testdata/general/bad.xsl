@@ -1,0 +1,17 @@
+<?xml version="1.0"?>
+<!-- Deliberate mistakes against the examples/library schema: an
+     undeclared attribute, a child the closed 'book' content model can
+     never hold (the schema's xs:any sits elsewhere), and a dead named
+     template. -->
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:template match="/">
+    <xsl:apply-templates select="library/book"/>
+  </xsl:template>
+  <xsl:template match="book">
+    <xsl:value-of select="@missing"/>
+    <xsl:value-of select="shelf"/>
+  </xsl:template>
+  <xsl:template name="never-called">
+    <xsl:text>dead</xsl:text>
+  </xsl:template>
+</xsl:stylesheet>

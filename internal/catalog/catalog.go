@@ -144,6 +144,10 @@ type Options struct {
 	Publish server.PublishFunc
 	// Lint is the lint-gate policy (default LintStrict).
 	Lint LintPolicy
+	// Schema is the XML Schema models validate and lint against. Nil
+	// means the embedded GOLD schema; set it (e.g. via xsd.LoadSchemaFile)
+	// to serve models of any vocabulary.
+	Schema *xsd.Schema
 
 	// BreakerThreshold is K: consecutive publish failures before the
 	// model's circuit opens. 0 means the default; negative disables the
@@ -295,9 +299,13 @@ func New(opts Options) *Catalog {
 	if opts.CacheSize == 0 {
 		opts.CacheSize = server.DefaultCacheSize
 	}
+	schema := opts.Schema
+	if schema == nil {
+		schema = core.MustSchema()
+	}
 	c := &Catalog{
 		opts:    opts,
-		schema:  core.MustSchema(),
+		schema:  schema,
 		entries: make(map[string]*entry),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 	}

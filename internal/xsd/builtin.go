@@ -119,13 +119,20 @@ func (st *SimpleType) normalize(v string) string {
 		ws = cur.WhiteSpace
 	}
 	if ws == "" {
-		switch st.rootKind() {
-		case btString:
-			ws = "preserve"
-		case btNormalizedString:
-			ws = "replace"
-		default:
+		switch {
+		case st.isList() || st.hasMembers():
+			// List and union varieties collapse; union members
+			// re-normalize per their own whitespace facet.
 			ws = "collapse"
+		default:
+			switch st.rootKind() {
+			case btString:
+				ws = "preserve"
+			case btNormalizedString:
+				ws = "replace"
+			default:
+				ws = "collapse"
+			}
 		}
 	}
 	switch ws {

@@ -52,10 +52,10 @@ func CheckSchema(doc *xmldom.Node) []SchemaIssue {
 		if st.MinInclusive != nil && st.MaxInclusive != nil && *st.MinInclusive > *st.MaxInclusive {
 			add("error", st.src.Path(), "type %s has minInclusive > maxInclusive", typeLabel(st))
 		}
-		if len(st.Enum) == 0 && len(st.Patterns) == 0 && st.Length == nil &&
+		if st.Base != "" && len(st.Enum) == 0 && len(st.Patterns) == 0 && st.Length == nil &&
 			st.MinLength == nil && st.MaxLength == nil && st.MinInclusive == nil &&
 			st.MaxInclusive == nil && st.MinExclusive == nil && st.MaxExclusive == nil &&
-			st.WhiteSpace == "" {
+			st.TotalDigits == nil && st.FractionDigits == nil && st.WhiteSpace == "" {
 			add("warning", st.src.Path(), "type %s restricts %s without any facet", typeLabel(st), st.Base)
 		}
 	}

@@ -19,7 +19,7 @@ func TestParseSchemaErrors(t *testing.T) {
 		{"duplicate element", sch(`<xsd:element name="e"/><xsd:element name="e"/>`), "duplicate global element"},
 		{"bad occurs", sch(`<xsd:element name="e"><xsd:complexType><xsd:sequence><xsd:element name="c" minOccurs="3" maxOccurs="2"/></xsd:sequence></xsd:complexType></xsd:element>`), "minOccurs 3 exceeds maxOccurs 2"},
 		{"circular simpletype", sch(`<xsd:simpleType name="A"><xsd:restriction base="B"/></xsd:simpleType><xsd:simpleType name="B"><xsd:restriction base="A"/></xsd:simpleType>`), "circular"},
-		{"list unsupported", sch(`<xsd:simpleType name="L"><xsd:list itemType="xsd:string"/></xsd:simpleType>`), "restriction"},
+		{"list without item type", sch(`<xsd:simpleType name="L"><xsd:list/></xsd:simpleType>`), "itemType"},
 		{"keyref missing refer", sch(`<xsd:element name="e"><xsd:keyref name="k"><xsd:selector xpath="a"/><xsd:field xpath="@b"/></xsd:keyref></xsd:element>`), "keyref requires refer"},
 		{"constraint missing field", sch(`<xsd:element name="e"><xsd:key name="k"><xsd:selector xpath="a"/></xsd:key></xsd:element>`), "requires a selector and at least one field"},
 		{"bad selector xpath", sch(`<xsd:element name="e"><xsd:key name="k"><xsd:selector xpath="[["/><xsd:field xpath="@a"/></xsd:key></xsd:element>`), "bad selector xpath"},

@@ -3,6 +3,7 @@ package xsd
 import (
 	"fmt"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -10,70 +11,114 @@ import (
 	"goldweb/internal/xpath"
 )
 
-// ParseSchema compiles a schema document into a Schema.
-func ParseSchema(doc *xmldom.Node) (*Schema, error) {
-	root := doc.DocumentElement()
-	if root == nil || root.URI != Namespace || root.Name != "schema" {
-		return nil, &SchemaError{Node: root, Msg: "root element must be xsd:schema"}
-	}
-	s := &Schema{
+// newSchema allocates an empty schema ready to accumulate documents.
+func newSchema() *Schema {
+	return &Schema{
 		Elements:     map[string]*ElementDecl{},
 		SimpleTypes:  map[string]*SimpleType{},
 		ComplexTypes: map[string]*ComplexType{},
-		doc:          doc,
+		substMembers: map[string][]*ElementDecl{},
+		declFile:     map[string]string{},
+		fileByDoc:    map[*xmldom.Node]string{},
 	}
-	p := &schemaParser{s: s}
+}
+
+// ParseSchema compiles a single schema document into a Schema. Any
+// xs:import/xs:include directives are ignored (there is no resolver to
+// fetch them); use a Loader to compile multi-file schema graphs.
+func ParseSchema(doc *xmldom.Node) (*Schema, error) {
+	s := newSchema()
+	if err := s.parseInto(doc, "", nil); err != nil {
+		return nil, err
+	}
+	if err := s.resolve(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseInto accumulates one schema document's global declarations into
+// the schema. file is the document's location ("" for in-memory parses)
+// and is attached to every error for provenance; refs receives the
+// import/include directives found (nil means ignore them).
+func (s *Schema) parseInto(doc *xmldom.Node, file string, refs *[]*xmldom.Node) error {
+	root := doc.DocumentElement()
+	if root == nil || root.URI != Namespace || root.Name != "schema" {
+		return &SchemaError{File: file, Node: root, Msg: "root element must be xsd:schema"}
+	}
+	s.fileByDoc[root.Root()] = file
+	if s.doc == nil {
+		s.doc = doc
+	}
+	p := &schemaParser{s: s, file: file}
 	for _, c := range root.Elements() {
 		if c.URI != Namespace {
 			continue
 		}
 		switch c.Name {
 		case "element":
-			decl, err := p.parseElementDecl(c)
+			decl, err := p.parseElementDecl(c, true)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if _, dup := s.Elements[decl.Name]; dup {
-				return nil, &SchemaError{Node: c, Msg: "duplicate global element " + decl.Name}
+			if prev, dup := s.Elements[decl.Name]; dup {
+				return p.dupErr(c, "element", decl.Name, prev.src)
 			}
 			s.Elements[decl.Name] = decl
+			s.declFile["element "+decl.Name] = file
 		case "simpleType":
 			st, err := p.parseSimpleType(c)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if st.Name == "" {
-				return nil, &SchemaError{Node: c, Msg: "global simpleType requires a name"}
+				return p.errf(c, "global simpleType requires a name")
 			}
-			if _, dup := s.SimpleTypes[st.Name]; dup {
-				return nil, &SchemaError{Node: c, Msg: "duplicate simpleType " + st.Name}
+			if prev, dup := s.SimpleTypes[st.Name]; dup {
+				return p.dupErr(c, "simpleType", st.Name, prev.src)
 			}
 			s.SimpleTypes[st.Name] = st
+			s.declFile["simpleType "+st.Name] = file
 		case "complexType":
 			ct, err := p.parseComplexType(c)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if ct.Name == "" {
-				return nil, &SchemaError{Node: c, Msg: "global complexType requires a name"}
+				return p.errf(c, "global complexType requires a name")
 			}
-			if _, dup := s.ComplexTypes[ct.Name]; dup {
-				return nil, &SchemaError{Node: c, Msg: "duplicate complexType " + ct.Name}
+			if prev, dup := s.ComplexTypes[ct.Name]; dup {
+				return p.dupErr(c, "complexType", ct.Name, prev.src)
 			}
 			s.ComplexTypes[ct.Name] = ct
-		case "annotation", "import", "include":
-			// Annotations are ignored; import/include are out of scope for
-			// the single-document schemas this system manages.
+			s.declFile["complexType "+ct.Name] = file
+		case "import", "include":
+			if refs != nil {
+				*refs = append(*refs, c)
+			}
+			// Without a collector (single-document parse) the directive
+			// is ignored, preserving the embedded-schema behavior.
+		case "annotation":
+			// ignored
 		case "attribute", "attributeGroup", "group", "notation", "redefine":
-			return nil, &SchemaError{Node: c, Msg: "global xsd:" + c.Name + " is not supported"}
+			return p.errf(c, "global xsd:%s is not supported", c.Name)
 		default:
-			return nil, &SchemaError{Node: c, Msg: "unknown schema construct xsd:" + c.Name}
+			return p.errf(c, "unknown schema construct xsd:%s", c.Name)
 		}
 	}
-	if err := s.resolve(); err != nil {
-		return nil, err
+	return nil
+}
+
+// dupErr reports a conflicting global redefinition, naming the file of
+// the first declaration when the conflict spans documents.
+func (p *schemaParser) dupErr(at *xmldom.Node, kind, name string, prev *xmldom.Node) error {
+	msg := "duplicate global " + kind + " " + name
+	if prev != nil {
+		if prevFile, ok := p.s.fileByDoc[prev.Root()]; ok && prevFile != p.file && prevFile != "" {
+			msg += " (already declared in " + prevFile + ")"
+		}
 	}
-	return s, nil
+	return p.errf(at, "%s", msg)
 }
 
 // ParseSchemaString parses the schema from XML text.
@@ -95,7 +140,13 @@ func MustParseSchemaString(src string) *Schema {
 }
 
 type schemaParser struct {
-	s *Schema
+	s    *Schema
+	file string
+}
+
+// errf builds a SchemaError carrying the parser's source file.
+func (p *schemaParser) errf(n *xmldom.Node, format string, args ...interface{}) error {
+	return &SchemaError{File: p.file, Node: n, Msg: fmt.Sprintf(format, args...)}
 }
 
 // schemaElements returns the xsd-namespace element children, skipping
@@ -110,14 +161,27 @@ func schemaElements(n *xmldom.Node) []*xmldom.Node {
 	return out
 }
 
-func (p *schemaParser) parseElementDecl(e *xmldom.Node) (*ElementDecl, error) {
+func (p *schemaParser) parseElementDecl(e *xmldom.Node, global bool) (*ElementDecl, error) {
 	decl := &ElementDecl{src: e}
 	decl.Name = e.AttrValue("name")
 	if ref := e.AttrValue("ref"); ref != "" {
-		return nil, &SchemaError{Node: e, Msg: "element ref is not supported; declare elements inline or globally by name"}
+		return nil, p.errf(e, "element ref is only allowed inside a content group")
 	}
 	if decl.Name == "" {
-		return nil, &SchemaError{Node: e, Msg: "element requires a name"}
+		return nil, p.errf(e, "element requires a name")
+	}
+	if sg := e.AttrValue("substitutionGroup"); sg != "" {
+		if !global {
+			return nil, p.errf(e, "substitutionGroup is only allowed on global element declarations")
+		}
+		decl.SubstitutionGroup = stripPrefix(sg)
+	}
+	switch ab := e.AttrValue("abstract"); ab {
+	case "", "false":
+	case "true":
+		decl.Abstract = true
+	default:
+		return nil, p.errf(e, "bad abstract value %q", ab)
 	}
 	decl.TypeName = e.AttrValue("type")
 	if v := e.GetAttr("default"); v != nil {
@@ -130,7 +194,7 @@ func (p *schemaParser) parseElementDecl(e *xmldom.Node) (*ElementDecl, error) {
 		switch c.Name {
 		case "complexType":
 			if decl.TypeName != "" || decl.Complex != nil || decl.Simple != nil {
-				return nil, &SchemaError{Node: c, Msg: "element " + decl.Name + " has multiple type definitions"}
+				return nil, p.errf(c, "element %s has multiple type definitions", decl.Name)
 			}
 			ct, err := p.parseComplexType(c)
 			if err != nil {
@@ -139,7 +203,7 @@ func (p *schemaParser) parseElementDecl(e *xmldom.Node) (*ElementDecl, error) {
 			decl.Complex = ct
 		case "simpleType":
 			if decl.TypeName != "" || decl.Complex != nil || decl.Simple != nil {
-				return nil, &SchemaError{Node: c, Msg: "element " + decl.Name + " has multiple type definitions"}
+				return nil, p.errf(c, "element %s has multiple type definitions", decl.Name)
 			}
 			st, err := p.parseSimpleType(c)
 			if err != nil {
@@ -153,7 +217,7 @@ func (p *schemaParser) parseElementDecl(e *xmldom.Node) (*ElementDecl, error) {
 			}
 			decl.Constraints = append(decl.Constraints, ic)
 		default:
-			return nil, &SchemaError{Node: c, Msg: "unexpected xsd:" + c.Name + " inside element " + decl.Name}
+			return nil, p.errf(c, "unexpected xsd:%s inside element %s", c.Name, decl.Name)
 		}
 	}
 	if decl.TypeName == "" && decl.Complex == nil && decl.Simple == nil {
@@ -169,7 +233,7 @@ func (p *schemaParser) parseComplexType(e *xmldom.Node) (*ComplexType, error) {
 		switch c.Name {
 		case "sequence", "choice", "all":
 			if ct.Content != nil {
-				return nil, &SchemaError{Node: c, Msg: "complexType has multiple content groups"}
+				return nil, p.errf(c, "complexType has multiple content groups")
 			}
 			part, err := p.parseGroup(c)
 			if err != nil {
@@ -183,17 +247,46 @@ func (p *schemaParser) parseComplexType(e *xmldom.Node) (*ComplexType, error) {
 			}
 			for _, prev := range ct.Attributes {
 				if prev.Name == ad.Name {
-					return nil, &SchemaError{Node: c, Msg: "duplicate attribute " + ad.Name}
+					return nil, p.errf(c, "duplicate attribute %s", ad.Name)
 				}
 			}
 			ct.Attributes = append(ct.Attributes, ad)
-		case "simpleContent", "complexContent", "anyAttribute", "group", "attributeGroup":
-			return nil, &SchemaError{Node: c, Msg: "xsd:" + c.Name + " is not supported"}
+		case "anyAttribute":
+			if ct.AnyAttr != nil {
+				return nil, p.errf(c, "complexType has multiple anyAttribute wildcards")
+			}
+			w, err := p.parseWildcard(c)
+			if err != nil {
+				return nil, err
+			}
+			ct.AnyAttr = w
+		case "simpleContent", "complexContent", "group", "attributeGroup":
+			return nil, p.errf(c, "xsd:%s is not supported", c.Name)
 		default:
-			return nil, &SchemaError{Node: c, Msg: "unexpected xsd:" + c.Name + " in complexType"}
+			return nil, p.errf(c, "unexpected xsd:%s in complexType", c.Name)
 		}
 	}
 	return ct, nil
+}
+
+// parseWildcard reads the namespace constraint and processContents mode
+// of an xs:any or xs:anyAttribute declaration.
+func (p *schemaParser) parseWildcard(e *xmldom.Node) (*Wildcard, error) {
+	w := &Wildcard{NS: e.AttrValue("namespace"), Process: e.AttrValue("processContents"), src: e}
+	if w.NS == "" {
+		w.NS = "##any"
+	}
+	switch w.Process {
+	case "":
+		w.Process = "strict"
+	case "strict", "lax", "skip":
+	default:
+		return nil, p.errf(e, "bad processContents %q (want strict, lax or skip)", w.Process)
+	}
+	if len(schemaElements(e)) > 0 {
+		return nil, p.errf(e, "xsd:%s cannot have element content", e.Name)
+	}
+	return w, nil
 }
 
 func (p *schemaParser) parseGroup(e *xmldom.Node) (*Particle, error) {
@@ -207,30 +300,40 @@ func (p *schemaParser) parseGroup(e *xmldom.Node) (*Particle, error) {
 		part.Kind = PAll
 	}
 	var err error
-	part.Min, part.Max, err = parseOccurs(e)
+	part.Min, part.Max, err = p.parseOccurs(e)
 	if err != nil {
 		return nil, err
 	}
 	if part.Kind == PAll && (part.Min > 1 || part.Max != 1) {
-		return nil, &SchemaError{Node: e, Msg: "xsd:all cannot repeat"}
+		return nil, p.errf(e, "xsd:all cannot repeat")
 	}
 	for _, c := range schemaElements(e) {
 		switch c.Name {
 		case "element":
 			child := &Particle{Kind: PElement, src: c}
-			child.Min, child.Max, err = parseOccurs(c)
+			child.Min, child.Max, err = p.parseOccurs(c)
 			if err != nil {
 				return nil, err
 			}
-			decl, err := p.parseElementDecl(c)
-			if err != nil {
-				return nil, err
+			if ref := c.AttrValue("ref"); ref != "" {
+				if c.AttrValue("name") != "" {
+					return nil, p.errf(c, "element cannot have both ref and name")
+				}
+				if len(schemaElements(c)) > 0 {
+					return nil, p.errf(c, "element ref cannot carry local definitions")
+				}
+				child.Ref = stripPrefix(ref)
+			} else {
+				decl, err := p.parseElementDecl(c, false)
+				if err != nil {
+					return nil, err
+				}
+				child.Elem = decl
 			}
-			child.Elem = decl
 			part.Children = append(part.Children, child)
 		case "sequence", "choice", "all":
 			if part.Kind == PAll {
-				return nil, &SchemaError{Node: c, Msg: "xsd:all may only contain elements"}
+				return nil, p.errf(c, "xsd:all may only contain elements")
 			}
 			child, err := p.parseGroup(c)
 			if err != nil {
@@ -238,20 +341,32 @@ func (p *schemaParser) parseGroup(e *xmldom.Node) (*Particle, error) {
 			}
 			part.Children = append(part.Children, child)
 		case "any":
-			return nil, &SchemaError{Node: c, Msg: "xsd:any is not supported"}
+			if part.Kind == PAll {
+				return nil, p.errf(c, "xsd:all may only contain elements")
+			}
+			child := &Particle{Kind: PAny, src: c}
+			child.Min, child.Max, err = p.parseOccurs(c)
+			if err != nil {
+				return nil, err
+			}
+			child.Wildcard, err = p.parseWildcard(c)
+			if err != nil {
+				return nil, err
+			}
+			part.Children = append(part.Children, child)
 		default:
-			return nil, &SchemaError{Node: c, Msg: "unexpected xsd:" + c.Name + " in content group"}
+			return nil, p.errf(c, "unexpected xsd:%s in content group", c.Name)
 		}
 	}
 	return part, nil
 }
 
-func parseOccurs(e *xmldom.Node) (int, int, error) {
+func (p *schemaParser) parseOccurs(e *xmldom.Node) (int, int, error) {
 	min, max := 1, 1
 	if v := e.AttrValue("minOccurs"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			return 0, 0, &SchemaError{Node: e, Msg: "bad minOccurs " + v}
+			return 0, 0, p.errf(e, "bad minOccurs %s", v)
 		}
 		min = n
 	}
@@ -261,13 +376,13 @@ func parseOccurs(e *xmldom.Node) (int, int, error) {
 		} else {
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 0 {
-				return 0, 0, &SchemaError{Node: e, Msg: "bad maxOccurs " + v}
+				return 0, 0, p.errf(e, "bad maxOccurs %s", v)
 			}
 			max = n
 		}
 	}
 	if max != Unbounded && min > max {
-		return 0, 0, &SchemaError{Node: e, Msg: fmt.Sprintf("minOccurs %d exceeds maxOccurs %d", min, max)}
+		return 0, 0, p.errf(e, "minOccurs %d exceeds maxOccurs %d", min, max)
 	}
 	return min, max, nil
 }
@@ -276,12 +391,12 @@ func (p *schemaParser) parseAttributeDecl(e *xmldom.Node) (*AttributeDecl, error
 	ad := &AttributeDecl{Name: e.AttrValue("name"), TypeName: e.AttrValue("type"),
 		Use: e.AttrValue("use"), src: e}
 	if ad.Name == "" {
-		return nil, &SchemaError{Node: e, Msg: "attribute requires a name"}
+		return nil, p.errf(e, "attribute requires a name")
 	}
 	switch ad.Use {
 	case "", "optional", "required", "prohibited":
 	default:
-		return nil, &SchemaError{Node: e, Msg: "bad attribute use " + ad.Use}
+		return nil, p.errf(e, "bad attribute use %s", ad.Use)
 	}
 	if v := e.GetAttr("default"); v != nil {
 		ad.Default, ad.HasDefault = v.Data, true
@@ -290,14 +405,14 @@ func (p *schemaParser) parseAttributeDecl(e *xmldom.Node) (*AttributeDecl, error
 		ad.Fixed, ad.HasFixed = v.Data, true
 	}
 	if ad.HasDefault && ad.HasFixed {
-		return nil, &SchemaError{Node: e, Msg: "attribute " + ad.Name + " cannot have both default and fixed"}
+		return nil, p.errf(e, "attribute %s cannot have both default and fixed", ad.Name)
 	}
 	if ad.HasDefault && ad.Use == "required" {
-		return nil, &SchemaError{Node: e, Msg: "required attribute " + ad.Name + " cannot have a default"}
+		return nil, p.errf(e, "required attribute %s cannot have a default", ad.Name)
 	}
 	for _, c := range schemaElements(e) {
 		if c.Name != "simpleType" {
-			return nil, &SchemaError{Node: c, Msg: "unexpected xsd:" + c.Name + " in attribute"}
+			return nil, p.errf(c, "unexpected xsd:%s in attribute", c.Name)
 		}
 		st, err := p.parseSimpleType(c)
 		if err != nil {
@@ -314,25 +429,73 @@ func (p *schemaParser) parseAttributeDecl(e *xmldom.Node) (*AttributeDecl, error
 func (p *schemaParser) parseSimpleType(e *xmldom.Node) (*SimpleType, error) {
 	st := &SimpleType{Name: e.AttrValue("name"), src: e}
 	kids := schemaElements(e)
-	if len(kids) != 1 || kids[0].Name != "restriction" {
-		return nil, &SchemaError{Node: e, Msg: "simpleType must contain exactly one xsd:restriction (list/union are not supported)"}
+	if len(kids) != 1 {
+		return nil, p.errf(e, "simpleType must contain exactly one xsd:restriction, xsd:list or xsd:union")
 	}
-	r := kids[0]
+	switch kids[0].Name {
+	case "restriction":
+		return p.parseRestriction(st, kids[0])
+	case "list":
+		return p.parseList(st, kids[0])
+	case "union":
+		return p.parseUnion(st, kids[0])
+	}
+	return nil, p.errf(kids[0], "simpleType must contain exactly one xsd:restriction, xsd:list or xsd:union")
+}
+
+func (p *schemaParser) parseList(st *SimpleType, l *xmldom.Node) (*SimpleType, error) {
+	st.itemRef = l.AttrValue("itemType")
+	inline := schemaElements(l)
+	switch {
+	case st.itemRef != "" && len(inline) > 0:
+		return nil, p.errf(l, "list cannot have both itemType and an inline simpleType")
+	case st.itemRef == "":
+		if len(inline) != 1 || inline[0].Name != "simpleType" {
+			return nil, p.errf(l, "list requires itemType or exactly one inline simpleType")
+		}
+		item, err := p.parseSimpleType(inline[0])
+		if err != nil {
+			return nil, err
+		}
+		st.Item = item
+	}
+	return st, nil
+}
+
+func (p *schemaParser) parseUnion(st *SimpleType, u *xmldom.Node) (*SimpleType, error) {
+	st.memberRefs = append(st.memberRefs, strings.Fields(u.AttrValue("memberTypes"))...)
+	for _, c := range schemaElements(u) {
+		if c.Name != "simpleType" {
+			return nil, p.errf(c, "unexpected xsd:%s in union", c.Name)
+		}
+		m, err := p.parseSimpleType(c)
+		if err != nil {
+			return nil, err
+		}
+		st.Members = append(st.Members, m)
+	}
+	if len(st.memberRefs)+len(st.Members) == 0 {
+		return nil, p.errf(u, "union requires memberTypes or at least one inline simpleType")
+	}
+	return st, nil
+}
+
+func (p *schemaParser) parseRestriction(st *SimpleType, r *xmldom.Node) (*SimpleType, error) {
 	st.Base = r.AttrValue("base")
 	if st.Base == "" {
-		return nil, &SchemaError{Node: r, Msg: "restriction requires a base"}
+		return nil, p.errf(r, "restriction requires a base")
 	}
 	intFacet := func(c *xmldom.Node) (*int, error) {
 		n, err := strconv.Atoi(c.AttrValue("value"))
 		if err != nil || n < 0 {
-			return nil, &SchemaError{Node: c, Msg: "bad facet value " + c.AttrValue("value")}
+			return nil, p.errf(c, "bad facet value %s", c.AttrValue("value"))
 		}
 		return &n, nil
 	}
 	numFacet := func(c *xmldom.Node) (*float64, error) {
 		f, err := strconv.ParseFloat(c.AttrValue("value"), 64)
 		if err != nil {
-			return nil, &SchemaError{Node: c, Msg: "bad facet value " + c.AttrValue("value")}
+			return nil, p.errf(c, "bad facet value %s", c.AttrValue("value"))
 		}
 		return &f, nil
 	}
@@ -345,7 +508,7 @@ func (p *schemaParser) parseSimpleType(e *xmldom.Node) (*SimpleType, error) {
 			src := c.AttrValue("value")
 			re, rerr := compileXSDPattern(src)
 			if rerr != nil {
-				return nil, &SchemaError{Node: c, Msg: "bad pattern " + src + ": " + rerr.Error()}
+				return nil, p.errf(c, "bad pattern %s: %s", src, rerr.Error())
 			}
 			st.Patterns = append(st.Patterns, re)
 			st.patternSrcs = append(st.patternSrcs, src)
@@ -355,6 +518,13 @@ func (p *schemaParser) parseSimpleType(e *xmldom.Node) (*SimpleType, error) {
 			st.MinLength, err = intFacet(c)
 		case "maxLength":
 			st.MaxLength, err = intFacet(c)
+		case "totalDigits":
+			st.TotalDigits, err = intFacet(c)
+			if err == nil && *st.TotalDigits == 0 {
+				return nil, p.errf(c, "totalDigits must be positive")
+			}
+		case "fractionDigits":
+			st.FractionDigits, err = intFacet(c)
 		case "minInclusive":
 			st.MinInclusive, err = numFacet(c)
 		case "maxInclusive":
@@ -369,12 +539,10 @@ func (p *schemaParser) parseSimpleType(e *xmldom.Node) (*SimpleType, error) {
 			case "preserve", "replace", "collapse":
 				st.WhiteSpace = ws
 			default:
-				return nil, &SchemaError{Node: c, Msg: "bad whiteSpace value " + ws}
+				return nil, p.errf(c, "bad whiteSpace value %s", ws)
 			}
-		case "totalDigits", "fractionDigits":
-			return nil, &SchemaError{Node: c, Msg: "facet xsd:" + c.Name + " is not supported"}
 		default:
-			return nil, &SchemaError{Node: c, Msg: "unknown facet xsd:" + c.Name}
+			return nil, p.errf(c, "unknown facet xsd:%s", c.Name)
 		}
 		if err != nil {
 			return nil, err
@@ -406,7 +574,7 @@ func (p *schemaParser) parseConstraint(e *xmldom.Node) (*IdentityConstraint, err
 		ic.Kind = KeyrefConstraint
 		ic.Refer = e.AttrValue("refer")
 		if ic.Refer == "" {
-			return nil, &SchemaError{Node: e, Msg: "keyref requires refer"}
+			return nil, p.errf(e, "keyref requires refer")
 		}
 		// refer is a QName; constraints live in no namespace here.
 		if i := strings.IndexByte(ic.Refer, ':'); i >= 0 {
@@ -414,7 +582,7 @@ func (p *schemaParser) parseConstraint(e *xmldom.Node) (*IdentityConstraint, err
 		}
 	}
 	if ic.Name == "" {
-		return nil, &SchemaError{Node: e, Msg: "identity constraint requires a name"}
+		return nil, p.errf(e, "identity constraint requires a name")
 	}
 	for _, c := range schemaElements(e) {
 		switch c.Name {
@@ -422,7 +590,7 @@ func (p *schemaParser) parseConstraint(e *xmldom.Node) (*IdentityConstraint, err
 			src := c.AttrValue("xpath")
 			expr, err := xpath.Compile(src)
 			if err != nil {
-				return nil, &SchemaError{Node: c, Msg: "bad selector xpath: " + err.Error()}
+				return nil, p.errf(c, "bad selector xpath: %s", err.Error())
 			}
 			ic.Selector = expr
 			ic.selectorSrc = src
@@ -430,16 +598,16 @@ func (p *schemaParser) parseConstraint(e *xmldom.Node) (*IdentityConstraint, err
 			src := c.AttrValue("xpath")
 			expr, err := xpath.Compile(src)
 			if err != nil {
-				return nil, &SchemaError{Node: c, Msg: "bad field xpath: " + err.Error()}
+				return nil, p.errf(c, "bad field xpath: %s", err.Error())
 			}
 			ic.Fields = append(ic.Fields, expr)
 			ic.fieldSrcs = append(ic.fieldSrcs, src)
 		default:
-			return nil, &SchemaError{Node: c, Msg: "unexpected xsd:" + c.Name + " in " + e.Name}
+			return nil, p.errf(c, "unexpected xsd:%s in %s", c.Name, e.Name)
 		}
 	}
 	if ic.Selector == nil || len(ic.Fields) == 0 {
-		return nil, &SchemaError{Node: e, Msg: ic.Kind.String() + " " + ic.Name + " requires a selector and at least one field"}
+		return nil, p.errf(e, "%s %s requires a selector and at least one field", ic.Kind.String(), ic.Name)
 	}
 	return ic, nil
 }
@@ -468,6 +636,19 @@ func nsForPrefix(n *xmldom.Node, prefix string) (string, bool) {
 	return "", prefix == ""
 }
 
+// fileOf reports the source file of a schema node (multi-file loads).
+func (s *Schema) fileOf(n *xmldom.Node) string {
+	if n == nil {
+		return ""
+	}
+	return s.fileByDoc[n.Root()]
+}
+
+// serr builds a SchemaError with the file provenance of the node.
+func (s *Schema) serr(n *xmldom.Node, format string, args ...interface{}) error {
+	return &SchemaError{File: s.fileOf(n), Node: n, Msg: fmt.Sprintf(format, args...)}
+}
+
 // lookupSimple resolves a type QName to a simple type (builtin or named).
 func (s *Schema) lookupSimple(ref string, at *xmldom.Node) (*SimpleType, error) {
 	prefix, local := "", ref
@@ -476,13 +657,13 @@ func (s *Schema) lookupSimple(ref string, at *xmldom.Node) (*SimpleType, error) 
 	}
 	uri, ok := nsForPrefix(at, prefix)
 	if !ok {
-		return nil, &SchemaError{Node: at, Msg: "undeclared prefix in type reference " + ref}
+		return nil, s.serr(at, "undeclared prefix in type reference %s", ref)
 	}
 	if uri == Namespace {
 		if bt := builtinType(local); bt != nil {
 			return bt, nil
 		}
-		return nil, &SchemaError{Node: at, Msg: "unsupported built-in type xsd:" + local}
+		return nil, s.serr(at, "unsupported built-in type xsd:%s", local)
 	}
 	if st, ok := s.SimpleTypes[local]; ok {
 		return st, nil
@@ -490,9 +671,11 @@ func (s *Schema) lookupSimple(ref string, at *xmldom.Node) (*SimpleType, error) 
 	return nil, nil
 }
 
-// resolve links named type references and base-type chains.
+// resolve links named type references, base-type chains, element refs
+// and substitution groups.
 func (s *Schema) resolve() error {
-	// Resolve simple-type bases first (with cycle detection).
+	// Resolve simple-type bases, list items and union members first
+	// (with cycle detection).
 	state := map[*SimpleType]int{} // 0 unseen, 1 visiting, 2 done
 	var resolveST func(st *SimpleType) error
 	resolveST = func(st *SimpleType) error {
@@ -500,20 +683,58 @@ func (s *Schema) resolve() error {
 			return nil
 		}
 		if state[st] == 1 {
-			return &SchemaError{Node: st.src, Msg: "circular simpleType derivation at " + st.Name}
+			return s.serr(st.src, "circular simpleType derivation at %s", st.Name)
 		}
 		state[st] = 1
-		base, err := s.lookupSimple(st.Base, st.src)
-		if err != nil {
-			return err
+		if st.Base != "" {
+			base, err := s.lookupSimple(st.Base, st.src)
+			if err != nil {
+				return err
+			}
+			if base == nil {
+				return s.serr(st.src, "unknown base type %s", st.Base)
+			}
+			if err := resolveST(base); err != nil {
+				return err
+			}
+			st.base = base
 		}
-		if base == nil {
-			return &SchemaError{Node: st.src, Msg: "unknown base type " + st.Base}
+		if st.itemRef != "" {
+			item, err := s.lookupSimple(st.itemRef, st.src)
+			if err != nil {
+				return err
+			}
+			if item == nil {
+				return s.serr(st.src, "unknown list item type %s", st.itemRef)
+			}
+			st.Item = item
 		}
-		if err := resolveST(base); err != nil {
-			return err
+		if st.Item != nil {
+			if err := resolveST(st.Item); err != nil {
+				return err
+			}
 		}
-		st.base = base
+		if len(st.memberRefs) > 0 {
+			// memberTypes references come before inline members.
+			resolved := make([]*SimpleType, 0, len(st.memberRefs)+len(st.Members))
+			for _, ref := range st.memberRefs {
+				m, err := s.lookupSimple(ref, st.src)
+				if err != nil {
+					return err
+				}
+				if m == nil {
+					return s.serr(st.src, "unknown union member type %s", ref)
+				}
+				resolved = append(resolved, m)
+			}
+			st.Members = append(resolved, st.Members...)
+			st.memberRefs = nil
+		}
+		for _, m := range st.Members {
+			if err := resolveST(m); err != nil {
+				return err
+			}
+		}
 		state[st] = 2
 		return nil
 	}
@@ -526,7 +747,7 @@ func (s *Schema) resolve() error {
 	var resolveDecl func(d *ElementDecl) error
 	var resolvePart func(p *Particle) error
 	resolveDecl = func(d *ElementDecl) error {
-		if d.TypeName != "" {
+		if d.TypeName != "" && d.Simple == nil && d.Complex == nil {
 			st, err := s.lookupSimple(d.TypeName, d.src)
 			if err != nil {
 				return err
@@ -539,10 +760,10 @@ func (s *Schema) resolve() error {
 			} else if ct, ok := s.ComplexTypes[stripPrefix(d.TypeName)]; ok {
 				d.Complex = ct
 			} else {
-				return &SchemaError{Node: d.src, Msg: "unknown type " + d.TypeName + " for element " + d.Name}
+				return s.serr(d.src, "unknown type %s for element %s", d.TypeName, d.Name)
 			}
 		}
-		if d.Simple != nil && d.Simple.builtin == btNone && d.Simple.base == nil {
+		if d.Simple != nil {
 			if err := resolveST(d.Simple); err != nil {
 				return err
 			}
@@ -556,8 +777,19 @@ func (s *Schema) resolve() error {
 		if p == nil {
 			return nil
 		}
-		if p.Kind == PElement {
+		switch p.Kind {
+		case PElement:
+			if p.Ref != "" {
+				decl, ok := s.Elements[p.Ref]
+				if !ok {
+					return s.serr(p.src, "element ref %s does not match any global element", p.Ref)
+				}
+				p.Elem = decl
+				return nil // the global loop resolves the declaration
+			}
 			return resolveDecl(p.Elem)
+		case PAny:
+			return nil
 		}
 		for _, c := range p.Children {
 			if err := resolvePart(c); err != nil {
@@ -579,13 +811,13 @@ func (s *Schema) resolve() error {
 					return err
 				}
 				if st == nil {
-					return &SchemaError{Node: ad.src, Msg: "unknown attribute type " + ad.TypeName}
+					return s.serr(ad.src, "unknown attribute type %s", ad.TypeName)
 				}
 				if err := resolveST(st); err != nil {
 					return err
 				}
 				ad.Type = st
-			} else if ad.Type != nil && ad.Type.builtin == btNone && ad.Type.base == nil {
+			} else if ad.Type != nil {
 				if err := resolveST(ad.Type); err != nil {
 					return err
 				}
@@ -602,6 +834,48 @@ func (s *Schema) resolve() error {
 		if err := resolveDecl(d); err != nil {
 			return err
 		}
+	}
+	return s.resolveSubstitutions()
+}
+
+// resolveSubstitutions links substitutionGroup members to their heads
+// and precomputes the transitive member closure per head.
+func (s *Schema) resolveSubstitutions() error {
+	direct := map[string][]*ElementDecl{}
+	names := make([]string, 0, len(s.Elements))
+	for name := range s.Elements {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := s.Elements[name]
+		if d.SubstitutionGroup == "" {
+			continue
+		}
+		if _, ok := s.Elements[d.SubstitutionGroup]; !ok {
+			return s.serr(d.src, "substitutionGroup head %s is not a global element", d.SubstitutionGroup)
+		}
+		direct[d.SubstitutionGroup] = append(direct[d.SubstitutionGroup], d)
+	}
+	for _, name := range names {
+		if len(direct[name]) == 0 {
+			continue
+		}
+		var members []*ElementDecl
+		seen := map[string]bool{name: true}
+		queue := append([]*ElementDecl(nil), direct[name]...)
+		for len(queue) > 0 {
+			m := queue[0]
+			queue = queue[1:]
+			if seen[m.Name] {
+				continue
+			}
+			seen[m.Name] = true
+			members = append(members, m)
+			queue = append(queue, direct[m.Name]...)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].Name < members[j].Name })
+		s.substMembers[name] = members
 	}
 	return nil
 }

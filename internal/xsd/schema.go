@@ -16,6 +16,7 @@ package xsd
 import (
 	"fmt"
 	"regexp"
+	"strings"
 
 	"goldweb/internal/xmldom"
 	"goldweb/internal/xpath"
@@ -24,13 +25,29 @@ import (
 // Namespace is the XML Schema namespace URI.
 const Namespace = "http://www.w3.org/2001/XMLSchema"
 
-// Schema is a compiled schema ready to validate instance documents.
+// Schema is a compiled schema ready to validate instance documents. A
+// Schema may be the compilation of a single document (ParseSchema) or of
+// a whole xs:import/xs:include graph (Loader): every included document
+// contributes its global declarations to the same maps.
 type Schema struct {
 	// Elements holds the global element declarations by name.
 	Elements map[string]*ElementDecl
 	// SimpleTypes and ComplexTypes hold the named type definitions.
 	SimpleTypes  map[string]*SimpleType
 	ComplexTypes map[string]*ComplexType
+
+	// substMembers maps a substitution-group head to its transitive
+	// member declarations (sorted by name), computed during resolve.
+	substMembers map[string][]*ElementDecl
+
+	// declFile records the source file of each global declaration
+	// (keyed "element e" / "simpleType T" / "complexType T"), so
+	// multi-file conflicts are reported with both locations.
+	declFile map[string]string
+
+	// fileByDoc maps each contributing document root to its location,
+	// giving resolve-phase errors per-file provenance.
+	fileByDoc map[*xmldom.Node]string
 
 	doc *xmldom.Node
 }
@@ -46,6 +63,12 @@ type ElementDecl struct {
 	HasDefault, HasFixed bool
 	Constraints          []*IdentityConstraint
 
+	// SubstitutionGroup names the head element this (global) declaration
+	// may substitute for; Abstract heads cannot appear in instances
+	// themselves.
+	SubstitutionGroup string
+	Abstract          bool
+
 	src *xmldom.Node
 }
 
@@ -55,7 +78,11 @@ type ComplexType struct {
 	Name       string
 	Content    *Particle // nil means empty content
 	Attributes []*AttributeDecl
-	Mixed      bool
+	// AnyAttr is the xs:anyAttribute wildcard, when declared: the
+	// element admits undeclared attributes matching its namespace
+	// constraint.
+	AnyAttr *Wildcard
+	Mixed   bool
 
 	src *xmldom.Node
 }
@@ -69,20 +96,65 @@ const (
 	PChoice
 	PAll
 	PElement
+	// PAny is an xs:any wildcard particle.
+	PAny
 )
 
 // Unbounded is the MaxOccurs value for maxOccurs="unbounded".
 const Unbounded = -1
 
-// Particle is a node of a content model: a sequence, choice, all group or
-// element particle, with occurrence bounds.
+// Particle is a node of a content model: a sequence, choice, all group,
+// element or wildcard particle, with occurrence bounds.
 type Particle struct {
 	Kind     ParticleKind
 	Min, Max int // Max == Unbounded for unbounded
 	Children []*Particle
 	Elem     *ElementDecl
+	// Ref is the referenced global element name for ref="..." particles
+	// (Elem is linked to the global declaration during resolve).
+	// Substitution-group dispatch applies only to ref particles, per the
+	// XML Schema rules.
+	Ref string
+	// Wildcard carries the xs:any constraint for PAny particles.
+	Wildcard *Wildcard
 
 	src *xmldom.Node
+}
+
+// Wildcard is the namespace constraint and process mode of an xs:any or
+// xs:anyAttribute declaration.
+type Wildcard struct {
+	// NS is the raw namespace constraint: "##any", "##other", "##local",
+	// "##targetNamespace", or a space-separated URI list.
+	NS string
+	// Process is the processContents mode: "strict", "lax" or "skip".
+	Process string
+
+	src *xmldom.Node
+}
+
+// Admits reports whether the wildcard's namespace constraint admits a
+// node in namespace uri. The schemas this system compiles have no
+// targetNamespace, so ##targetNamespace and ##local both mean the empty
+// namespace and ##other means any non-empty one.
+func (w *Wildcard) Admits(uri string) bool {
+	switch w.NS {
+	case "", "##any":
+		return true
+	case "##other":
+		return uri != ""
+	case "##local", "##targetNamespace":
+		return uri == ""
+	}
+	for _, tok := range strings.Fields(w.NS) {
+		if tok == "##local" || tok == "##targetNamespace" {
+			tok = ""
+		}
+		if tok == uri {
+			return true
+		}
+	}
+	return false
 }
 
 // AttributeDecl describes an attribute declaration.
@@ -98,23 +170,37 @@ type AttributeDecl struct {
 	src *xmldom.Node
 }
 
-// SimpleType describes a simple type: a built-in or a restriction of one.
+// SimpleType describes a simple type: a built-in, a restriction of one,
+// a list over an item type, or a union of member types.
 type SimpleType struct {
 	Name    string
-	Base    string // name of the base type
+	Base    string // name of the base type (restrictions only)
 	builtin builtinKind
 
-	Enum         []string
-	Patterns     []*regexp.Regexp
-	patternSrcs  []string
-	Length       *int
-	MinLength    *int
-	MaxLength    *int
-	MinInclusive *float64
-	MaxInclusive *float64
-	MinExclusive *float64
-	MaxExclusive *float64
-	WhiteSpace   string // "", "preserve", "replace", "collapse"
+	// Item is the list item type for xs:list varieties; Members are the
+	// xs:union member types (memberTypes references resolved first, then
+	// inline simpleType children, in declaration order).
+	Item    *SimpleType
+	Members []*SimpleType
+
+	Enum           []string
+	Patterns       []*regexp.Regexp
+	patternSrcs    []string
+	Length         *int
+	MinLength      *int
+	MaxLength      *int
+	TotalDigits    *int
+	FractionDigits *int
+	MinInclusive   *float64
+	MaxInclusive   *float64
+	MinExclusive   *float64
+	MaxExclusive   *float64
+	WhiteSpace     string // "", "preserve", "replace", "collapse"
+
+	// itemRef / memberRefs are unresolved QName references from
+	// itemType= / memberTypes=, linked during resolve.
+	itemRef    string
+	memberRefs []string
 
 	base *SimpleType // resolved base (nil for builtins)
 	src  *xmldom.Node
@@ -156,17 +242,33 @@ type IdentityConstraint struct {
 	src         *xmldom.Node
 }
 
-// SchemaError reports a problem in a schema document.
+// SchemaError reports a problem in a schema document. File names the
+// source document when the schema was assembled by a Loader, so errors
+// in multi-file import/include graphs are attributable.
 type SchemaError struct {
+	File string
 	Node *xmldom.Node
 	Msg  string
 }
 
 func (e *SchemaError) Error() string {
-	if e.Node != nil {
-		return fmt.Sprintf("xsd: %s (at %s, line %d)", e.Msg, e.Node.Path(), e.Node.Line)
+	in := ""
+	if e.File != "" {
+		in = " in " + e.File
 	}
-	return "xsd: " + e.Msg
+	if e.Node != nil {
+		return fmt.Sprintf("xsd: %s (at %s%s, line %d)", e.Msg, e.Node.Path(), in, e.Node.Line)
+	}
+	return "xsd: " + e.Msg + in
+}
+
+// Line returns the schema-document line the error points at (0 when
+// unknown), for diagnostic positioning.
+func (e *SchemaError) Line() int {
+	if e.Node != nil {
+		return e.Node.Line
+	}
+	return 0
 }
 
 // ValidationError reports one instance-document violation.

@@ -54,12 +54,19 @@ func card(min, max int) string {
 
 func (t *treePrinter) element(d *ElementDecl, prefix, childPrefix string, min, max int) {
 	label := d.Name + card(min, max)
-	if d.Simple != nil {
-		if d.Simple.builtin == btNone {
-			// user-defined type (shaded in Fig. 2)
-			label += " : " + d.Simple.Name + "*"
-		} else if d.Simple.builtin != btAnySimpleType {
-			label += " : " + d.Simple.Name
+	if d.Simple != nil && d.Simple.builtin != btAnySimpleType {
+		label += " : " + simpleLabel(d.Simple)
+	}
+	if d.Abstract {
+		label += " (abstract)"
+	}
+	if t.s.Elements[d.Name] == d {
+		if members := t.s.substMembers[d.Name]; len(members) > 0 {
+			names := make([]string, len(members))
+			for i, m := range members {
+				names[i] = m.Name
+			}
+			label += " <= " + strings.Join(names, " | ")
 		}
 	}
 	fmt.Fprintf(t.b, "%s%s\n", prefix, label)
@@ -84,6 +91,11 @@ func (t *treePrinter) element(d *ElementDecl, prefix, childPrefix string, min, m
 				fmt.Fprintf(t.b, "%s%s\n", p, attrLabel(adCopy))
 			}})
 		}
+		if w := ct.AnyAttr; w != nil {
+			kids = append(kids, kid{render: func(p, _ string) {
+				fmt.Fprintf(t.b, "%s@* (anyAttribute %s %s)\n", p, w.NS, w.Process)
+			}})
+		}
 	}
 	var collect func(p *Particle)
 	var particleKids []*Particle
@@ -92,7 +104,7 @@ func (t *treePrinter) element(d *ElementDecl, prefix, childPrefix string, min, m
 			return
 		}
 		switch p.Kind {
-		case PElement:
+		case PElement, PAny:
 			particleKids = append(particleKids, p)
 		case PSequence:
 			// A plain once-only sequence is structural noise; inline it.
@@ -127,6 +139,8 @@ func (t *treePrinter) particle(p *Particle, prefix, childPrefix string) {
 	switch p.Kind {
 	case PElement:
 		t.element(p.Elem, prefix, childPrefix, p.Min, p.Max)
+	case PAny:
+		fmt.Fprintf(t.b, "%s(any %s %s)%s\n", prefix, p.Wildcard.NS, p.Wildcard.Process, card(p.Min, p.Max))
 	case PSequence, PChoice, PAll:
 		kind := map[ParticleKind]string{PSequence: "sequence", PChoice: "choice", PAll: "all"}[p.Kind]
 		fmt.Fprintf(t.b, "%s(%s)%s\n", prefix, kind, card(p.Min, p.Max))
@@ -140,6 +154,34 @@ func (t *treePrinter) particle(p *Particle, prefix, childPrefix string) {
 	}
 }
 
+// simpleLabel renders a simple type for the tree: named user-defined
+// types carry the figure's shading marker (*), list and union varieties
+// spell out their item/member structure.
+func simpleLabel(st *SimpleType) string {
+	switch {
+	case st.Item != nil:
+		body := "list of " + simpleLabel(st.Item)
+		if st.Name != "" {
+			return st.Name + "* (" + body + ")"
+		}
+		return body
+	case len(st.Members) > 0:
+		parts := make([]string, len(st.Members))
+		for i, m := range st.Members {
+			parts[i] = simpleLabel(m)
+		}
+		body := "union(" + strings.Join(parts, " | ") + ")"
+		if st.Name != "" {
+			return st.Name + "* (" + body + ")"
+		}
+		return body
+	case st.builtin != btNone:
+		return st.Name
+	}
+	// user-defined restriction (shaded in Fig. 2)
+	return st.Name + "*"
+}
+
 func attrLabel(ad *AttributeDecl) string {
 	label := "@" + ad.Name
 	typeName := ""
@@ -147,6 +189,9 @@ func attrLabel(ad *AttributeDecl) string {
 		typeName = ad.TypeName
 	} else if ad.Type != nil && ad.Type.Name != "" {
 		typeName = ad.Type.Name
+	} else if ad.Type != nil && (ad.Type.Item != nil || len(ad.Type.Members) > 0) {
+		label += " : " + simpleLabel(ad.Type)
+		typeName = ""
 	}
 	if typeName != "" {
 		// Mark user-defined simple types like the figure's shading.

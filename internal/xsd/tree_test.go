@@ -58,3 +58,43 @@ func TestTreeChoiceAndRepeatedGroups(t *testing.T) {
 		t.Errorf("repeated group not rendered:\n%s", out)
 	}
 }
+
+func TestTreeGeneralConstructs(t *testing.T) {
+	src := sch(`
+		<xsd:element name="head" type="xsd:string" abstract="true"/>
+		<xsd:element name="m1" type="xsd:string" substitutionGroup="head"/>
+		<xsd:element name="m2" type="xsd:string" substitutionGroup="head"/>
+		<xsd:element name="root"><xsd:complexType>
+			<xsd:sequence>
+				<xsd:element ref="head" maxOccurs="unbounded"/>
+				<xsd:element name="mix">
+					<xsd:simpleType><xsd:union memberTypes="xsd:int xsd:boolean"/></xsd:simpleType>
+				</xsd:element>
+				<xsd:element name="nums">
+					<xsd:simpleType><xsd:list itemType="xsd:int"/></xsd:simpleType>
+				</xsd:element>
+				<xsd:any namespace="##other" processContents="lax" minOccurs="0" maxOccurs="unbounded"/>
+			</xsd:sequence>
+			<xsd:attribute name="opts">
+				<xsd:simpleType><xsd:list itemType="xsd:NMTOKEN"/></xsd:simpleType>
+			</xsd:attribute>
+			<xsd:anyAttribute processContents="skip"/>
+		</xsd:complexType></xsd:element>`)
+	s, err := ParseSchemaString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Tree(s, TreeOptions{ShowAttributes: true})
+	for _, want := range []string{
+		"head : string (abstract) <= m1 | m2", // substitution members on the head
+		"mix : union(int | boolean)",
+		"nums : list of int",
+		"(any ##other lax) [0..*]",
+		"@opts : list of NMTOKEN",
+		"@* (anyAttribute ##any skip)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -92,6 +92,10 @@ func (v *validator) validateElement(elem *xmldom.Node, decl *ElementDecl) {
 	if v.full {
 		return
 	}
+	if decl.Abstract {
+		v.errf(elem, "element %s is declared abstract and cannot appear in instances", elem.FullName())
+		return
+	}
 	switch {
 	case decl.Simple != nil:
 		v.validateSimpleElement(elem, decl)
@@ -161,7 +165,8 @@ func (v *validator) validateComplexElement(elem *xmldom.Node, ct *ComplexType) {
 		return
 	}
 	assign := map[*xmldom.Node]*ElementDecl{}
-	m := &contentMatcher{kids: kids, assign: assign}
+	wild := map[*xmldom.Node]*Wildcard{}
+	m := &contentMatcher{schema: v.schema, kids: kids, assign: assign, wild: wild}
 	end := m.reach(ct.Content, singlePos(0))
 	if !end[len(kids)] {
 		culprit := m.maxPos
@@ -177,11 +182,33 @@ func (v *validator) validateComplexElement(elem *xmldom.Node, ct *ComplexType) {
 	for _, k := range kids {
 		if d := assign[k]; d != nil {
 			v.validateElement(k, d)
+		} else if w := wild[k]; w != nil {
+			v.validateWildcard(k, w)
 		} else if !end[len(kids)] {
 			// Unmatched child in an already-invalid model: skip silently.
 			continue
 		}
 	}
+}
+
+// validateWildcard applies the processContents mode to an element matched
+// by an xs:any particle: skip validates nothing, lax validates against a
+// global declaration when one exists, strict requires one.
+func (v *validator) validateWildcard(elem *xmldom.Node, w *Wildcard) {
+	if w.Process == "skip" {
+		return
+	}
+	var decl *ElementDecl
+	if elem.URI == "" {
+		decl = v.schema.Elements[elem.Name]
+	}
+	if decl == nil {
+		if w.Process == "strict" {
+			v.errf(elem, "wildcard with processContents strict requires a global declaration for <%s>", elem.FullName())
+		}
+		return
+	}
+	v.validateElement(elem, decl)
 }
 
 // singlePos returns a position set containing only p.
@@ -191,9 +218,35 @@ func singlePos(p int) map[int]bool { return map[int]bool{p: true} }
 // position-set (Thompson-style) reachability, which is polynomial and
 // handles nested occurrence bounds without backtracking blowups.
 type contentMatcher struct {
+	schema *Schema
 	kids   []*xmldom.Node
 	assign map[*xmldom.Node]*ElementDecl
+	// wild records children consumed by xs:any particles, keyed to the
+	// admitting wildcard for the processContents pass.
+	wild   map[*xmldom.Node]*Wildcard
 	maxPos int
+}
+
+// matchDecl returns the declaration an element particle assigns to child
+// k: the particle's own declaration on a name match, or a substitution-
+// group member for ref particles (heads dispatch only when referenced,
+// per the XML Schema rules; abstract members never match by name here —
+// the abstract error surfaces during element validation instead).
+func (m *contentMatcher) matchDecl(p *Particle, k *xmldom.Node) *ElementDecl {
+	if k.URI != "" {
+		return nil
+	}
+	if k.Name == p.Elem.Name {
+		return p.Elem
+	}
+	if p.Ref != "" && m.schema != nil {
+		for _, mem := range m.schema.substMembers[p.Ref] {
+			if !mem.Abstract && k.Name == mem.Name {
+				return mem
+			}
+		}
+	}
+	return nil
 }
 
 // reach returns the set of positions reachable after matching p starting
@@ -250,8 +303,25 @@ func (m *contentMatcher) reachOnce(p *Particle, starts map[int]bool) map[int]boo
 	case PElement:
 		out := map[int]bool{}
 		for pos := range starts {
-			if pos < len(m.kids) && m.kids[pos].Name == p.Elem.Name && m.kids[pos].URI == "" {
-				m.assign[m.kids[pos]] = p.Elem
+			if pos >= len(m.kids) {
+				continue
+			}
+			if d := m.matchDecl(p, m.kids[pos]); d != nil {
+				m.assign[m.kids[pos]] = d
+				out[pos+1] = true
+				if pos+1 > m.maxPos {
+					m.maxPos = pos + 1
+				}
+			}
+		}
+		return out
+	case PAny:
+		out := map[int]bool{}
+		for pos := range starts {
+			if pos < len(m.kids) && p.Wildcard.Admits(m.kids[pos].URI) {
+				if m.wild != nil && m.assign[m.kids[pos]] == nil {
+					m.wild[m.kids[pos]] = p.Wildcard
+				}
 				out[pos+1] = true
 				if pos+1 > m.maxPos {
 					m.maxPos = pos + 1
@@ -300,8 +370,8 @@ func (m *contentMatcher) matchAll(p *Particle, pos int) (int, bool) {
 			if c.Kind != PElement || used[c] {
 				continue
 			}
-			if m.kids[pos].Name == c.Elem.Name {
-				m.assign[m.kids[pos]] = c.Elem
+			if d := m.matchDecl(c, m.kids[pos]); d != nil {
+				m.assign[m.kids[pos]] = d
 				used[c] = true
 				pos++
 				if pos > m.maxPos {
@@ -332,13 +402,22 @@ func (v *validator) validateAttributes(elem *xmldom.Node, ct *ComplexType) {
 		if a.URI == xmldom.XMLNSNamespace || a.URI == xmldom.XMLNamespace {
 			continue // namespace declarations and xml: attributes pass
 		}
-		if a.URI != "" {
-			v.errf(a, "namespaced attribute %s is not declared", a.FullName())
-			continue
+		var ad *AttributeDecl
+		if a.URI == "" {
+			ad = declared[a.Name]
 		}
-		ad, ok := declared[a.Name]
-		if !ok {
-			v.errf(a, "attribute %s is not declared on element %s", a.Name, elem.FullName())
+		if ad == nil {
+			// An anyAttribute wildcard admits undeclared attributes in
+			// matching namespaces; strict still demands a declaration,
+			// which this schema subset has no global form of.
+			if ct.AnyAttr != nil && ct.AnyAttr.Admits(a.URI) && ct.AnyAttr.Process != "strict" {
+				continue
+			}
+			if a.URI != "" {
+				v.errf(a, "namespaced attribute %s is not declared", a.FullName())
+			} else {
+				v.errf(a, "attribute %s is not declared on element %s", a.Name, elem.FullName())
+			}
 			continue
 		}
 		if ad.Use == "prohibited" {
@@ -410,21 +489,67 @@ func typeLabel(st *SimpleType) string {
 }
 
 // checkSimpleValue validates a lexical value against a simple type,
-// walking the restriction chain so every level's facets apply.
+// walking the restriction chain so every level's facets apply. When the
+// chain reaches a list variety, each whitespace-separated token is
+// checked against the item type; a union accepts the value as soon as
+// any member does.
 func checkSimpleValue(st *SimpleType, raw string) error {
 	v := st.normalize(raw)
+	isList := st.isList()
 	for cur := st; cur != nil; cur = cur.base {
-		if cur.builtin != btNone {
+		switch {
+		case cur.builtin != btNone:
 			return checkBuiltin(cur.builtin, v)
+		case cur.Item != nil:
+			for _, tok := range strings.Fields(v) {
+				if err := checkSimpleValue(cur.Item, tok); err != nil {
+					return fmt.Errorf("list item %q: %v", tok, err)
+				}
+			}
+			return nil
+		case len(cur.Members) > 0:
+			for _, mem := range cur.Members {
+				if checkSimpleValue(mem, v) == nil {
+					return nil
+				}
+			}
+			return fmt.Errorf("%q does not match any member type of union %s", v, typeLabel(cur))
 		}
-		if err := checkFacets(cur, v); err != nil {
+		if err := checkFacets(cur, v, isList); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func checkFacets(st *SimpleType, v string) error {
+// isList reports whether the type's derivation chain bottoms out in a
+// list variety, which switches length facets to counting items.
+func (st *SimpleType) isList() bool {
+	for cur := st; cur != nil; cur = cur.base {
+		if cur.Item != nil {
+			return true
+		}
+		if cur.builtin != btNone || len(cur.Members) > 0 {
+			return false
+		}
+	}
+	return false
+}
+
+// hasMembers reports whether the chain bottoms out in a union variety.
+func (st *SimpleType) hasMembers() bool {
+	for cur := st; cur != nil; cur = cur.base {
+		if len(cur.Members) > 0 {
+			return true
+		}
+		if cur.builtin != btNone || cur.Item != nil {
+			return false
+		}
+	}
+	return false
+}
+
+func checkFacets(st *SimpleType, v string, isList bool) error {
 	if len(st.Enum) > 0 {
 		ok := false
 		for _, e := range st.Enum {
@@ -443,15 +568,33 @@ func checkFacets(st *SimpleType, v string) error {
 			return fmt.Errorf("%q does not match pattern %q of type %s", v, st.patternSrcs[i], typeLabel(st))
 		}
 	}
+	// Length facets count characters, or items for list varieties.
 	n := len([]rune(v))
+	unit := "length"
+	if isList {
+		n = len(strings.Fields(v))
+		unit = "item count"
+	}
 	if st.Length != nil && n != *st.Length {
-		return fmt.Errorf("%q has length %d, want exactly %d", v, n, *st.Length)
+		return fmt.Errorf("%q has %s %d, want exactly %d", v, unit, n, *st.Length)
 	}
 	if st.MinLength != nil && n < *st.MinLength {
-		return fmt.Errorf("%q has length %d, want at least %d", v, n, *st.MinLength)
+		return fmt.Errorf("%q has %s %d, want at least %d", v, unit, n, *st.MinLength)
 	}
 	if st.MaxLength != nil && n > *st.MaxLength {
-		return fmt.Errorf("%q has length %d, want at most %d", v, n, *st.MaxLength)
+		return fmt.Errorf("%q has %s %d, want at most %d", v, unit, n, *st.MaxLength)
+	}
+	if st.TotalDigits != nil || st.FractionDigits != nil {
+		total, frac, ok := digitCounts(v)
+		if !ok {
+			return fmt.Errorf("%q is not a decimal but type %s has digit facets", v, typeLabel(st))
+		}
+		if st.TotalDigits != nil && total > *st.TotalDigits {
+			return fmt.Errorf("%q has %d significant digits, totalDigits allows %d", v, total, *st.TotalDigits)
+		}
+		if st.FractionDigits != nil && frac > *st.FractionDigits {
+			return fmt.Errorf("%q has %d fraction digits, fractionDigits allows %d", v, frac, *st.FractionDigits)
+		}
 	}
 	if st.MinInclusive != nil || st.MaxInclusive != nil || st.MinExclusive != nil || st.MaxExclusive != nil {
 		f, err := strconv.ParseFloat(v, 64)
@@ -472,6 +615,32 @@ func checkFacets(st *SimpleType, v string) error {
 		}
 	}
 	return nil
+}
+
+// digitCounts parses a decimal lexical value and counts its significant
+// digits: leading zeros of the integer part and trailing zeros of the
+// fraction part do not count (per the XSD totalDigits/fractionDigits
+// value space definition).
+func digitCounts(v string) (total, frac int, ok bool) {
+	s := strings.TrimLeft(v, "+-")
+	if s == "" {
+		return 0, 0, false
+	}
+	intPart, fracPart := s, ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		intPart, fracPart = s[:i], s[i+1:]
+	}
+	for _, r := range intPart + fracPart {
+		if r < '0' || r > '9' {
+			return 0, 0, false
+		}
+	}
+	if intPart == "" && fracPart == "" {
+		return 0, 0, false
+	}
+	intPart = strings.TrimLeft(intPart, "0")
+	fracPart = strings.TrimRight(fracPart, "0")
+	return len(intPart) + len(fracPart), len(fracPart), true
 }
 
 // ---- identity constraints ----
@@ -579,6 +748,8 @@ func particleLabel(p *Particle) string {
 	switch p.Kind {
 	case PElement:
 		return elementCard(p)
+	case PAny:
+		return "any" + cardSuffix(p)
 	case PSequence, PChoice, PAll:
 		sep := ", "
 		if p.Kind == PChoice {
